@@ -1,0 +1,39 @@
+// Reproduces Table 4: effectiveness of user interest (alpha=1), entity
+// recency (beta=1), and entity popularity (gamma=1) for entity linking,
+// against the full combination.
+
+#include <cstdio>
+
+#include "eval/harness.h"
+
+int main() {
+  using namespace mel;
+  std::printf("=== Table 4: single features vs all features ===\n");
+  eval::Harness harness(eval::HarnessOptions{});
+
+  struct Row {
+    const char* label;
+    double alpha, beta, gamma;
+  };
+  const Row rows[] = {
+      {"alpha=1 (interest)", 1, 0, 0},
+      {"beta=1  (recency)", 0, 1, 0},
+      {"gamma=1 (popularity)", 0, 0, 1},
+      {"all features (.6/.3/.1)", 0.6, 0.3, 0.1},
+  };
+
+  std::printf("%-26s %10s %10s\n", "configuration", "tweet", "mention");
+  for (const Row& row : rows) {
+    core::LinkerOptions options = harness.DefaultLinkerOptions();
+    options.alpha = row.alpha;
+    options.beta = row.beta;
+    options.gamma = row.gamma;
+    auto acc = harness.Evaluate(options).accuracy();
+    std::printf("%-26s %10.4f %10.4f\n", row.label, acc.TweetAccuracy(),
+                acc.MentionAccuracy());
+  }
+  std::printf(
+      "\nPaper shape check (Table 4): all-features highest; interest is "
+      "the strongest single feature; recency beats popularity.\n");
+  return 0;
+}

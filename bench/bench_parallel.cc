@@ -1,0 +1,48 @@
+// Quantifies the paper's parallelization claim (Sec. 5.2.2): mentions are
+// linked independently, so batch linking scales across threads with no
+// coordination. Reports throughput and speedup for growing thread counts.
+
+#include <cstdio>
+#include <thread>
+
+#include "core/parallel_linker.h"
+#include "eval/harness.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace mel;
+  std::printf("=== parallel batch linking (Sec. 5.2.2 claim) ===\n");
+  eval::Harness harness(eval::HarnessOptions{});
+  auto linker = harness.MakeLinker(harness.DefaultLinkerOptions());
+
+  // Batch: every tweet of the corpus once.
+  std::vector<kb::Tweet> batch;
+  batch.reserve(harness.world().corpus.tweets.size());
+  for (const auto& lt : harness.world().corpus.tweets) {
+    batch.push_back(lt.tweet);
+  }
+
+  // Warm up outside the timers so lazy caches don't skew thread 1.
+  linker.WarmUp();
+
+  double base_seconds = 0;
+  uint32_t hw = std::thread::hardware_concurrency();
+  std::printf("hardware threads available: %u\n", hw);
+  std::printf("%-8s %14s %14s %10s\n", "threads", "wall time",
+              "tweets/s", "speedup");
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    WallTimer timer;
+    auto results = core::LinkTweetsParallel(&linker, batch, threads);
+    double seconds = timer.ElapsedSeconds();
+    if (threads == 1) base_seconds = seconds;
+    std::printf("%-8u %13.2fs %14.0f %9.2fx\n", threads, seconds,
+                batch.size() / seconds, base_seconds / seconds);
+    // Guard against the compiler discarding the work.
+    if (results.size() != batch.size()) return 1;
+  }
+  std::printf(
+      "\nShape check: linking is embarrassingly parallel (no shared state "
+      "between mentions); speedup tracks the available cores — flat on a "
+      "single-core host, near-linear on multicore.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Reproduces Table 5: extended transitive closure vs extended 2-hop cover
+// for weighted reachability queries on social graphs of growing size —
+// graph statistics, indexing time, index size, and average query time
+// over a random query workload. The TC columns are dropped beyond the
+// size where its quadratic memory stops being sensible, exactly as the
+// paper omits TC for its two largest graphs.
+
+#include <cstdio>
+#include <memory>
+
+#include "gen/social_graph_generator.h"
+#include "graph/stats.h"
+#include "reach/transitive_closure.h"
+#include "reach/two_hop_index.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace {
+
+struct QueryWorkload {
+  std::vector<mel::graph::NodeId> sources;
+  std::vector<mel::graph::NodeId> targets;
+};
+
+QueryWorkload MakeWorkload(uint32_t num_nodes, size_t count,
+                           uint64_t seed) {
+  mel::Rng rng(seed);
+  QueryWorkload w;
+  w.sources.reserve(count);
+  w.targets.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    w.sources.push_back(
+        static_cast<mel::graph::NodeId>(rng.Uniform(num_nodes)));
+    w.targets.push_back(
+        static_cast<mel::graph::NodeId>(rng.Uniform(num_nodes)));
+  }
+  return w;
+}
+
+double MeasureQueryNanos(const mel::reach::WeightedReachability& index,
+                         const QueryWorkload& w) {
+  mel::WallTimer timer;
+  double sink = 0;
+  for (size_t i = 0; i < w.sources.size(); ++i) {
+    sink += index.Score(w.sources[i], w.targets[i]);
+  }
+  double nanos = static_cast<double>(timer.ElapsedNanos());
+  // Keep the computation alive.
+  if (sink < -1) std::printf("impossible %f", sink);
+  return nanos / w.sources.size();
+}
+
+}  // namespace
+
+int main() {
+  using namespace mel;
+  std::printf(
+      "=== Table 5: extended transitive closure vs extended 2-hop ===\n");
+  std::printf("%-8s | %8s %8s %7s %7s | %10s %9s %9s | %10s %9s %9s\n",
+              "dataset", "#node", "#edge", "avgdeg", "maxdeg",
+              "TC-build", "TC-size", "TC-query",
+              "2hop-build", "2hop-size", "2hop-qry");
+
+  constexpr size_t kQueries = 200000;
+  // TC needs 5 bytes per node pair and the 2-hop build is ~quadratic on
+  // small-world graphs, so the ladder is scaled to keep the whole run in
+  // minutes; the paper's ladder covers 4.6K..11.3M nodes with the same
+  // relative spacing.
+  constexpr uint32_t kTcLimit = 4000;
+  struct Config {
+    const char* name;
+    uint32_t users;
+  };
+  const Config configs[] = {{"D90", 500},  {"D70", 1000}, {"D50", 1500},
+                            {"D30", 2500}, {"D10", 4000}, {"D", 6000},
+                            {"Twitter", 8000}};
+  for (const Config& config : configs) {
+    gen::SocialGenOptions sopts;
+    sopts.num_users = config.users;
+    sopts.num_topics = 15;
+    sopts.seed = 5;
+    auto social = gen::GenerateSocialGraph(sopts);
+    auto stats = graph::ComputeStats(social.graph);
+    auto workload = MakeWorkload(config.users, kQueries, 99);
+
+    char tc_build[24] = "-", tc_size[24] = "-", tc_query[24] = "-";
+    if (config.users <= kTcLimit) {
+      WallTimer timer;
+      auto tc = reach::TransitiveClosureIndex::Build(
+          &social.graph, 5,
+          reach::TransitiveClosureIndex::Construction::kIncremental);
+      std::snprintf(tc_build, sizeof(tc_build), "%s",
+                    HumanNanos(timer.ElapsedNanos()).c_str());
+      std::snprintf(tc_size, sizeof(tc_size), "%s",
+                    HumanBytes(tc.IndexSizeBytes()).c_str());
+      std::snprintf(tc_query, sizeof(tc_query), "%s",
+                    HumanNanos(MeasureQueryNanos(tc, workload)).c_str());
+    }
+
+    WallTimer timer;
+    auto two_hop = reach::TwoHopIndex::Build(&social.graph, 5);
+    double hop_build = static_cast<double>(timer.ElapsedNanos());
+    double hop_query = MeasureQueryNanos(two_hop, workload);
+
+    std::printf(
+        "%-8s | %8u %8llu %7.1f %7u | %10s %9s %9s | %10s %9s %9s\n",
+        config.name, stats.num_nodes,
+        static_cast<unsigned long long>(stats.num_edges),
+        stats.avg_out_degree,
+        std::max(stats.max_out_degree, stats.max_in_degree), tc_build,
+        tc_size, tc_query, HumanNanos(hop_build).c_str(),
+        HumanBytes(two_hop.IndexSizeBytes()).c_str(),
+        HumanNanos(hop_query).c_str());
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nPaper shape check (Table 5): TC answers queries faster but costs "
+      "quadratic memory and longer builds; the 2-hop cover shrinks the "
+      "index by an order of magnitude, stays query-efficient, and is the "
+      "only option for the largest graphs (TC rows '-').\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces Fig. 4(d): necessity and performance of the recency
+// propagation model — linking accuracy with and without reinforcement of
+// recency between related entities (Eq. 11), plus a lambda ablation.
+
+#include <cstdio>
+
+#include "eval/harness.h"
+
+int main() {
+  using namespace mel;
+  std::printf("=== Fig. 4(d): recency propagation on/off ===\n");
+  eval::Harness harness(eval::HarnessOptions{});
+
+  std::printf("%-24s %10s %10s\n", "configuration", "tweet", "mention");
+  {
+    core::LinkerOptions options = harness.DefaultLinkerOptions();
+    options.enable_recency_propagation = false;
+    auto acc = harness.Evaluate(options).accuracy();
+    std::printf("%-24s %10.4f %10.4f\n", "without propagation",
+                acc.TweetAccuracy(), acc.MentionAccuracy());
+  }
+  {
+    core::LinkerOptions options = harness.DefaultLinkerOptions();
+    auto acc = harness.Evaluate(options).accuracy();
+    std::printf("%-24s %10.4f %10.4f\n", "with propagation",
+                acc.TweetAccuracy(), acc.MentionAccuracy());
+  }
+
+  std::printf("\n--- ablation: damping lambda of Eq. 11 ---\n");
+  std::printf("%-8s %10s %10s\n", "lambda", "tweet", "mention");
+  for (double lambda : {0.5, 0.65, 0.8, 0.95, 1.0}) {
+    core::LinkerOptions options = harness.DefaultLinkerOptions();
+    options.propagator.lambda = lambda;
+    auto acc = harness.Evaluate(options).accuracy();
+    std::printf("%-8.2f %10.4f %10.4f\n", lambda, acc.TweetAccuracy(),
+                acc.MentionAccuracy());
+  }
+  std::printf(
+      "\nPaper shape check (Fig. 4d): propagation does not hurt and "
+      "usually helps — bursts on related entities (ICML) lift entities "
+      "with no burst of their own (the ML expert). lambda=1 disables "
+      "reinforcement entirely.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces Fig. 6(c): accuracy of the three methods as tweet length
+// (number of entity mentions per tweet) varies from 1 to 4. Mentions are
+// linked independently in our framework, so its accuracy should stay
+// stable, while the baselines improve with more intra-tweet context.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "baseline/collective_linker.h"
+#include "baseline/on_the_fly_linker.h"
+#include "eval/harness.h"
+#include "eval/runner.h"
+
+namespace {
+
+// Mention accuracy stratified by the number of labeled mentions in the
+// tweet.
+std::map<size_t, std::pair<uint32_t, uint32_t>> Stratify(
+    const mel::eval::EvalRun& run, const mel::gen::World& world) {
+  std::map<size_t, std::pair<uint32_t, uint32_t>> buckets;
+  for (const auto& outcome : run.outcomes) {
+    size_t length = world.corpus.tweets[outcome.tweet_index].mentions.size();
+    auto& [correct, total] = buckets[length];
+    ++total;
+    if (outcome.correct()) ++correct;
+  }
+  return buckets;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mel;
+  std::printf("=== Fig. 6(c): accuracy vs tweet length ===\n");
+  eval::HarnessOptions hopts;
+  hopts.extra_mention_prob = 0.55;  // populate the longer buckets
+  hopts.test_max_users = 400;
+  eval::Harness harness(hopts);
+
+  baseline::OnTheFlyLinker on_the_fly(&harness.kb(), &harness.wlm(),
+                                      baseline::OnTheFlyOptions{});
+  baseline::CollectiveLinker collective(&harness.kb(), &harness.wlm(),
+                                        baseline::CollectiveOptions{});
+  auto otf = Stratify(eval::EvaluateOnTheFly(on_the_fly, harness.world(),
+                                             harness.test_split()),
+                      harness.world());
+  auto col = Stratify(eval::EvaluateCollective(collective, harness.world(),
+                                               harness.test_split()),
+                      harness.world());
+  auto ours = Stratify(harness.Evaluate(harness.DefaultLinkerOptions()),
+                       harness.world());
+
+  std::printf("%-8s %10s %12s %12s %8s\n", "length", "On-the-fly",
+              "Collective", "Ours", "#ment");
+  for (size_t length = 1; length <= 4; ++length) {
+    auto ratio = [&](std::map<size_t, std::pair<uint32_t, uint32_t>>& m) {
+      auto [correct, total] = m[length];
+      return total == 0 ? 0.0 : static_cast<double>(correct) / total;
+    };
+    std::printf("%-8zu %10.4f %12.4f %12.4f %8u\n", length, ratio(otf),
+                ratio(col), ratio(ours), ours[length].second);
+  }
+  std::printf(
+      "\nPaper shape check (Fig. 6c): our accuracy stays stable across "
+      "lengths (mentions are linked independently); the baselines are "
+      "weakest at length 1, where topical coherence has nothing to vote "
+      "with, and improve as tweets carry more mentions.\n");
+  return 0;
+}

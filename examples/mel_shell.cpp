@@ -1,0 +1,156 @@
+// Interactive shell over a generated world: link mentions, inspect
+// scores, search, and teach the system with feedback — a hands-on tour of
+// the whole online-inference pipeline.
+//
+// Build & run:   ./examples/mel_shell
+// Commands:
+//   link <user_id> <mention words...>   disambiguate a mention
+//   tweet <user_id> <text...>           detect + link all mentions
+//   search <user_id> <query...>         personalized search
+//   confirm <user_id> <entity_id>       feedback: user's last text was
+//                                       about this entity (now = latest)
+//   entity <entity_id>                  show entity details
+//   surfaces                            list a few ambiguous surfaces
+//   quit                                exit
+// EOF exits, so the binary is safe to run non-interactively.
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/personalized_search.h"
+#include "eval/harness.h"
+
+namespace {
+
+using namespace mel;
+
+void ShowRanked(const eval::Harness& harness,
+                const core::MentionLinkResult& result) {
+  if (!result.linked()) {
+    std::printf("  no candidates%s\n",
+                result.probable_new_entity ? " (probable new entity)" : "");
+    return;
+  }
+  for (const auto& s : result.ranked) {
+    std::printf("  [%4u] %-24s score=%.3f (int=%.2f rec=%.2f pop=%.2f)\n",
+                s.entity, harness.kb().entity(s.entity).name.c_str(),
+                s.score, s.interest, s.recency, s.popularity);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Generating the synthetic world (scale 0.5)...\n");
+  eval::HarnessOptions hopts;
+  hopts.scale = 0.5;
+  eval::Harness harness(hopts);
+  auto linker = harness.MakeLinker(harness.DefaultLinkerOptions());
+  core::PersonalizedSearch search(&linker, &harness.ckb());
+  const kb::Timestamp now = 90 * kb::kSecondsPerDay;
+  kb::TweetId next_tweet_id = 10000000;
+
+  std::printf(
+      "Ready. %u entities, %zu surface forms, %u users. Type 'surfaces' "
+      "for ambiguous mentions to play with, 'quit' to exit.\n",
+      harness.kb().num_entities(), harness.kb().num_surface_forms(),
+      harness.world().social.graph.num_nodes());
+
+  std::string line;
+  while (std::printf("mel> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string command;
+    if (!(in >> command)) continue;
+
+    if (command == "quit" || command == "exit") break;
+
+    if (command == "surfaces") {
+      const auto& surfaces = harness.world().kb_world.ambiguous_surfaces;
+      for (size_t i = 0; i < std::min<size_t>(8, surfaces.size()); ++i) {
+        auto cands = harness.kb().Candidates(surfaces[i]);
+        std::printf("  %-16s -> %zu candidates\n", surfaces[i].c_str(),
+                    cands.size());
+      }
+      continue;
+    }
+
+    if (command == "entity") {
+      uint32_t id;
+      if (!(in >> id) || id >= harness.kb().num_entities()) {
+        std::printf("  usage: entity <id 0..%u>\n",
+                    harness.kb().num_entities() - 1);
+        continue;
+      }
+      const auto& rec = harness.kb().entity(id);
+      std::printf("  name=%s category=%s linked_tweets=%u community=%zu\n",
+                  rec.name.c_str(), kb::EntityCategoryName(rec.category),
+                  harness.ckb().LinkedTweetCount(id),
+                  harness.ckb().Community(id).size());
+      continue;
+    }
+
+    uint32_t user;
+    if (!(in >> user) ||
+        user >= harness.world().social.graph.num_nodes()) {
+      std::printf("  usage: %s <user_id> <text>\n", command.c_str());
+      continue;
+    }
+    std::string rest;
+    std::getline(in, rest);
+    while (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+
+    if (command == "link") {
+      ShowRanked(harness, linker.LinkMention(rest, user, now));
+    } else if (command == "tweet") {
+      kb::Tweet tweet;
+      tweet.id = next_tweet_id++;
+      tweet.user = user;
+      tweet.time = now;
+      tweet.text = rest;
+      auto result = linker.LinkTweet(tweet);
+      if (result.mentions.empty()) std::printf("  no mentions detected\n");
+      for (const auto& mention : result.mentions) {
+        std::printf("  mention '%s':\n", mention.surface.c_str());
+        ShowRanked(harness, mention);
+      }
+    } else if (command == "search") {
+      auto result = search.Query(rest, user, now, {});
+      for (const auto& interp : result.interpretations) {
+        std::printf("  '%s' interpreted as %s\n", interp.surface.c_str(),
+                    interp.linked()
+                        ? harness.kb().entity(interp.best()).name.c_str()
+                        : "(nothing)");
+      }
+      for (const auto& hit : result.hits) {
+        std::printf(
+            "  [day %lld, user %u] %.60s\n",
+            static_cast<long long>(hit.time / kb::kSecondsPerDay),
+            hit.author,
+            harness.world().corpus.tweets[hit.tweet].tweet.text.c_str());
+      }
+      if (result.hits.empty()) std::printf("  no results\n");
+    } else if (command == "confirm") {
+      uint32_t entity;
+      std::istringstream entity_in(rest);
+      if (!(entity_in >> entity) || entity >= harness.kb().num_entities()) {
+        std::printf("  usage: confirm <user_id> <entity_id>\n");
+        continue;
+      }
+      kb::Tweet tweet;
+      tweet.id = next_tweet_id++;
+      tweet.user = user;
+      tweet.time = now;
+      linker.ConfirmLink(entity, tweet);
+      std::printf("  learned: user %u tweeted about %s (links now %u)\n",
+                  user, harness.kb().entity(entity).name.c_str(),
+                  harness.ckb().LinkedTweetCount(entity));
+    } else {
+      std::printf("  unknown command '%s'\n", command.c_str());
+    }
+  }
+  std::printf("bye\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Quickstart: build a tiny knowledgebase and social network by hand,
+// complement it with a few tweets, and disambiguate the mention "jordan"
+// for two different users — the paper's Fig. 1 scenario in ~100 lines.
+//
+// Build & run:   ./examples/quickstart
+
+#include <cstdio>
+
+#include "core/entity_linker.h"
+#include "graph/graph_builder.h"
+#include "kb/complemented_kb.h"
+#include "kb/knowledgebase.h"
+#include "reach/naive_reachability.h"
+#include "recency/propagation_network.h"
+
+int main() {
+  using namespace mel;
+
+  // 1. Knowledgebase: entities, surface forms, hyperlinks.
+  kb::Knowledgebase kbase;
+  auto player = kbase.AddEntity("Michael Jordan (basketball)",
+                                kb::EntityCategory::kPerson,
+                                {"basketball", "bulls", "nba", "dunk"});
+  auto expert = kbase.AddEntity("Michael Jordan (machine learning)",
+                                kb::EntityCategory::kPerson,
+                                {"machine", "learning", "berkeley"});
+  auto country = kbase.AddEntity("Jordan (country)",
+                                 kb::EntityCategory::kLocation,
+                                 {"country", "amman", "middle", "east"});
+  auto nba = kbase.AddEntity("NBA", kb::EntityCategory::kCompany,
+                             {"basketball", "league"});
+  auto icml = kbase.AddEntity("ICML", kb::EntityCategory::kCompany,
+                              {"machine", "learning", "conference"});
+
+  kbase.AddSurfaceForm("Jordan", player, 120);
+  kbase.AddSurfaceForm("Jordan", expert, 15);
+  kbase.AddSurfaceForm("Jordan", country, 60);
+  kbase.AddSurfaceForm("NBA", nba, 80);
+  kbase.AddSurfaceForm("ICML", icml, 25);
+
+  // Hyperlink co-citations make {player, nba} and {expert, icml}
+  // topically related under WLM.
+  for (int i = 0; i < 3; ++i) {
+    auto a = kbase.AddEntity("sports article", kb::EntityCategory::kMovieMusic, {});
+    kbase.AddHyperlink(a, player);
+    kbase.AddHyperlink(a, nba);
+    auto b = kbase.AddEntity("ml article", kb::EntityCategory::kMovieMusic, {});
+    kbase.AddHyperlink(b, expert);
+    kbase.AddHyperlink(b, icml);
+  }
+  kbase.Finalize();
+
+  // 2. Complemented knowledgebase: tweets linked to entities offline.
+  kb::ComplementedKnowledgebase ckb(&kbase);
+  // User 1 = @NBAOfficial tweets about the player; user 2 is an ML
+  // researcher tweeting about the expert.
+  for (int i = 0; i < 8; ++i) {
+    ckb.AddLink(player, kb::Posting{static_cast<kb::TweetId>(i), 1,
+                                    i * 3600});
+  }
+  for (int i = 0; i < 5; ++i) {
+    ckb.AddLink(expert, kb::Posting{static_cast<kb::TweetId>(100 + i), 2,
+                                    i * 3600});
+  }
+
+  // 3. Followee-follower network: user 10 follows the NBA hub, user 11
+  // follows the ML researcher.
+  graph::GraphBuilder builder(12);
+  builder.AddEdge(10, 1);
+  builder.AddEdge(11, 2);
+  auto social = std::move(builder).Build();
+  reach::NaiveReachability reachability(&social, /*max_hops=*/5);
+
+  // 4. Recency propagation network over the knowledgebase.
+  auto network = recency::PropagationNetwork::Build(kbase, /*theta2=*/0.3);
+
+  // 5. The linker.
+  core::LinkerOptions options;
+  options.theta1 = 3;  // tiny corpus: three recent tweets form a burst
+  core::EntityLinker linker(&kbase, &ckb, &reachability, &network, options);
+
+  auto show = [&](const char* who, kb::UserId user, kb::Timestamp now) {
+    auto result = linker.LinkMention("Jordan", user, now);
+    std::printf("%s asks for \"Jordan\" -> %s\n", who,
+                result.linked()
+                    ? kbase.entity(result.best()).name.c_str()
+                    : "(no link)");
+    for (const auto& s : result.ranked) {
+      std::printf("    %-38s score=%.3f (interest=%.2f recency=%.2f "
+                  "popularity=%.2f)\n",
+                  kbase.entity(s.entity).name.c_str(), s.score, s.interest,
+                  s.recency, s.popularity);
+    }
+  };
+
+  std::printf("--- user interest disambiguates ---\n");
+  show("basketball fan (user 10)", 10, 50000);
+  show("ml student     (user 11)", 11, 50000);
+
+  // 6. A burst of ICML tweets — weeks after the old chatter has left the
+  // 3-day recency window — shifts recency toward the expert, even for a
+  // user with no social signal at all.
+  std::printf("\n--- an ICML burst shifts recency ---\n");
+  const kb::Timestamp icml_week = 30 * kb::kSecondsPerDay;
+  show("stranger      (user 5) ", 5, icml_week);
+  for (int i = 0; i < 6; ++i) {
+    ckb.AddLink(icml, kb::Posting{static_cast<kb::TweetId>(200 + i), 2,
+                                  icml_week + i});
+  }
+  show("stranger during ICML   ", 5, icml_week + 100);
+  return 0;
+}

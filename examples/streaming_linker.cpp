@@ -1,0 +1,72 @@
+// Streaming entity linking (the online-inference loop of Fig. 2): tweets
+// arrive in timestamp order; each is linked on the fly, the (simulated)
+// author confirms the result, and the confirmed link immediately
+// complements the knowledgebase — so popularity, recency, and communities
+// evolve with the stream. The example reports throughput and how linking
+// accuracy warms up as knowledge accumulates.
+//
+// Build & run:   ./examples/streaming_linker
+
+#include <cstdio>
+
+#include "core/entity_linker.h"
+#include "eval/harness.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace mel;
+  std::printf("Generating the synthetic microblog world...\n");
+  gen::World world = gen::GenerateWorld(eval::StandardWorldOptions(1.0, 3));
+  auto reachability = reach::TwoHopIndex::Build(&world.social.graph, 5);
+  auto network = recency::PropagationNetwork::Build(world.kb(), 0.75);
+
+  // Start from an EMPTY complemented knowledgebase: everything the linker
+  // knows it learns from the stream itself.
+  kb::ComplementedKnowledgebase ckb(&world.kb());
+  core::LinkerOptions options;
+  options.theta1 = 10;
+  core::EntityLinker linker(&world.kb(), &ckb, &reachability, &network,
+                            options);
+
+  const size_t total = world.corpus.tweets.size();
+  const size_t report_every = total / 8;
+  size_t mentions = 0, correct = 0;
+  size_t window_mentions = 0, window_correct = 0;
+  WallTimer timer;
+
+  std::printf("\nstreaming %zu tweets in timestamp order...\n", total);
+  std::printf("%-12s %14s %16s\n", "progress", "window acc", "cumulative acc");
+  for (size_t i = 0; i < total; ++i) {
+    const auto& lt = world.corpus.tweets[i];
+    for (const auto& label : lt.mentions) {
+      auto result =
+          linker.LinkMention(label.surface, lt.tweet.user, lt.tweet.time);
+      ++mentions;
+      ++window_mentions;
+      if (result.best() == label.truth) {
+        ++correct;
+        ++window_correct;
+      }
+      // The author confirms the true entity (interactive feedback of
+      // Sec. 3.2.2); the knowledgebase learns online.
+      linker.ConfirmLink(label.truth, lt.tweet);
+    }
+    if ((i + 1) % report_every == 0) {
+      std::printf("%5zu%%       %14.4f %16.4f\n", (i + 1) * 100 / total,
+                  static_cast<double>(window_correct) / window_mentions,
+                  static_cast<double>(correct) / mentions);
+      window_mentions = window_correct = 0;
+    }
+  }
+  double elapsed = timer.ElapsedSeconds();
+  std::printf(
+      "\nprocessed %zu mentions in %.1fs -> %.0f tweets/s (%s per "
+      "mention)\n",
+      mentions, elapsed, total / elapsed,
+      HumanNanos(elapsed * 1e9 / mentions).c_str());
+  std::printf(
+      "Accuracy warms up as the stream complements the knowledgebase — "
+      "the cold-start behaviour discussed in Appendix D.\n");
+  return 0;
+}

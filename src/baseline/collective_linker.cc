@@ -1,0 +1,194 @@
+#include "baseline/collective_linker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "text/tokenizer.h"
+#include "util/logging.h"
+
+namespace mel::baseline {
+
+namespace {
+
+size_t IntersectionSize(const std::vector<uint32_t>& a,
+                        const std::vector<uint32_t>& b) {
+  size_t count = 0, i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+// One candidate node of the user's interest graph.
+struct GraphNode {
+  kb::EntityId entity;
+  size_t tweet_index;
+  size_t mention_index;
+  double commonness;
+  double context;
+};
+
+}  // namespace
+
+CollectiveLinker::CollectiveLinker(const kb::Knowledgebase* kb,
+                                   const kb::WlmRelatedness* wlm,
+                                   const CollectiveOptions& options)
+    : kb_(kb),
+      wlm_(wlm),
+      options_(options),
+      candidate_generator_(kb, options.fuzzy_max_edits) {
+  MEL_CHECK(kb != nullptr && wlm != nullptr);
+  entity_tokens_.resize(kb->num_entities());
+  for (kb::EntityId e = 0; e < kb->num_entities(); ++e) {
+    entity_tokens_[e] = kb->entity(e).description;
+    std::sort(entity_tokens_[e].begin(), entity_tokens_[e].end());
+    entity_tokens_[e].erase(
+        std::unique(entity_tokens_[e].begin(), entity_tokens_[e].end()),
+        entity_tokens_[e].end());
+  }
+}
+
+std::vector<core::TweetLinkResult> CollectiveLinker::LinkUserTweets(
+    std::span<const kb::Tweet> tweets) const {
+  std::vector<core::TweetLinkResult> results(tweets.size());
+
+  // Detect mentions and gather the candidate graph nodes.
+  std::vector<GraphNode> nodes;
+  std::vector<std::vector<std::pair<std::string, std::vector<size_t>>>>
+      mention_nodes(tweets.size());  // per tweet: (surface, node indices)
+  for (size_t ti = 0; ti < tweets.size(); ++ti) {
+    std::vector<uint32_t> tweet_tokens;
+    for (const auto& tok : text::Tokenize(tweets[ti].text)) {
+      uint32_t id = kb_->vocab().Find(tok.text);
+      if (id != kb::Vocabulary::kMissing) tweet_tokens.push_back(id);
+    }
+    std::sort(tweet_tokens.begin(), tweet_tokens.end());
+    tweet_tokens.erase(
+        std::unique(tweet_tokens.begin(), tweet_tokens.end()),
+        tweet_tokens.end());
+
+    auto detected = candidate_generator_.DetectMentions(tweets[ti].text);
+    for (size_t mi = 0; mi < detected.size(); ++mi) {
+      auto cands = candidate_generator_.Generate(detected[mi].surface);
+      double total = 0;
+      for (const auto& c : cands) total += c.anchor_count;
+      std::vector<size_t> node_indices;
+      for (const auto& c : cands) {
+        GraphNode node;
+        node.entity = c.entity;
+        node.tweet_index = ti;
+        node.mention_index = mi;
+        node.commonness = total > 0 ? c.anchor_count / total
+                                    : 1.0 / std::max<size_t>(1, cands.size());
+        const auto& desc = entity_tokens_[c.entity];
+        // Coverage of tweet tokens by the description (see
+        // OnTheFlyLinker::ContextSimilarity for the rationale).
+        size_t inter = IntersectionSize(tweet_tokens, desc);
+        node.context = tweet_tokens.empty()
+                           ? 0
+                           : static_cast<double>(inter) / tweet_tokens.size();
+        node_indices.push_back(nodes.size());
+        nodes.push_back(node);
+      }
+      mention_nodes[ti].emplace_back(detected[mi].surface,
+                                     std::move(node_indices));
+    }
+  }
+
+  const size_t n = nodes.size();
+  if (n == 0) return results;
+
+  // Initial interest: popularity prior + context similarity, normalized.
+  std::vector<double> initial(n);
+  double init_total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    initial[i] = options_.w_commonness * nodes[i].commonness +
+                 options_.w_context * nodes[i].context;
+    init_total += initial[i];
+  }
+  if (init_total > 0) {
+    for (double& v : initial) v /= init_total;
+  }
+
+  // Dense WLM edge weights between candidates of different mentions.
+  // (User histories in the evaluation are small; active users pay the
+  // quadratic cost — which is exactly the efficiency drawback of the
+  // collective method that the paper's Fig. 5(a) discusses.)
+  std::vector<double> weights(n * n, 0.0);
+  std::vector<double> row_sums(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (nodes[i].tweet_index == nodes[j].tweet_index &&
+          nodes[i].mention_index == nodes[j].mention_index) {
+        continue;  // candidates of the same mention do not reinforce
+      }
+      double w = nodes[i].entity == nodes[j].entity
+                     ? 1.0
+                     : wlm_->Relatedness(nodes[i].entity, nodes[j].entity);
+      weights[i * n + j] = w;
+      weights[j * n + i] = w;
+      row_sums[i] += w;
+      row_sums[j] += w;
+    }
+  }
+
+  // PageRank-like interest propagation.
+  std::vector<double> current = initial;
+  std::vector<double> next(n);
+  for (uint32_t iter = 0; iter < options_.max_iterations; ++iter) {
+    double delta = 0;
+    for (size_t i = 0; i < n; ++i) {
+      double pulled = 0;
+      if (row_sums[i] > 0) {
+        for (size_t j = 0; j < n; ++j) {
+          if (weights[i * n + j] > 0) {
+            pulled += weights[i * n + j] / row_sums[i] * current[j];
+          }
+        }
+      }
+      next[i] = options_.restart * initial[i] +
+                (1 - options_.restart) * pulled;
+      delta += std::abs(next[i] - current[i]);
+    }
+    current.swap(next);
+    if (delta < options_.convergence_epsilon) break;
+  }
+
+  // Rank candidates per mention by final interest.
+  for (size_t ti = 0; ti < tweets.size(); ++ti) {
+    for (const auto& [surface, node_indices] : mention_nodes[ti]) {
+      core::MentionLinkResult mr;
+      mr.surface = surface;
+      std::vector<core::ScoredEntity> scored;
+      for (size_t ni : node_indices) {
+        core::ScoredEntity s;
+        s.entity = nodes[ni].entity;
+        s.score = current[ni];
+        s.popularity = nodes[ni].commonness;
+        scored.push_back(s);
+      }
+      std::stable_sort(scored.begin(), scored.end(),
+                       [](const core::ScoredEntity& a,
+                          const core::ScoredEntity& b) {
+                         return a.score > b.score;
+                       });
+      if (scored.size() > options_.top_k_results) {
+        scored.resize(options_.top_k_results);
+      }
+      mr.ranked = std::move(scored);
+      results[ti].mentions.push_back(std::move(mr));
+    }
+  }
+  return results;
+}
+
+}  // namespace mel::baseline

@@ -1,0 +1,68 @@
+#ifndef MEL_BASELINE_COLLECTIVE_LINKER_H_
+#define MEL_BASELINE_COLLECTIVE_LINKER_H_
+
+#include <span>
+#include <vector>
+
+#include "core/candidate_generator.h"
+#include "core/entity_linker.h"
+#include "kb/knowledgebase.h"
+#include "kb/types.h"
+#include "kb/wlm.h"
+
+namespace mel::baseline {
+
+/// \brief Options for the collective baseline.
+struct CollectiveOptions {
+  /// Restart weight of the interest-propagation iteration: how much of
+  /// the initial (intra-tweet) score is preserved each round. Lower
+  /// values lean harder on the user's cross-tweet interest distribution.
+  double restart = 0.3;
+  uint32_t max_iterations = 15;
+  double convergence_epsilon = 1e-6;
+  /// Weights of the initial score (popularity prior + context similarity).
+  double w_commonness = 0.6;
+  double w_context = 0.4;
+  uint32_t fuzzy_max_edits = 1;
+  uint32_t top_k_results = 3;
+};
+
+/// \brief Reimplementation of the "Collective" comparator [2] (Shen et
+/// al., KDD 2013): batch entity linking over ALL tweets of one user.
+///
+/// Every candidate entity of every mention across the user's tweet history
+/// becomes a node of an interest graph whose edges are WLM relatedness;
+/// initial scores combine popularity and context similarity, and a
+/// PageRank-like iteration propagates the user's interest distribution
+/// between topically related candidates. Entities with the largest final
+/// interest win.
+///
+/// Also serves as the offline complementation step of Fig. 2: the
+/// eval::ComplementKnowledgebase helper feeds its output links into a
+/// ComplementedKnowledgebase.
+class CollectiveLinker {
+ public:
+  /// kb and wlm must outlive the linker.
+  CollectiveLinker(const kb::Knowledgebase* kb, const kb::WlmRelatedness* wlm,
+                   const CollectiveOptions& options);
+
+  /// Links all tweets of a single user jointly. The i-th result aligns
+  /// with tweets[i].
+  std::vector<core::TweetLinkResult> LinkUserTweets(
+      std::span<const kb::Tweet> tweets) const;
+
+  const core::CandidateGenerator& candidate_generator() const {
+    return candidate_generator_;
+  }
+
+ private:
+  const kb::Knowledgebase* kb_;
+  const kb::WlmRelatedness* wlm_;
+  CollectiveOptions options_;
+  core::CandidateGenerator candidate_generator_;
+  std::vector<std::vector<uint32_t>> entity_tokens_;
+};
+
+}  // namespace mel::baseline
+
+#endif  // MEL_BASELINE_COLLECTIVE_LINKER_H_

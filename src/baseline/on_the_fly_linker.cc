@@ -1,0 +1,141 @@
+#include "baseline/on_the_fly_linker.h"
+
+#include <algorithm>
+
+#include "text/tokenizer.h"
+#include "util/logging.h"
+
+namespace mel::baseline {
+
+namespace {
+
+// Sorted-set intersection size.
+size_t IntersectionSize(const std::vector<uint32_t>& a,
+                        const std::vector<uint32_t>& b) {
+  size_t count = 0, i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+std::vector<uint32_t> TweetTokenIds(const kb::Knowledgebase& kb,
+                                    const std::string& text) {
+  std::vector<uint32_t> ids;
+  for (const auto& tok : text::Tokenize(text)) {
+    uint32_t id = kb.vocab().Find(tok.text);
+    if (id != kb::Vocabulary::kMissing) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+}  // namespace
+
+OnTheFlyLinker::OnTheFlyLinker(const kb::Knowledgebase* kb,
+                               const kb::WlmRelatedness* wlm,
+                               const OnTheFlyOptions& options)
+    : kb_(kb),
+      wlm_(wlm),
+      options_(options),
+      candidate_generator_(kb, options.fuzzy_max_edits) {
+  MEL_CHECK(kb != nullptr && wlm != nullptr);
+  entity_tokens_.resize(kb->num_entities());
+  for (kb::EntityId e = 0; e < kb->num_entities(); ++e) {
+    entity_tokens_[e] = kb->entity(e).description;
+    std::sort(entity_tokens_[e].begin(), entity_tokens_[e].end());
+    entity_tokens_[e].erase(
+        std::unique(entity_tokens_[e].begin(), entity_tokens_[e].end()),
+        entity_tokens_[e].end());
+  }
+}
+
+double OnTheFlyLinker::ContextSimilarity(
+    const std::vector<uint32_t>& tweet_tokens, kb::EntityId entity) const {
+  const auto& desc = entity_tokens_[entity];
+  if (tweet_tokens.empty() || desc.empty()) return 0;
+  // Coverage of the tweet's (in-vocabulary) tokens by the entity's
+  // description. Tweets are far shorter than articles, so symmetric
+  // Jaccard would be dominated by the description length and carry
+  // almost no signal.
+  size_t inter = IntersectionSize(tweet_tokens, desc);
+  return static_cast<double>(inter) / tweet_tokens.size();
+}
+
+core::TweetLinkResult OnTheFlyLinker::LinkTweet(
+    const kb::Tweet& tweet) const {
+  core::TweetLinkResult result;
+  auto detected = candidate_generator_.DetectMentions(tweet.text);
+  std::vector<uint32_t> tweet_tokens = TweetTokenIds(*kb_, tweet.text);
+
+  // Candidates (+ commonness priors) per detected mention.
+  std::vector<std::vector<kb::Candidate>> per_mention;
+  std::vector<std::vector<double>> commonness;
+  per_mention.reserve(detected.size());
+  for (const auto& d : detected) {
+    per_mention.push_back(candidate_generator_.Generate(d.surface));
+    const auto& cands = per_mention.back();
+    double total = 0;
+    for (const auto& c : cands) total += c.anchor_count;
+    std::vector<double> priors(cands.size(), 0.0);
+    for (size_t i = 0; i < cands.size(); ++i) {
+      priors[i] = total > 0 ? cands[i].anchor_count / total
+                            : 1.0 / static_cast<double>(cands.size());
+    }
+    commonness.push_back(std::move(priors));
+  }
+
+  for (size_t mi = 0; mi < detected.size(); ++mi) {
+    core::MentionLinkResult mention_result;
+    mention_result.surface = detected[mi].surface;
+    const auto& cands = per_mention[mi];
+    std::vector<core::ScoredEntity> scored(cands.size());
+    for (size_t ci = 0; ci < cands.size(); ++ci) {
+      kb::EntityId e = cands[ci].entity;
+      // TAGME-style voting: every other mention votes for e with its
+      // candidates' relatedness, weighted by their commonness priors.
+      double coherence = 0;
+      size_t voters = 0;
+      for (size_t mj = 0; mj < detected.size(); ++mj) {
+        if (mj == mi || per_mention[mj].empty()) continue;
+        double vote = 0;
+        for (size_t cj = 0; cj < per_mention[mj].size(); ++cj) {
+          vote += commonness[mj][cj] *
+                  wlm_->Relatedness(e, per_mention[mj][cj].entity);
+        }
+        coherence += vote;
+        ++voters;
+      }
+      if (voters > 0) coherence /= static_cast<double>(voters);
+
+      scored[ci].entity = e;
+      scored[ci].popularity = commonness[mi][ci];
+      scored[ci].score = options_.w_commonness * commonness[mi][ci] +
+                         options_.w_context *
+                             ContextSimilarity(tweet_tokens, e) +
+                         options_.w_coherence * coherence;
+    }
+    std::stable_sort(scored.begin(), scored.end(),
+                     [](const core::ScoredEntity& a,
+                        const core::ScoredEntity& b) {
+                       return a.score > b.score;
+                     });
+    if (scored.size() > options_.top_k_results) {
+      scored.resize(options_.top_k_results);
+    }
+    mention_result.ranked = std::move(scored);
+    result.mentions.push_back(std::move(mention_result));
+  }
+  return result;
+}
+
+}  // namespace mel::baseline

@@ -1,0 +1,63 @@
+#ifndef MEL_BASELINE_ON_THE_FLY_LINKER_H_
+#define MEL_BASELINE_ON_THE_FLY_LINKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/candidate_generator.h"
+#include "core/entity_linker.h"
+#include "kb/knowledgebase.h"
+#include "kb/types.h"
+#include "kb/wlm.h"
+
+namespace mel::baseline {
+
+/// \brief Options for the TAGME-style baseline.
+struct OnTheFlyOptions {
+  /// Weights of the intra-tweet features: anchor commonness (the
+  /// popularity prior), context similarity between tweet text and entity
+  /// description, and topical coherence with the other mentions' candidates.
+  double w_commonness = 0.4;
+  double w_context = 0.3;
+  double w_coherence = 0.3;
+  uint32_t fuzzy_max_edits = 1;
+  uint32_t top_k_results = 3;
+};
+
+/// \brief Reimplementation of the "On-the-fly" comparator [14]
+/// (Ferragina & Scaiella, TAGME): links each tweet in isolation using only
+/// intra-tweet features — entity popularity in the knowledgebase, context
+/// similarity, and topical coherence between candidate entities of
+/// co-occurring mentions.
+///
+/// It is the fastest method of Fig. 5(a) and the weakest of Fig. 4(a):
+/// tweets rarely carry enough context for these features to disambiguate.
+class OnTheFlyLinker {
+ public:
+  /// kb and wlm must outlive the linker.
+  OnTheFlyLinker(const kb::Knowledgebase* kb, const kb::WlmRelatedness* wlm,
+                 const OnTheFlyOptions& options);
+
+  core::TweetLinkResult LinkTweet(const kb::Tweet& tweet) const;
+
+  const core::CandidateGenerator& candidate_generator() const {
+    return candidate_generator_;
+  }
+
+ private:
+  /// Jaccard similarity between the tweet's token-id set and the entity
+  /// description's token-id set.
+  double ContextSimilarity(const std::vector<uint32_t>& tweet_tokens,
+                           kb::EntityId entity) const;
+
+  const kb::Knowledgebase* kb_;
+  const kb::WlmRelatedness* wlm_;
+  OnTheFlyOptions options_;
+  core::CandidateGenerator candidate_generator_;
+  // Sorted unique description token ids per entity, for fast Jaccard.
+  std::vector<std::vector<uint32_t>> entity_tokens_;
+};
+
+}  // namespace mel::baseline
+
+#endif  // MEL_BASELINE_ON_THE_FLY_LINKER_H_

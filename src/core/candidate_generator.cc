@@ -1,0 +1,60 @@
+#include "core/candidate_generator.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace mel::core {
+
+CandidateGenerator::CandidateGenerator(const kb::Knowledgebase* kb,
+                                       uint32_t fuzzy_max_edits)
+    : kb_(kb),
+      fuzzy_max_edits_(fuzzy_max_edits),
+      fuzzy_index_(std::max(1u, fuzzy_max_edits)) {
+  MEL_CHECK(kb != nullptr && kb->finalized());
+  const auto& surfaces = kb->surfaces();
+  for (uint32_t sid = 0; sid < surfaces.size(); ++sid) {
+    gazetteer_.AddSurfaceForm(surfaces[sid], sid);
+    if (fuzzy_max_edits_ > 0) fuzzy_index_.Add(surfaces[sid], sid);
+  }
+}
+
+std::vector<kb::Candidate> CandidateGenerator::Generate(
+    std::string_view mention) const {
+  auto exact = kb_->Candidates(mention);
+  if (!exact.empty()) {
+    return {exact.begin(), exact.end()};
+  }
+  if (fuzzy_max_edits_ == 0) return {};
+
+  // Fuzzy fallback: surfaces within edit distance, candidates merged with
+  // anchor counts accumulated across matching surfaces.
+  std::vector<uint32_t> surface_ids =
+      fuzzy_index_.Lookup(mention, fuzzy_max_edits_);
+  std::vector<kb::Candidate> merged;
+  for (uint32_t sid : surface_ids) {
+    for (const kb::Candidate& c : kb_->CandidatesBySurfaceId(sid)) {
+      auto it = std::find_if(merged.begin(), merged.end(),
+                             [&](const kb::Candidate& m) {
+                               return m.entity == c.entity;
+                             });
+      if (it == merged.end()) {
+        merged.push_back(c);
+      } else {
+        it->anchor_count += c.anchor_count;
+      }
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const kb::Candidate& a, const kb::Candidate& b) {
+                     return a.anchor_count > b.anchor_count;
+                   });
+  return merged;
+}
+
+std::vector<text::DetectedMention> CandidateGenerator::DetectMentions(
+    std::string_view tweet_text) const {
+  return gazetteer_.Detect(tweet_text);
+}
+
+}  // namespace mel::core

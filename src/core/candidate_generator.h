@@ -1,0 +1,46 @@
+#ifndef MEL_CORE_CANDIDATE_GENERATOR_H_
+#define MEL_CORE_CANDIDATE_GENERATOR_H_
+
+#include <string_view>
+#include <vector>
+
+#include "kb/knowledgebase.h"
+#include "kb/types.h"
+#include "text/gazetteer.h"
+#include "text/qgram_index.h"
+
+namespace mel::core {
+
+/// \brief Candidate generation (Sec. 3.2.2, step 1).
+///
+/// Exact lookup against the knowledgebase's surface forms, falling back to
+/// segment-index fuzzy matching on edit distance for misspelled mentions.
+/// Also hosts the longest-cover gazetteer used to detect mentions inside
+/// whole tweets.
+class CandidateGenerator {
+ public:
+  /// \param kb finalized knowledgebase (must outlive this object)
+  /// \param fuzzy_max_edits maximum edit distance for the fuzzy fallback;
+  ///        0 disables fuzzy matching entirely.
+  CandidateGenerator(const kb::Knowledgebase* kb, uint32_t fuzzy_max_edits);
+
+  /// Candidate entities of the mention, ordered by descending anchor
+  /// count. Falls back to fuzzy matching when no exact surface matches.
+  std::vector<kb::Candidate> Generate(std::string_view mention) const;
+
+  /// Detects entity mentions in tweet text (longest-cover NER).
+  std::vector<text::DetectedMention> DetectMentions(
+      std::string_view tweet_text) const;
+
+  const kb::Knowledgebase& kb() const { return *kb_; }
+
+ private:
+  const kb::Knowledgebase* kb_;
+  uint32_t fuzzy_max_edits_;
+  text::Gazetteer gazetteer_;
+  text::SegmentFuzzyIndex fuzzy_index_;
+};
+
+}  // namespace mel::core
+
+#endif  // MEL_CORE_CANDIDATE_GENERATOR_H_

@@ -1,0 +1,70 @@
+#include "core/parallel_linker.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace mel::core {
+
+namespace {
+
+uint32_t ResolveThreads(uint32_t requested) {
+  if (requested != 0) return requested;
+  uint32_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : hw;
+}
+
+// Runs fn(i) for every i in [0, count) across the given worker count,
+// pulling indices from a shared atomic counter (good load balance when
+// per-item cost varies, as it does with community sizes).
+template <typename Fn>
+void ParallelFor(size_t count, uint32_t num_threads, Fn fn) {
+  if (count == 0) return;
+  num_threads = std::min<uint32_t>(num_threads,
+                                   static_cast<uint32_t>(count));
+  if (num_threads <= 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (uint32_t t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&] {
+      for (;;) {
+        size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        fn(i);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+}
+
+}  // namespace
+
+std::vector<TweetLinkResult> LinkTweetsParallel(
+    EntityLinker* linker, std::span<const kb::Tweet> tweets,
+    uint32_t num_threads) {
+  linker->WarmUp();
+  const EntityLinker& shared = *linker;
+  std::vector<TweetLinkResult> results(tweets.size());
+  ParallelFor(tweets.size(), ResolveThreads(num_threads),
+              [&](size_t i) { results[i] = shared.LinkTweet(tweets[i]); });
+  return results;
+}
+
+std::vector<MentionLinkResult> LinkMentionsParallel(
+    EntityLinker* linker, std::span<const MentionRequest> requests,
+    uint32_t num_threads) {
+  linker->WarmUp();
+  const EntityLinker& shared = *linker;
+  std::vector<MentionLinkResult> results(requests.size());
+  ParallelFor(requests.size(), ResolveThreads(num_threads), [&](size_t i) {
+    results[i] = shared.LinkMention(requests[i].surface, requests[i].user,
+                                    requests[i].time);
+  });
+  return results;
+}
+
+}  // namespace mel::core

@@ -1,0 +1,46 @@
+#ifndef MEL_CORE_PARALLEL_LINKER_H_
+#define MEL_CORE_PARALLEL_LINKER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/entity_linker.h"
+#include "kb/types.h"
+
+namespace mel::core {
+
+/// \brief Parallel batch linking.
+///
+/// The framework links mentions independently — no intra- or inter-tweet
+/// coupling — so a batch parallelizes trivially (Sec. 5.2.2: "our
+/// framework can be easily parallelized"). The linker is warmed up first
+/// (WarmUp), after which LinkTweet is a pure read and the batch is
+/// striped across threads.
+///
+/// The reachability backend must be safe for concurrent reads: the
+/// transitive closure and the 2-hop cover are; NaiveReachability is NOT
+/// (it reuses per-object BFS scratch).
+///
+/// \param linker the linker; mutated only by the WarmUp call
+/// \param tweets the batch; result i corresponds to tweets[i]
+/// \param num_threads 0 = hardware concurrency
+std::vector<TweetLinkResult> LinkTweetsParallel(
+    EntityLinker* linker, std::span<const kb::Tweet> tweets,
+    uint32_t num_threads);
+
+/// \brief A single mention-linking request for LinkMentionsParallel.
+struct MentionRequest {
+  std::string surface;
+  kb::UserId user = kb::kInvalidUser;
+  kb::Timestamp time = 0;
+};
+
+/// Parallel per-mention variant; result i corresponds to requests[i].
+std::vector<MentionLinkResult> LinkMentionsParallel(
+    EntityLinker* linker, std::span<const MentionRequest> requests,
+    uint32_t num_threads);
+
+}  // namespace mel::core
+
+#endif  // MEL_CORE_PARALLEL_LINKER_H_

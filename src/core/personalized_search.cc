@@ -1,0 +1,71 @@
+#include "core/personalized_search.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace mel::core {
+
+PersonalizedSearch::PersonalizedSearch(
+    const EntityLinker* linker, const kb::ComplementedKnowledgebase* ckb)
+    : linker_(linker), ckb_(ckb) {
+  MEL_CHECK(linker != nullptr && ckb != nullptr);
+}
+
+SearchResult PersonalizedSearch::Query(std::string_view query_text,
+                                       kb::UserId user, kb::Timestamp now,
+                                       const SearchOptions& options) const {
+  SearchResult result;
+  auto detected =
+      linker_->candidate_generator().DetectMentions(query_text);
+
+  // Disambiguate each query mention for this user.
+  std::vector<std::pair<kb::EntityId, double>> entities;  // entity, score
+  for (const auto& mention : detected) {
+    auto linked = linker_->LinkMention(mention.surface, user, now);
+    uint32_t taken = 0;
+    for (const auto& scored : linked.ranked) {
+      if (taken++ >= options.top_k_entities) break;
+      entities.emplace_back(scored.entity, scored.score);
+    }
+    result.interpretations.push_back(std::move(linked));
+  }
+
+  // Gather tweets linked to the winning entities, newest first, scored by
+  // the entity's link score (freshness breaks ties within an entity).
+  std::unordered_set<kb::TweetId> seen;
+  for (const auto& [entity, score] : entities) {
+    auto postings = ckb_->Postings(entity);
+    uint32_t taken = 0;
+    for (auto it = postings.rbegin(); it != postings.rend(); ++it) {
+      if (it->time > now) continue;  // future tweets don't exist yet
+      if (options.freshness_window > 0 &&
+          it->time < now - options.freshness_window) {
+        break;  // postings are time-sorted: everything older fails too
+      }
+      if (!seen.insert(it->tweet).second) continue;
+      SearchHit hit;
+      hit.tweet = it->tweet;
+      hit.author = it->user;
+      hit.time = it->time;
+      hit.entity = entity;
+      hit.relevance = score;
+      result.hits.push_back(hit);
+      if (++taken >= options.top_k_tweets) break;
+    }
+  }
+  std::stable_sort(result.hits.begin(), result.hits.end(),
+                   [](const SearchHit& a, const SearchHit& b) {
+                     if (a.relevance != b.relevance) {
+                       return a.relevance > b.relevance;
+                     }
+                     return a.time > b.time;  // fresher first
+                   });
+  if (result.hits.size() > options.top_k_tweets) {
+    result.hits.resize(options.top_k_tweets);
+  }
+  return result;
+}
+
+}  // namespace mel::core

@@ -1,0 +1,62 @@
+#ifndef MEL_CORE_PERSONALIZED_SEARCH_H_
+#define MEL_CORE_PERSONALIZED_SEARCH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/entity_linker.h"
+#include "kb/complemented_kb.h"
+#include "kb/types.h"
+
+namespace mel::core {
+
+/// \brief Options for personalized microblog search.
+struct SearchOptions {
+  /// Entities considered per query mention.
+  uint32_t top_k_entities = 3;
+  /// Tweets returned overall.
+  uint32_t top_k_tweets = 10;
+  /// When true, only tweets newer than `now - freshness_window` qualify;
+  /// 0 disables the filter.
+  kb::Timestamp freshness_window = 0;
+};
+
+/// \brief One retrieved tweet.
+struct SearchHit {
+  kb::TweetId tweet = 0;
+  kb::UserId author = kb::kInvalidUser;
+  kb::Timestamp time = 0;
+  kb::EntityId entity = kb::kInvalidEntity;  // why it matched
+  double relevance = 0;  // entity link score, recency-tie-broken
+};
+
+/// \brief A personalized search answer: how the query's mentions were
+/// interpreted, and the matching tweets.
+struct SearchResult {
+  std::vector<MentionLinkResult> interpretations;
+  std::vector<SearchHit> hits;  // sorted by descending relevance
+};
+
+/// \brief Personalized microblog search (Sec. 1 / Sec. 3.2.2): entity
+/// mentions in a keyword query are disambiguated *for the issuing user*
+/// with the social-temporal linker, and the tweets linked to the winning
+/// entities in the complemented knowledgebase form the result set.
+class PersonalizedSearch {
+ public:
+  /// Both dependencies must outlive this object.
+  PersonalizedSearch(const EntityLinker* linker,
+                     const kb::ComplementedKnowledgebase* ckb);
+
+  /// Runs a query issued by `user` at time `now`.
+  SearchResult Query(std::string_view query_text, kb::UserId user,
+                     kb::Timestamp now, const SearchOptions& options) const;
+
+ private:
+  const EntityLinker* linker_;
+  const kb::ComplementedKnowledgebase* ckb_;
+};
+
+}  // namespace mel::core
+
+#endif  // MEL_CORE_PERSONALIZED_SEARCH_H_

@@ -1,0 +1,77 @@
+#include "eval/harness.h"
+
+#include <cmath>
+
+#include "baseline/collective_linker.h"
+
+namespace mel::eval {
+
+gen::WorldOptions StandardWorldOptions(double scale, uint64_t seed) {
+  gen::WorldOptions options;
+  options.kb.num_entities = static_cast<uint32_t>(500 * scale);
+  options.kb.num_topics =
+      std::max<uint32_t>(5, static_cast<uint32_t>(15 * std::sqrt(scale)));
+  options.kb.num_ambiguous_surfaces = static_cast<uint32_t>(150 * scale);
+  options.kb.seed = seed * 3 + 1;
+  options.social.num_users = static_cast<uint32_t>(800 * scale);
+  options.social.seed = seed * 3 + 2;
+  options.tweets.num_tweets = static_cast<uint32_t>(9000 * scale);
+  options.tweets.seed = seed * 3 + 3;
+  return options;
+}
+
+Harness::Harness(const HarnessOptions& options) : options_(options) {
+  gen::WorldOptions wopts =
+      StandardWorldOptions(options.scale, options.seed);
+  wopts.tweets.extra_mention_prob = options.extra_mention_prob;
+  world_ = gen::GenerateWorld(wopts);
+  wlm_ = std::make_unique<kb::WlmRelatedness>(&world_.kb());
+
+  active_ = gen::FilterActiveUsers(world_.corpus,
+                                   options.complement_min_tweets);
+  test_ = gen::SampleInactiveUsers(world_.corpus, options.test_max_tweets,
+                                   options.test_max_users,
+                                   options.seed * 7 + 5);
+
+  ckb_ = std::make_unique<kb::ComplementedKnowledgebase>(&world_.kb());
+  switch (options.complementation) {
+    case HarnessOptions::Complementation::kSimulatedLinker:
+      gen::ComplementWithSimulatedLinker(world_, active_, options.base_noise,
+                                         options.max_noise,
+                                         options.seed * 7 + 6, ckb_.get());
+      break;
+    case HarnessOptions::Complementation::kOracle:
+      gen::ComplementWithOracle(world_, active_, 0.0, options.seed * 7 + 6,
+                                ckb_.get());
+      break;
+    case HarnessOptions::Complementation::kCollective: {
+      baseline::CollectiveLinker collective(&world_.kb(), wlm_.get(),
+                                            baseline::CollectiveOptions{});
+      ComplementWithCollective(world_, active_, collective, ckb_.get());
+      break;
+    }
+  }
+
+  reach_ = std::make_unique<reach::TwoHopIndex>(
+      reach::TwoHopIndex::Build(&world_.social.graph, options.max_hops));
+  network_ = std::make_unique<recency::PropagationNetwork>(
+      recency::PropagationNetwork::Build(world_.kb(), options.theta2));
+}
+
+core::LinkerOptions Harness::DefaultLinkerOptions() const {
+  core::LinkerOptions options;
+  options.theta1 = 10;
+  return options;
+}
+
+core::EntityLinker Harness::MakeLinker(const core::LinkerOptions& options) {
+  return core::EntityLinker(&world_.kb(), ckb_.get(), reach_.get(),
+                            network_.get(), options);
+}
+
+EvalRun Harness::Evaluate(const core::LinkerOptions& options) {
+  core::EntityLinker linker = MakeLinker(options);
+  return EvaluateOurs(linker, world_, test_);
+}
+
+}  // namespace mel::eval

@@ -1,0 +1,92 @@
+#ifndef MEL_EVAL_HARNESS_H_
+#define MEL_EVAL_HARNESS_H_
+
+#include <memory>
+
+#include "core/entity_linker.h"
+#include "eval/runner.h"
+#include "gen/workload.h"
+#include "kb/complemented_kb.h"
+#include "kb/wlm.h"
+#include "reach/two_hop_index.h"
+#include "recency/propagation_network.h"
+
+namespace mel::eval {
+
+/// \brief Configuration of the standard experiment harness. The defaults
+/// are the calibrated synthetic stand-in for the paper's Twitter setup
+/// (Sec. 5.1): sizes scale linearly with `scale`.
+struct HarnessOptions {
+  /// Linear size multiplier (1 = 500 entities / 800 users / 9000 tweets).
+  double scale = 1.0;
+  /// Activity threshold of the complementation split (paper: D10).
+  uint32_t complement_min_tweets = 10;
+  /// How the offline complementation is performed.
+  enum class Complementation {
+    kSimulatedLinker,  // ground truth + per-user independent noise
+    kOracle,           // ground truth (upper bound)
+    kCollective,       // the real CollectiveLinker (slow, correlated errors)
+  };
+  Complementation complementation = Complementation::kSimulatedLinker;
+  /// Noise model of the simulated pre-linker (see
+  /// gen::ComplementWithSimulatedLinker).
+  double base_noise = 1.0;
+  double max_noise = 0.6;
+  /// WLM threshold for the recency propagation network. 0.75 plays the
+  /// role of the paper's theta2 = 0.6 on the synthetic WLM distribution.
+  double theta2 = 0.75;
+  /// Hop bound H of the reachability indexes.
+  uint32_t max_hops = 5;
+  /// Test split: users with fewer than this many tweets, capped count.
+  uint32_t test_max_tweets = 10;
+  uint32_t test_max_users = 150;
+  uint64_t seed = 1;
+  /// Mentions per posting; raise to ~2.3 for the Sina Weibo variant
+  /// (Appendix C.1).
+  double extra_mention_prob = 0.3;
+};
+
+/// \brief A fully wired experiment world: generated data, complemented
+/// knowledgebase, reachability index, propagation network, and splits.
+/// Construct once per benchmark/test; create linkers with MakeLinker.
+class Harness {
+ public:
+  explicit Harness(const HarnessOptions& options);
+
+  const gen::World& world() const { return world_; }
+  const kb::Knowledgebase& kb() const { return world_.kb(); }
+  const kb::WlmRelatedness& wlm() const { return *wlm_; }
+  kb::ComplementedKnowledgebase& ckb() { return *ckb_; }
+  const reach::TwoHopIndex& reachability() const { return *reach_; }
+  const recency::PropagationNetwork& network() const { return *network_; }
+  const gen::DatasetSplit& active_split() const { return active_; }
+  const gen::DatasetSplit& test_split() const { return test_; }
+  const HarnessOptions& options() const { return options_; }
+
+  /// Default linker options matched to this harness (theta1 = 10, H = 5).
+  core::LinkerOptions DefaultLinkerOptions() const;
+
+  /// A linker wired against this harness' state.
+  core::EntityLinker MakeLinker(const core::LinkerOptions& options);
+
+  /// Evaluates a linker configuration on the test split.
+  EvalRun Evaluate(const core::LinkerOptions& options);
+
+ private:
+  HarnessOptions options_;
+  gen::World world_;
+  std::unique_ptr<kb::WlmRelatedness> wlm_;
+  gen::DatasetSplit active_;
+  gen::DatasetSplit test_;
+  std::unique_ptr<kb::ComplementedKnowledgebase> ckb_;
+  std::unique_ptr<reach::TwoHopIndex> reach_;
+  std::unique_ptr<recency::PropagationNetwork> network_;
+};
+
+/// The standard world options at the given scale (before harness wiring);
+/// exposed so benchmarks can tweak single knobs.
+gen::WorldOptions StandardWorldOptions(double scale, uint64_t seed);
+
+}  // namespace mel::eval
+
+#endif  // MEL_EVAL_HARNESS_H_

@@ -1,0 +1,110 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace mel::eval {
+
+std::string Accuracy::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "mention=%.4f (%u/%u) tweet=%.4f (%u/%u)",
+                MentionAccuracy(), correct_mentions, mentions,
+                TweetAccuracy(), correct_tweets, tweets);
+  return buf;
+}
+
+Accuracy Summarize(const std::vector<MentionOutcome>& outcomes) {
+  Accuracy acc;
+  std::unordered_map<uint32_t, bool> tweet_all_correct;
+  for (const MentionOutcome& o : outcomes) {
+    ++acc.mentions;
+    bool ok = o.correct();
+    if (ok) ++acc.correct_mentions;
+    auto [it, inserted] = tweet_all_correct.try_emplace(o.tweet_index, ok);
+    if (!inserted) it->second = it->second && ok;
+  }
+  acc.tweets = static_cast<uint32_t>(tweet_all_correct.size());
+  for (const auto& [tweet, all_ok] : tweet_all_correct) {
+    if (all_ok) ++acc.correct_tweets;
+  }
+  return acc;
+}
+
+namespace {
+
+BootstrapInterval Percentiles(std::vector<double>* samples,
+                              double confidence) {
+  std::sort(samples->begin(), samples->end());
+  BootstrapInterval interval;
+  double total = 0;
+  for (double s : *samples) total += s;
+  interval.mean = total / samples->size();
+  double tail = (1.0 - confidence) / 2;
+  size_t lo_idx = static_cast<size_t>(tail * (samples->size() - 1));
+  size_t hi_idx =
+      static_cast<size_t>((1.0 - tail) * (samples->size() - 1));
+  interval.lo = (*samples)[lo_idx];
+  interval.hi = (*samples)[hi_idx];
+  return interval;
+}
+
+}  // namespace
+
+BootstrapInterval BootstrapMentionAccuracy(
+    const std::vector<MentionOutcome>& outcomes, uint32_t resamples,
+    double confidence, uint64_t seed) {
+  MEL_CHECK(!outcomes.empty() && resamples > 0);
+  Rng rng(seed);
+  std::vector<double> samples;
+  samples.reserve(resamples);
+  for (uint32_t r = 0; r < resamples; ++r) {
+    uint32_t correct = 0;
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      if (outcomes[rng.Uniform(outcomes.size())].correct()) ++correct;
+    }
+    samples.push_back(static_cast<double>(correct) / outcomes.size());
+  }
+  return Percentiles(&samples, confidence);
+}
+
+BootstrapInterval BootstrapAccuracyDifference(
+    const std::vector<MentionOutcome>& a,
+    const std::vector<MentionOutcome>& b, uint32_t resamples,
+    double confidence, uint64_t seed) {
+  MEL_CHECK(!a.empty() && !b.empty() && resamples > 0);
+  Rng rng(seed);
+  const bool paired = a.size() == b.size();
+  std::vector<double> samples;
+  samples.reserve(resamples);
+  for (uint32_t r = 0; r < resamples; ++r) {
+    double diff = 0;
+    if (paired) {
+      int32_t delta = 0;
+      for (size_t i = 0; i < a.size(); ++i) {
+        size_t pick = rng.Uniform(a.size());
+        delta += static_cast<int32_t>(a[pick].correct()) -
+                 static_cast<int32_t>(b[pick].correct());
+      }
+      diff = static_cast<double>(delta) / a.size();
+    } else {
+      uint32_t ca = 0, cb = 0;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (a[rng.Uniform(a.size())].correct()) ++ca;
+      }
+      for (size_t i = 0; i < b.size(); ++i) {
+        if (b[rng.Uniform(b.size())].correct()) ++cb;
+      }
+      diff = static_cast<double>(ca) / a.size() -
+             static_cast<double>(cb) / b.size();
+    }
+    samples.push_back(diff);
+  }
+  return Percentiles(&samples, confidence);
+}
+
+}  // namespace mel::eval

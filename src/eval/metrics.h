@@ -1,0 +1,84 @@
+#ifndef MEL_EVAL_METRICS_H_
+#define MEL_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kb/types.h"
+
+namespace mel::eval {
+
+/// \brief Outcome of linking one ground-truth mention.
+struct MentionOutcome {
+  uint32_t tweet_index = 0;           // index into the corpus
+  kb::EntityId truth = kb::kInvalidEntity;
+  kb::EntityId predicted = kb::kInvalidEntity;
+
+  bool correct() const {
+    return predicted != kb::kInvalidEntity && predicted == truth;
+  }
+};
+
+/// \brief Mention- and tweet-level accuracy (the two series of Fig. 4(a)).
+/// A tweet counts as correct only when ALL of its mentions are correct.
+struct Accuracy {
+  uint32_t mentions = 0;
+  uint32_t correct_mentions = 0;
+  uint32_t tweets = 0;
+  uint32_t correct_tweets = 0;
+
+  double MentionAccuracy() const {
+    return mentions == 0 ? 0 : static_cast<double>(correct_mentions) / mentions;
+  }
+  double TweetAccuracy() const {
+    return tweets == 0 ? 0 : static_cast<double>(correct_tweets) / tweets;
+  }
+  std::string ToString() const;
+};
+
+/// Aggregates outcomes into accuracy; outcomes of one tweet must share the
+/// same tweet_index (order does not matter).
+Accuracy Summarize(const std::vector<MentionOutcome>& outcomes);
+
+/// \brief A bootstrap confidence interval.
+struct BootstrapInterval {
+  double mean = 0;
+  double lo = 0;
+  double hi = 0;
+
+  bool ExcludesZero() const { return lo > 0 || hi < 0; }
+};
+
+/// Percentile-bootstrap confidence interval of the mention accuracy
+/// (resampling mentions with replacement).
+BootstrapInterval BootstrapMentionAccuracy(
+    const std::vector<MentionOutcome>& outcomes, uint32_t resamples,
+    double confidence, uint64_t seed);
+
+/// Percentile-bootstrap interval of accuracy(a) - accuracy(b). When the
+/// two systems were evaluated on the SAME mentions in the same order,
+/// resampling is paired (per-mention), which is much tighter.
+BootstrapInterval BootstrapAccuracyDifference(
+    const std::vector<MentionOutcome>& a,
+    const std::vector<MentionOutcome>& b, uint32_t resamples,
+    double confidence, uint64_t seed);
+
+/// \brief A full evaluation run: per-mention outcomes plus wall time.
+struct EvalRun {
+  std::vector<MentionOutcome> outcomes;
+  double total_nanos = 0;
+  uint32_t num_tweets = 0;
+
+  Accuracy accuracy() const { return Summarize(outcomes); }
+  double NanosPerMention() const {
+    return outcomes.empty() ? 0 : total_nanos / outcomes.size();
+  }
+  double NanosPerTweet() const {
+    return num_tweets == 0 ? 0 : total_nanos / num_tweets;
+  }
+};
+
+}  // namespace mel::eval
+
+#endif  // MEL_EVAL_METRICS_H_

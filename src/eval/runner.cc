@@ -1,0 +1,124 @@
+#include "eval/runner.h"
+
+#include <unordered_map>
+
+#include "util/timer.h"
+
+namespace mel::eval {
+
+void ComplementWithCollective(const gen::World& world,
+                              const gen::DatasetSplit& split,
+                              const baseline::CollectiveLinker& linker,
+                              kb::ComplementedKnowledgebase* ckb) {
+  for (uint32_t user : split.users) {
+    const auto& indices = world.corpus.tweets_by_user[user];
+    std::vector<kb::Tweet> tweets;
+    tweets.reserve(indices.size());
+    for (uint32_t ti : indices) {
+      tweets.push_back(world.corpus.tweets[ti].tweet);
+    }
+    auto results = linker.LinkUserTweets(tweets);
+    for (size_t i = 0; i < results.size(); ++i) {
+      for (const auto& mention : results[i].mentions) {
+        if (!mention.linked()) continue;
+        ckb->AddLink(mention.best(),
+                     kb::Posting{tweets[i].id, tweets[i].user,
+                                 tweets[i].time});
+      }
+    }
+  }
+}
+
+std::vector<kb::EntityId> AlignPredictions(
+    const core::TweetLinkResult& prediction,
+    const std::vector<gen::LabeledMention>& labels) {
+  std::vector<kb::EntityId> aligned(labels.size(), kb::kInvalidEntity);
+  std::vector<bool> consumed(prediction.mentions.size(), false);
+  for (size_t li = 0; li < labels.size(); ++li) {
+    for (size_t pi = 0; pi < prediction.mentions.size(); ++pi) {
+      if (consumed[pi]) continue;
+      if (prediction.mentions[pi].surface == labels[li].surface) {
+        consumed[pi] = true;
+        aligned[li] = prediction.mentions[pi].best();
+        break;
+      }
+    }
+  }
+  return aligned;
+}
+
+EvalRun EvaluateOurs(const core::EntityLinker& linker,
+                     const gen::World& world,
+                     const gen::DatasetSplit& split) {
+  EvalRun run;
+  WallTimer timer;
+  for (uint32_t ti : split.tweet_indices) {
+    const gen::LabeledTweet& lt = world.corpus.tweets[ti];
+    if (lt.mentions.empty()) continue;
+    ++run.num_tweets;
+    for (const auto& label : lt.mentions) {
+      auto result =
+          linker.LinkMention(label.surface, lt.tweet.user, lt.tweet.time);
+      run.outcomes.push_back(
+          MentionOutcome{ti, label.truth, result.best()});
+    }
+  }
+  run.total_nanos = static_cast<double>(timer.ElapsedNanos());
+  return run;
+}
+
+EvalRun EvaluateOnTheFly(const baseline::OnTheFlyLinker& linker,
+                         const gen::World& world,
+                         const gen::DatasetSplit& split) {
+  EvalRun run;
+  WallTimer timer;
+  for (uint32_t ti : split.tweet_indices) {
+    const gen::LabeledTweet& lt = world.corpus.tweets[ti];
+    if (lt.mentions.empty()) continue;
+    ++run.num_tweets;
+    auto prediction = linker.LinkTweet(lt.tweet);
+    auto aligned = AlignPredictions(prediction, lt.mentions);
+    for (size_t i = 0; i < lt.mentions.size(); ++i) {
+      run.outcomes.push_back(
+          MentionOutcome{ti, lt.mentions[i].truth, aligned[i]});
+    }
+  }
+  run.total_nanos = static_cast<double>(timer.ElapsedNanos());
+  return run;
+}
+
+EvalRun EvaluateCollective(const baseline::CollectiveLinker& linker,
+                           const gen::World& world,
+                           const gen::DatasetSplit& split) {
+  EvalRun run;
+  WallTimer timer;
+  for (uint32_t user : split.users) {
+    // Batch exactly the split's tweets of this user.
+    std::vector<uint32_t> indices;
+    for (uint32_t ti : split.tweet_indices) {
+      if (world.corpus.tweets[ti].tweet.user == user) indices.push_back(ti);
+    }
+    if (indices.empty()) continue;
+    std::vector<kb::Tweet> tweets;
+    tweets.reserve(indices.size());
+    for (uint32_t ti : indices) {
+      tweets.push_back(world.corpus.tweets[ti].tweet);
+    }
+    auto results = linker.LinkUserTweets(tweets);
+    for (size_t i = 0; i < indices.size(); ++i) {
+      const gen::LabeledTweet& lt = world.corpus.tweets[indices[i]];
+      if (lt.mentions.empty()) continue;
+      ++run.num_tweets;
+      auto aligned = AlignPredictions(results[i], lt.mentions);
+      for (size_t mi = 0; mi < lt.mentions.size(); ++mi) {
+        run.outcomes.push_back(MentionOutcome{indices[i],
+                                              lt.mentions[mi].truth,
+                                              aligned[mi]});
+      }
+    }
+  }
+  run.total_nanos = static_cast<double>(timer.ElapsedNanos());
+  return run;
+}
+
+}  // namespace mel::eval

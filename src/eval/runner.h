@@ -1,0 +1,52 @@
+#ifndef MEL_EVAL_RUNNER_H_
+#define MEL_EVAL_RUNNER_H_
+
+#include <vector>
+
+#include "baseline/collective_linker.h"
+#include "baseline/on_the_fly_linker.h"
+#include "core/entity_linker.h"
+#include "eval/metrics.h"
+#include "gen/workload.h"
+#include "kb/complemented_kb.h"
+
+namespace mel::eval {
+
+/// \brief Offline complementation via the collective pre-linker (Fig. 2):
+/// links every tweet of the split with the Collective method [2], batched
+/// per user, and inserts the winning entities into the complemented
+/// knowledgebase. This reproduces the realistic setting where the
+/// complemented KB contains linking mistakes (the Fig. 4(b) trade-off).
+void ComplementWithCollective(const gen::World& world,
+                              const gen::DatasetSplit& split,
+                              const baseline::CollectiveLinker& linker,
+                              kb::ComplementedKnowledgebase* ckb);
+
+/// Evaluates the proposed linker on the split's tweets: every ground-truth
+/// mention is linked via LinkMention(surface, author, timestamp).
+EvalRun EvaluateOurs(const core::EntityLinker& linker,
+                     const gen::World& world,
+                     const gen::DatasetSplit& split);
+
+/// Evaluates the on-the-fly baseline: tweets are linked one by one, and
+/// predictions are aligned to ground-truth mentions by surface form.
+EvalRun EvaluateOnTheFly(const baseline::OnTheFlyLinker& linker,
+                         const gen::World& world,
+                         const gen::DatasetSplit& split);
+
+/// Evaluates the collective baseline: the split's tweets are batched per
+/// author and linked jointly.
+EvalRun EvaluateCollective(const baseline::CollectiveLinker& linker,
+                           const gen::World& world,
+                           const gen::DatasetSplit& split);
+
+/// Aligns a tweet-level prediction with ground-truth labels by surface:
+/// the i-th label matches the first unconsumed predicted mention with the
+/// same surface (kInvalidEntity when none matches).
+std::vector<kb::EntityId> AlignPredictions(
+    const core::TweetLinkResult& prediction,
+    const std::vector<gen::LabeledMention>& labels);
+
+}  // namespace mel::eval
+
+#endif  // MEL_EVAL_RUNNER_H_

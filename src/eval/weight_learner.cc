@@ -1,0 +1,63 @@
+#include "eval/weight_learner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "eval/runner.h"
+
+namespace mel::eval {
+
+namespace {
+
+double EvaluateWeights(Harness* harness, const gen::DatasetSplit& split,
+                       double alpha, double beta, double gamma) {
+  core::LinkerOptions options = harness->DefaultLinkerOptions();
+  options.alpha = alpha;
+  options.beta = beta;
+  options.gamma = gamma;
+  core::EntityLinker linker = harness->MakeLinker(options);
+  return EvaluateOurs(linker, harness->world(), split)
+      .accuracy()
+      .MentionAccuracy();
+}
+
+}  // namespace
+
+LearnedWeights LearnWeights(Harness* harness,
+                            const gen::DatasetSplit& validation,
+                            double step) {
+  LearnedWeights best;
+  auto consider = [&](double alpha, double beta) {
+    double gamma = 1.0 - alpha - beta;
+    if (alpha < -1e-9 || beta < -1e-9 || gamma < -1e-9) return;
+    alpha = std::clamp(alpha, 0.0, 1.0);
+    beta = std::clamp(beta, 0.0, 1.0);
+    gamma = std::clamp(gamma, 0.0, 1.0);
+    double accuracy =
+        EvaluateWeights(harness, validation, alpha, beta, gamma);
+    if (accuracy > best.validation_accuracy) {
+      best = LearnedWeights{alpha, beta, gamma, accuracy};
+    }
+  };
+
+  // Stage 1: coarse simplex grid.
+  const int steps = static_cast<int>(std::round(1.0 / step));
+  for (int a = 0; a <= steps; ++a) {
+    for (int b = 0; a + b <= steps; ++b) {
+      consider(a * step, b * step);
+    }
+  }
+
+  // Stage 2: refine around the coarse winner.
+  const double fine = step / 3.0;
+  const double alpha0 = best.alpha;
+  const double beta0 = best.beta;
+  for (int da = -2; da <= 2; ++da) {
+    for (int db = -2; db <= 2; ++db) {
+      consider(alpha0 + da * fine, beta0 + db * fine);
+    }
+  }
+  return best;
+}
+
+}  // namespace mel::eval

@@ -1,0 +1,37 @@
+#ifndef MEL_EVAL_WEIGHT_LEARNER_H_
+#define MEL_EVAL_WEIGHT_LEARNER_H_
+
+#include "core/entity_linker.h"
+#include "eval/harness.h"
+#include "gen/workload.h"
+
+namespace mel::eval {
+
+/// \brief Weights learned from labeled data plus their validation score.
+struct LearnedWeights {
+  double alpha = 0;
+  double beta = 0;
+  double gamma = 0;
+  double validation_accuracy = 0;
+};
+
+/// \brief Learns the Eq.-1 feature weights from labeled mentions — the
+/// alternative to manual tuning the paper mentions in Sec. 3.2.2 and
+/// Appendix C.2.
+///
+/// Two-stage simplex search: a coarse grid over
+/// {(a, b, g) : a + b + g = 1, a, b, g in step * Z}, followed by a local
+/// refinement around the winner at a third of the step. Accuracy is
+/// measured by mention accuracy on the validation split.
+///
+/// \param harness the wired experiment world (supplies linkers)
+/// \param validation labeled mentions to optimize on (must be disjoint
+///        from the final test split for an honest comparison)
+/// \param step coarse grid resolution in (0, 1); 0.1 is plenty
+LearnedWeights LearnWeights(Harness* harness,
+                            const gen::DatasetSplit& validation,
+                            double step);
+
+}  // namespace mel::eval
+
+#endif  // MEL_EVAL_WEIGHT_LEARNER_H_

@@ -1,0 +1,157 @@
+#include "gen/kb_generator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace mel::gen {
+
+namespace {
+
+constexpr const char* kSyllables[] = {
+    "ka", "mo", "ri", "ta", "lu", "ven", "dor", "mi", "sa", "rel",
+    "an", "jo", "ber", "chi", "na", "tor", "el", "gra", "vin", "zu",
+};
+constexpr size_t kNumSyllables = sizeof(kSyllables) / sizeof(kSyllables[0]);
+
+kb::EntityCategory SampleCategory(Rng* rng) {
+  // Matches the category mix reported in Appendix C.1 of the paper:
+  // Person 71.35%, Movie&Music 15.4%, Location 8.38%, Company 2.6%,
+  // Product 2.27%.
+  double u = rng->UniformDouble();
+  if (u < 0.7135) return kb::EntityCategory::kPerson;
+  if (u < 0.8675) return kb::EntityCategory::kMovieMusic;
+  if (u < 0.9513) return kb::EntityCategory::kLocation;
+  if (u < 0.9773) return kb::EntityCategory::kCompany;
+  return kb::EntityCategory::kProduct;
+}
+
+std::string TopicToken(uint32_t topic, uint32_t index) {
+  return "t" + std::to_string(topic) + "w" + std::to_string(index);
+}
+
+}  // namespace
+
+std::string SyntheticName(Rng* rng) {
+  size_t count = 2 + rng->Uniform(3);
+  std::string name;
+  for (size_t i = 0; i < count; ++i) {
+    name += kSyllables[rng->Uniform(kNumSyllables)];
+  }
+  return name;
+}
+
+GeneratedKb GenerateKnowledgebase(const KbGenOptions& options) {
+  MEL_CHECK(options.num_entities > 0 && options.num_topics > 0);
+  Rng rng(options.seed);
+  GeneratedKb out;
+  const uint32_t n = options.num_entities;
+
+  // Topic assignment (skewed sizes) and Zipf popularity by entity id.
+  ZipfSampler topic_sampler(options.num_topics, 0.8);
+  ZipfSampler popularity(n, options.popularity_skew);
+  out.entity_topic.resize(n);
+  out.entity_popularity.resize(n);
+  out.topic_entities.resize(options.num_topics);
+  out.entity_ambiguous_surfaces.resize(n);
+  out.canonical_surface.resize(n);
+
+  kb::Knowledgebase& kbase = out.knowledgebase;
+  for (kb::EntityId e = 0; e < n; ++e) {
+    uint32_t topic = static_cast<uint32_t>(topic_sampler.Sample(&rng));
+    out.entity_topic[e] = topic;
+    out.entity_popularity[e] = popularity.Probability(e);
+    out.topic_entities[topic].push_back(e);
+
+    std::vector<std::string> description;
+    description.reserve(options.description_tokens);
+    for (uint32_t k = 0; k < options.description_tokens; ++k) {
+      description.push_back(TopicToken(
+          topic, static_cast<uint32_t>(rng.Uniform(options.topic_vocabulary))));
+    }
+    // A couple of entity-unique context tokens.
+    description.push_back("eid" + std::to_string(e) + "a");
+    description.push_back("eid" + std::to_string(e) + "b");
+
+    kb::EntityId id = kbase.AddEntity(SyntheticName(&rng),
+                                      SampleCategory(&rng), description);
+    MEL_CHECK(id == e);
+
+    // Unique two-token canonical surface ("fullname"); the 'q' marker
+    // keeps it disjoint from the ambiguous-surface namespace and the
+    // two-token shape exercises multi-token gazetteer matching.
+    out.canonical_surface[e] =
+        SyntheticName(&rng) + " q" + std::to_string(e);
+    uint32_t anchors = 1 + static_cast<uint32_t>(
+                               5000.0 * out.entity_popularity[e]);
+    kbase.AddSurfaceForm(out.canonical_surface[e], e, anchors);
+  }
+
+  // Ambiguous surface forms shared by several entities — the core
+  // disambiguation difficulty ("Jordan" -> country, shoe, player, expert).
+  out.ambiguous_surfaces.reserve(options.num_ambiguous_surfaces);
+  out.surface_entities.reserve(options.num_ambiguous_surfaces);
+  for (uint32_t s = 0; s < options.num_ambiguous_surfaces; ++s) {
+    std::string surface = SyntheticName(&rng) + "x" + std::to_string(s);
+    uint32_t fanout =
+        2 + static_cast<uint32_t>(
+                rng.Uniform(std::max(1u, options.max_candidates_per_surface - 1)));
+    std::unordered_set<kb::EntityId> chosen;
+    std::unordered_set<uint32_t> topics_used;
+    for (uint32_t attempt = 0; attempt < fanout * 8 && chosen.size() < fanout;
+         ++attempt) {
+      kb::EntityId e = static_cast<kb::EntityId>(popularity.Sample(&rng));
+      if (chosen.contains(e)) continue;
+      // Prefer entities from distinct topics, as real ambiguous names
+      // usually cross domains.
+      if (topics_used.contains(out.entity_topic[e]) &&
+          rng.UniformDouble() < 0.8) {
+        continue;
+      }
+      chosen.insert(e);
+      topics_used.insert(out.entity_topic[e]);
+    }
+    if (chosen.size() < 2) continue;
+    std::vector<kb::EntityId> entities(chosen.begin(), chosen.end());
+    std::sort(entities.begin(), entities.end());
+    for (kb::EntityId e : entities) {
+      uint32_t anchors =
+          1 + static_cast<uint32_t>(3000.0 * out.entity_popularity[e] *
+                                    (0.5 + rng.UniformDouble()));
+      kbase.AddSurfaceForm(surface, e, anchors);
+      out.entity_ambiguous_surfaces[e].push_back(
+          static_cast<uint32_t>(out.ambiguous_surfaces.size()));
+    }
+    out.ambiguous_surfaces.push_back(std::move(surface));
+    out.surface_entities.push_back(std::move(entities));
+  }
+
+  // Hyperlinks: mostly within topic, popularity-biased targets, so WLM
+  // clusters entities by topic.
+  std::vector<ZipfSampler> topic_pop;
+  topic_pop.reserve(options.num_topics);
+  for (uint32_t t = 0; t < options.num_topics; ++t) {
+    topic_pop.emplace_back(std::max<size_t>(1, out.topic_entities[t].size()),
+                           options.popularity_skew);
+  }
+  for (kb::EntityId e = 0; e < n; ++e) {
+    for (uint32_t l = 0; l < options.links_per_entity; ++l) {
+      kb::EntityId target;
+      if (rng.UniformDouble() < options.cross_topic_link_prob) {
+        target = static_cast<kb::EntityId>(popularity.Sample(&rng));
+      } else {
+        uint32_t topic = out.entity_topic[e];
+        const auto& members = out.topic_entities[topic];
+        if (members.size() < 2) continue;
+        target = members[topic_pop[topic].Sample(&rng)];
+      }
+      if (target != e) kbase.AddHyperlink(e, target);
+    }
+  }
+
+  kbase.Finalize();
+  return out;
+}
+
+}  // namespace mel::gen

@@ -1,0 +1,65 @@
+#ifndef MEL_GEN_KB_GENERATOR_H_
+#define MEL_GEN_KB_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kb/knowledgebase.h"
+#include "util/random.h"
+
+namespace mel::gen {
+
+/// \brief Parameters of the synthetic knowledgebase.
+///
+/// The generator substitutes for the Wikipedia dump of Sec. 5.1.1. It
+/// reproduces the structural properties the algorithms depend on:
+/// many-to-many mention/entity ambiguity, Zipfian entity popularity,
+/// topic-clustered hyperlinks (so WLM relatedness is meaningful), and
+/// surface-form variety (canonical names plus shared nicknames).
+struct KbGenOptions {
+  uint32_t num_entities = 2000;
+  uint32_t num_topics = 40;
+  /// Number of ambiguous surface forms shared by several entities (the
+  /// "Jordan" effect). Each maps to 2..max_candidates entities.
+  uint32_t num_ambiguous_surfaces = 600;
+  uint32_t max_candidates_per_surface = 6;
+  /// Zipf skew of entity popularity (drives anchor counts).
+  double popularity_skew = 1.0;
+  /// Hyperlinks per entity and the chance a link crosses topics.
+  uint32_t links_per_entity = 12;
+  double cross_topic_link_prob = 0.02;
+  /// Description length and topic vocabulary size (tokens per topic).
+  uint32_t description_tokens = 25;
+  uint32_t topic_vocabulary = 150;
+  uint64_t seed = 42;
+};
+
+/// \brief A generated knowledgebase plus the ground-truth structure the
+/// tweet generator and the benchmarks need.
+struct GeneratedKb {
+  kb::Knowledgebase knowledgebase;
+  /// Topic of each entity.
+  std::vector<uint32_t> entity_topic;
+  /// Popularity weight of each entity (Zipf mass, larger = more popular).
+  std::vector<double> entity_popularity;
+  /// The ambiguous surface forms, and for each the entities sharing it.
+  std::vector<std::string> ambiguous_surfaces;
+  std::vector<std::vector<kb::EntityId>> surface_entities;
+  /// For each entity, indices into ambiguous_surfaces it participates in.
+  std::vector<std::vector<uint32_t>> entity_ambiguous_surfaces;
+  /// Entities grouped by topic.
+  std::vector<std::vector<kb::EntityId>> topic_entities;
+  /// Canonical (unique) surface of each entity.
+  std::vector<std::string> canonical_surface;
+};
+
+/// Generates a finalized knowledgebase per the options.
+GeneratedKb GenerateKnowledgebase(const KbGenOptions& options);
+
+/// Produces a pronounceable pseudo-name from the rng (e.g. "morandel").
+std::string SyntheticName(Rng* rng);
+
+}  // namespace mel::gen
+
+#endif  // MEL_GEN_KB_GENERATOR_H_

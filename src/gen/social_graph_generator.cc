@@ -1,0 +1,81 @@
+#include "gen/social_graph_generator.h"
+
+#include <algorithm>
+
+#include "graph/graph_builder.h"
+#include "util/logging.h"
+
+namespace mel::gen {
+
+GeneratedSocial GenerateSocialGraph(const SocialGenOptions& options) {
+  MEL_CHECK(options.num_users > 0 && options.num_topics > 0);
+  Rng rng(options.seed);
+  GeneratedSocial out;
+  const uint32_t n = options.num_users;
+
+  // Interest assignment: 1..3 topics per user, Zipf over topics.
+  ZipfSampler topic_sampler(options.num_topics, options.topic_skew);
+  out.user_topics.resize(n);
+  out.topic_users.resize(options.num_topics);
+  out.topic_hubs.resize(options.num_topics);
+  for (uint32_t u = 0; u < n; ++u) {
+    uint32_t k = 1 + static_cast<uint32_t>(rng.Uniform(3));
+    auto& topics = out.user_topics[u];
+    for (uint32_t i = 0; i < k; ++i) {
+      uint32_t t = static_cast<uint32_t>(topic_sampler.Sample(&rng));
+      if (std::find(topics.begin(), topics.end(), t) == topics.end()) {
+        topics.push_back(t);
+      }
+    }
+    for (uint32_t t : topics) out.topic_users[t].push_back(u);
+  }
+
+  // The first hubs_per_topic members of each topic become its hubs.
+  for (uint32_t t = 0; t < options.num_topics; ++t) {
+    auto& users = out.topic_users[t];
+    uint32_t hubs = std::min<uint32_t>(options.hubs_per_topic,
+                                       static_cast<uint32_t>(users.size()));
+    out.topic_hubs[t].assign(users.begin(), users.begin() + hubs);
+  }
+
+  graph::GraphBuilder builder(n);
+  // Global popularity for off-topic follows: earlier users are "older"
+  // accounts with more followers (preferential attachment flavor).
+  ZipfSampler global_pop(n, 0.9);
+  // Per-topic popularity samplers, built once.
+  std::vector<ZipfSampler> member_pop;
+  member_pop.reserve(options.num_topics);
+  for (uint32_t t = 0; t < options.num_topics; ++t) {
+    member_pop.emplace_back(std::max<size_t>(1, out.topic_users[t].size()),
+                            0.7);
+  }
+
+  for (uint32_t u = 0; u < n; ++u) {
+    double expected = std::max(3.0, rng.Normal(options.avg_followees,
+                                               options.avg_followees / 2));
+    uint32_t degree = static_cast<uint32_t>(expected);
+    const auto& topics = out.user_topics[u];
+    for (uint32_t i = 0; i < degree; ++i) {
+      uint32_t target = u;
+      if (!topics.empty() &&
+          rng.UniformDouble() < options.topic_follow_prob) {
+        uint32_t t = topics[rng.Uniform(topics.size())];
+        const auto& hubs = out.topic_hubs[t];
+        const auto& members = out.topic_users[t];
+        if (!hubs.empty() && rng.UniformDouble() < options.hub_follow_prob) {
+          target = hubs[rng.Uniform(hubs.size())];
+        } else if (!members.empty()) {
+          // Popularity-biased pick among the topic's members.
+          target = members[member_pop[t].Sample(&rng)];
+        }
+      } else {
+        target = static_cast<uint32_t>(global_pop.Sample(&rng));
+      }
+      if (target != u) builder.AddEdge(u, target);
+    }
+  }
+  out.graph = std::move(builder).Build();
+  return out;
+}
+
+}  // namespace mel::gen

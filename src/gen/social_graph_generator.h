@@ -1,0 +1,51 @@
+#ifndef MEL_GEN_SOCIAL_GRAPH_GENERATOR_H_
+#define MEL_GEN_SOCIAL_GRAPH_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/directed_graph.h"
+#include "util/random.h"
+
+namespace mel::gen {
+
+/// \brief Parameters of the synthetic followee-follower network.
+///
+/// Substitutes for the crawled Twitter graph: directed, heavy-tailed
+/// in-degree (hub accounts), small-world (the paper relies on an average
+/// separation of ~4.12 hops), and *topic-homophilous* — users
+/// predominantly follow accounts of the topics they care about, which is
+/// the signal the user-interest feature (Sec. 4.1) exploits.
+struct SocialGenOptions {
+  uint32_t num_users = 3000;
+  uint32_t num_topics = 40;  // must match the knowledgebase's topics
+  /// Average number of followees per user.
+  double avg_followees = 20;
+  /// Designated hub accounts per topic (e.g. @NBAOfficial): early users
+  /// of a topic that attract most of that topic's follow edges.
+  uint32_t hubs_per_topic = 3;
+  /// Probability a follow edge targets the follower's own topics.
+  double topic_follow_prob = 0.75;
+  /// Within a topic, probability the target is one of its hubs.
+  double hub_follow_prob = 0.5;
+  /// Zipf skew of user interest over topics.
+  double topic_skew = 0.8;
+  uint64_t seed = 43;
+};
+
+/// \brief The generated network plus its ground-truth interest structure.
+struct GeneratedSocial {
+  graph::DirectedGraph graph;  // edge u -> v means "u follows v"
+  /// Topics each user is interested in (1..3 topics).
+  std::vector<std::vector<uint32_t>> user_topics;
+  /// Hub users of each topic.
+  std::vector<std::vector<uint32_t>> topic_hubs;
+  /// Non-hub users of each topic (hubs excluded), for samplers.
+  std::vector<std::vector<uint32_t>> topic_users;
+};
+
+GeneratedSocial GenerateSocialGraph(const SocialGenOptions& options);
+
+}  // namespace mel::gen
+
+#endif  // MEL_GEN_SOCIAL_GRAPH_GENERATOR_H_

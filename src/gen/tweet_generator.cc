@@ -1,0 +1,197 @@
+#include "gen/tweet_generator.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace mel::gen {
+
+namespace {
+
+// Applies a single-character substitution typo.
+std::string ApplyTypo(const std::string& s, Rng* rng) {
+  if (s.empty()) return s;
+  std::string out = s;
+  size_t pos = rng->Uniform(out.size());
+  char replacement = static_cast<char>('a' + rng->Uniform(26));
+  if (out[pos] == replacement) replacement = replacement == 'z' ? 'a' : replacement + 1;
+  if (out[pos] == ' ') return out;  // keep token structure intact
+  out[pos] = replacement;
+  return out;
+}
+
+}  // namespace
+
+Corpus GenerateTweets(const GeneratedKb& kb_world,
+                      const GeneratedSocial& social,
+                      const TweetGenOptions& options) {
+  Rng rng(options.seed);
+  Corpus corpus;
+  const kb::Knowledgebase& kbase = kb_world.knowledgebase;
+  const uint32_t num_users =
+      static_cast<uint32_t>(social.user_topics.size());
+  const uint32_t num_topics =
+      static_cast<uint32_t>(kb_world.topic_entities.size());
+  MEL_CHECK(num_users > 0);
+
+  // Burst events on popular entities, spread over the timeline.
+  ZipfSampler entity_pop(kbase.num_entities(), 1.0);
+  for (uint32_t i = 0; i < options.num_burst_events; ++i) {
+    BurstEvent event;
+    event.entity = static_cast<kb::EntityId>(entity_pop.Sample(&rng));
+    event.begin = options.start_time +
+                  static_cast<kb::Timestamp>(
+                      rng.Uniform(static_cast<uint64_t>(options.duration)));
+    event.end = event.begin + options.burst_duration;
+    corpus.events.push_back(event);
+  }
+
+  ZipfSampler activity(num_users, options.activity_skew);
+  std::vector<ZipfSampler> topic_entity_pop;
+  topic_entity_pop.reserve(num_topics);
+  for (uint32_t t = 0; t < num_topics; ++t) {
+    topic_entity_pop.emplace_back(
+        std::max<size_t>(1, kb_world.topic_entities[t].size()),
+        options.entity_skew);
+  }
+
+  auto sample_topic_entity = [&](uint32_t topic) -> kb::EntityId {
+    const auto& members = kb_world.topic_entities[topic];
+    if (members.empty()) return kb::kInvalidEntity;
+    return members[topic_entity_pop[topic].Sample(&rng)];
+  };
+
+  auto surface_for = [&](kb::EntityId e) -> std::string {
+    const auto& ambiguous = kb_world.entity_ambiguous_surfaces[e];
+    std::string surface;
+    if (!ambiguous.empty() &&
+        rng.UniformDouble() < options.ambiguous_surface_prob) {
+      surface = kb_world.ambiguous_surfaces[ambiguous[rng.Uniform(
+          ambiguous.size())]];
+    } else {
+      surface = kb_world.canonical_surface[e];
+    }
+    if (options.typo_prob > 0 && rng.Bernoulli(options.typo_prob)) {
+      surface = ApplyTypo(surface, &rng);
+    }
+    return surface;
+  };
+
+  auto append_context = [&](kb::EntityId e, std::string* text) {
+    const auto& description = kbase.entity(e).description;
+    for (uint32_t k = 0; k < options.description_tokens; ++k) {
+      if (description.empty()) break;
+      text->push_back(' ');
+      text->append(
+          kbase.vocab().Word(description[rng.Uniform(description.size())]));
+    }
+  };
+
+  corpus.tweets.reserve(options.num_tweets);
+  for (uint32_t i = 0; i < options.num_tweets; ++i) {
+    LabeledTweet lt;
+    lt.tweet.user = static_cast<kb::UserId>(activity.Sample(&rng));
+    lt.tweet.time =
+        options.start_time +
+        static_cast<kb::Timestamp>(
+            rng.Uniform(static_cast<uint64_t>(options.duration)));
+
+    // Entity choice: bursting entity, else a topic from the author's
+    // interests (or a random one for topic diversity).
+    kb::EntityId entity = kb::kInvalidEntity;
+    if (rng.UniformDouble() < options.burst_tweet_prob) {
+      std::vector<const BurstEvent*> active;
+      for (const auto& event : corpus.events) {
+        if (lt.tweet.time >= event.begin && lt.tweet.time < event.end) {
+          active.push_back(&event);
+        }
+      }
+      if (!active.empty()) {
+        const BurstEvent* event = active[rng.Uniform(active.size())];
+        if (rng.UniformDouble() < options.burst_capture_prob) {
+          entity = event->entity;
+        } else {
+          entity = sample_topic_entity(kb_world.entity_topic[event->entity]);
+        }
+        // Bursts engage the topic's audience: usually re-sample the
+        // author from users interested in the bursting topic.
+        if (entity != kb::kInvalidEntity &&
+            rng.UniformDouble() < options.burst_author_affinity) {
+          uint32_t topic = kb_world.entity_topic[entity];
+          const auto& audience = social.topic_users[topic];
+          if (!audience.empty()) {
+            lt.tweet.user = audience[rng.Uniform(audience.size())];
+          }
+        }
+      }
+    }
+    if (entity == kb::kInvalidEntity) {
+      uint32_t topic;
+      const auto& interests = social.user_topics[lt.tweet.user];
+      if (interests.empty() || rng.UniformDouble() < options.offtopic_prob) {
+        topic = static_cast<uint32_t>(rng.Uniform(num_topics));
+      } else {
+        topic = interests[rng.Uniform(interests.size())];
+      }
+      entity = sample_topic_entity(topic);
+      if (entity == kb::kInvalidEntity) entity = 0;
+      // Hub accounts produce a sizable share of each topic's tweets.
+      const auto& hubs = social.topic_hubs[kb_world.entity_topic[entity]];
+      if (!hubs.empty() && rng.UniformDouble() < options.hub_author_prob) {
+        lt.tweet.user = hubs[rng.Uniform(hubs.size())];
+      }
+    }
+
+    // First mention + optional coherent extra mentions from its topic.
+    std::vector<kb::EntityId> mention_entities{entity};
+    while (rng.UniformDouble() < options.extra_mention_prob &&
+           mention_entities.size() < 4) {
+      kb::EntityId extra =
+          sample_topic_entity(kb_world.entity_topic[entity]);
+      if (extra == kb::kInvalidEntity) break;
+      if (std::find(mention_entities.begin(), mention_entities.end(),
+                    extra) != mention_entities.end()) {
+        break;
+      }
+      mention_entities.push_back(extra);
+    }
+
+    std::string text = "nz" + std::to_string(rng.Uniform(100000));
+    for (kb::EntityId e : mention_entities) {
+      std::string surface = surface_for(e);
+      text.push_back(' ');
+      text.append(surface);
+      append_context(e, &text);
+      lt.mentions.push_back(LabeledMention{std::move(surface), e});
+    }
+    for (uint32_t k = 0; k < options.noise_tokens; ++k) {
+      text.append(" nz" + std::to_string(rng.Uniform(100000)));
+    }
+    // Misleading in-vocabulary tokens from random entities' descriptions.
+    for (uint32_t k = 0; k < options.confuser_tokens; ++k) {
+      const auto& desc =
+          kbase.entity(static_cast<kb::EntityId>(
+                           rng.Uniform(kbase.num_entities())))
+              .description;
+      if (desc.empty()) continue;
+      text.push_back(' ');
+      text.append(kbase.vocab().Word(desc[rng.Uniform(desc.size())]));
+    }
+    lt.tweet.text = std::move(text);
+    corpus.tweets.push_back(std::move(lt));
+  }
+
+  // Stream order: sort by time, then assign ids and group by author.
+  std::stable_sort(corpus.tweets.begin(), corpus.tweets.end(),
+                   [](const LabeledTweet& a, const LabeledTweet& b) {
+                     return a.tweet.time < b.tweet.time;
+                   });
+  corpus.tweets_by_user.resize(num_users);
+  for (uint32_t i = 0; i < corpus.tweets.size(); ++i) {
+    corpus.tweets[i].tweet.id = i;
+    corpus.tweets_by_user[corpus.tweets[i].tweet.user].push_back(i);
+  }
+  return corpus;
+}
+
+}  // namespace mel::gen

@@ -1,0 +1,109 @@
+#ifndef MEL_GEN_TWEET_GENERATOR_H_
+#define MEL_GEN_TWEET_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/kb_generator.h"
+#include "gen/social_graph_generator.h"
+#include "kb/types.h"
+#include "util/random.h"
+
+namespace mel::gen {
+
+/// \brief A ground-truth-labeled mention inside a generated tweet.
+struct LabeledMention {
+  std::string surface;            // as it appears in the text
+  kb::EntityId truth = kb::kInvalidEntity;
+};
+
+/// \brief A generated tweet with its mention labels.
+struct LabeledTweet {
+  kb::Tweet tweet;
+  std::vector<LabeledMention> mentions;
+};
+
+/// \brief A burst event: a window during which one entity dominates its
+/// topic's conversation (an NBA finals game, an ICML edition, ...).
+struct BurstEvent {
+  kb::EntityId entity = kb::kInvalidEntity;
+  kb::Timestamp begin = 0;
+  kb::Timestamp end = 0;
+};
+
+/// \brief Parameters of the synthetic tweet stream.
+struct TweetGenOptions {
+  uint32_t num_tweets = 50000;
+  kb::Timestamp start_time = 0;
+  kb::Timestamp duration = 120 * kb::kSecondsPerDay;
+  /// Zipf skew of user activity ("a large amount of users are information
+  /// seekers who rarely tweet").
+  double activity_skew = 1.1;
+  /// Expected mentions per tweet beyond the first (geometric). The paper
+  /// reports 1.36 mentions/tweet on Twitter and ~2.3 on Sina Weibo.
+  double extra_mention_prob = 0.3;
+  /// Probability a mention uses an ambiguous shared surface rather than
+  /// the entity's canonical one.
+  double ambiguous_surface_prob = 0.85;
+  /// Probability the tweet's topic is unrelated to the author's interests
+  /// (topic diversity of real streams).
+  double offtopic_prob = 0.2;
+  /// Zipf skew of organic entity popularity within a topic. Kept moderate
+  /// so organic 3-day windows stay below the burst threshold theta1 and
+  /// recency fires on genuine bursts only.
+  double entity_skew = 0.8;
+  /// Burst events: how many, how long, and how strongly they pull tweets.
+  uint32_t num_burst_events = 25;
+  kb::Timestamp burst_duration = 4 * kb::kSecondsPerDay;
+  /// Probability that a tweet about a bursting topic is about the
+  /// bursting entity itself.
+  double burst_capture_prob = 0.9;
+  /// Fraction of tweets redirected to currently bursting entities (while
+  /// any event is active).
+  double burst_tweet_prob = 0.5;
+  /// Probability a burst tweet's author is re-sampled from users
+  /// interested in the bursting topic. The remainder keep a random
+  /// author — those mentions are exactly where recency helps and user
+  /// interest cannot (everyone tweets the World Cup).
+  double burst_author_affinity = 0.3;
+  /// Probability a (non-burst) tweet's author is re-assigned to a hub
+  /// account of the tweet's topic. Hub accounts (@NBAOfficial) are
+  /// prolific and topically pure — the precondition for the paper's
+  /// influential-user detection.
+  double hub_author_prob = 0.2;
+  /// Context / noise tokens around each mention.
+  uint32_t description_tokens = 2;
+  uint32_t noise_tokens = 4;
+  /// In-vocabulary tokens drawn from a random topic — misleading context
+  /// (tweets are informal and drift off-topic mid-sentence).
+  uint32_t confuser_tokens = 2;
+  /// Probability of introducing one character typo into a mention
+  /// surface (exercises the fuzzy candidate path; evaluation corpora use
+  /// 0 so NER detection stays exact).
+  double typo_prob = 0.0;
+  uint64_t seed = 44;
+};
+
+/// \brief The generated corpus.
+struct Corpus {
+  std::vector<LabeledTweet> tweets;  // sorted by time ascending
+  std::vector<BurstEvent> events;
+  /// Tweet indices grouped by author.
+  std::vector<std::vector<uint32_t>> tweets_by_user;
+
+  uint32_t NumUsers() const {
+    return static_cast<uint32_t>(tweets_by_user.size());
+  }
+};
+
+/// Generates a corpus over the given knowledgebase and social network.
+/// Users' tweet topics follow their ground-truth interests from `social`,
+/// so the social-interest feature has signal to find.
+Corpus GenerateTweets(const GeneratedKb& kb_world,
+                      const GeneratedSocial& social,
+                      const TweetGenOptions& options);
+
+}  // namespace mel::gen
+
+#endif  // MEL_GEN_TWEET_GENERATOR_H_

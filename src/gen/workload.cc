@@ -1,0 +1,173 @@
+#include "gen/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace mel::gen {
+
+World GenerateWorld(WorldOptions options) {
+  options.social.num_topics = options.kb.num_topics;
+  World world;
+  world.kb_world = GenerateKnowledgebase(options.kb);
+  world.social = GenerateSocialGraph(options.social);
+  world.corpus = GenerateTweets(world.kb_world, world.social, options.tweets);
+  return world;
+}
+
+DatasetSplit FilterActiveUsers(const Corpus& corpus, uint32_t min_tweets) {
+  DatasetSplit split;
+  split.name = "D" + std::to_string(min_tweets);
+  split.min_tweets = min_tweets;
+  for (uint32_t u = 0; u < corpus.tweets_by_user.size(); ++u) {
+    const auto& tweets = corpus.tweets_by_user[u];
+    if (tweets.size() < min_tweets) continue;
+    split.users.push_back(u);
+    split.tweet_indices.insert(split.tweet_indices.end(), tweets.begin(),
+                               tweets.end());
+  }
+  std::sort(split.tweet_indices.begin(), split.tweet_indices.end());
+  return split;
+}
+
+DatasetSplit SampleInactiveUsers(const Corpus& corpus,
+                                 uint32_t max_tweets_per_user,
+                                 uint32_t max_users, uint64_t seed) {
+  DatasetSplit split;
+  split.name = "Dtest";
+  Rng rng(seed);
+  std::vector<uint32_t> eligible;
+  for (uint32_t u = 0; u < corpus.tweets_by_user.size(); ++u) {
+    const auto& tweets = corpus.tweets_by_user[u];
+    if (tweets.empty() || tweets.size() >= max_tweets_per_user) continue;
+    // Keep users with at least one mention-bearing tweet.
+    bool has_mention = false;
+    for (uint32_t ti : tweets) {
+      if (!corpus.tweets[ti].mentions.empty()) {
+        has_mention = true;
+        break;
+      }
+    }
+    if (has_mention) eligible.push_back(u);
+  }
+  rng.Shuffle(&eligible);
+  if (eligible.size() > max_users) eligible.resize(max_users);
+  std::sort(eligible.begin(), eligible.end());
+  split.users = eligible;
+  for (uint32_t u : split.users) {
+    for (uint32_t ti : corpus.tweets_by_user[u]) {
+      if (!corpus.tweets[ti].mentions.empty()) {
+        split.tweet_indices.push_back(ti);
+      }
+    }
+  }
+  std::sort(split.tweet_indices.begin(), split.tweet_indices.end());
+  return split;
+}
+
+std::pair<DatasetSplit, DatasetSplit> SplitDataset(
+    const Corpus& corpus, const DatasetSplit& split, double first_fraction,
+    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint32_t> users = split.users;
+  rng.Shuffle(&users);
+  size_t cut = static_cast<size_t>(users.size() * first_fraction);
+  DatasetSplit first, second;
+  first.name = split.name + "-a";
+  second.name = split.name + "-b";
+  first.min_tweets = second.min_tweets = split.min_tweets;
+  first.users.assign(users.begin(), users.begin() + cut);
+  second.users.assign(users.begin() + cut, users.end());
+  std::sort(first.users.begin(), first.users.end());
+  std::sort(second.users.begin(), second.users.end());
+  auto fill = [&](DatasetSplit* out) {
+    for (uint32_t u : out->users) {
+      for (uint32_t ti : corpus.tweets_by_user[u]) {
+        if (std::binary_search(split.tweet_indices.begin(),
+                               split.tweet_indices.end(), ti)) {
+          out->tweet_indices.push_back(ti);
+        }
+      }
+    }
+    std::sort(out->tweet_indices.begin(), out->tweet_indices.end());
+  };
+  fill(&first);
+  fill(&second);
+  return {std::move(first), std::move(second)};
+}
+
+void ComplementWithOracle(const World& world, const DatasetSplit& split,
+                          double noise_rate, uint64_t seed,
+                          kb::ComplementedKnowledgebase* ckb) {
+  MEL_CHECK(ckb != nullptr);
+  Rng rng(seed);
+  const kb::Knowledgebase& kbase = world.kb();
+  for (uint32_t ti : split.tweet_indices) {
+    const LabeledTweet& lt = world.corpus.tweets[ti];
+    for (const LabeledMention& m : lt.mentions) {
+      kb::EntityId target = m.truth;
+      if (noise_rate > 0 && rng.Bernoulli(noise_rate)) {
+        // Mis-link to a random co-candidate of the same surface, the way
+        // an imperfect offline linker would.
+        auto candidates = kbase.Candidates(m.surface);
+        if (candidates.size() > 1) {
+          kb::EntityId wrong =
+              candidates[rng.Uniform(candidates.size())].entity;
+          if (wrong != target) target = wrong;
+        }
+      }
+      ckb->AddLink(target, kb::Posting{lt.tweet.id, lt.tweet.user,
+                                       lt.tweet.time});
+    }
+  }
+}
+
+void ComplementWithSimulatedLinker(const World& world,
+                                   const DatasetSplit& split,
+                                   double base_noise, double max_noise,
+                                   uint64_t seed,
+                                   kb::ComplementedKnowledgebase* ckb) {
+  MEL_CHECK(ckb != nullptr);
+  Rng rng(seed);
+  const kb::Knowledgebase& kbase = world.kb();
+  for (uint32_t ti : split.tweet_indices) {
+    const LabeledTweet& lt = world.corpus.tweets[ti];
+    size_t history =
+        world.corpus.tweets_by_user[lt.tweet.user].size();
+    double noise = std::min(
+        max_noise, base_noise / std::sqrt(static_cast<double>(
+                                   std::max<size_t>(1, history))));
+    for (const LabeledMention& m : lt.mentions) {
+      kb::EntityId target = m.truth;
+      if (rng.Bernoulli(noise)) {
+        auto candidates = kbase.Candidates(m.surface);
+        if (candidates.size() > 1) {
+          kb::EntityId wrong =
+              candidates[rng.Uniform(candidates.size())].entity;
+          if (wrong != target) target = wrong;
+        }
+      }
+      ckb->AddLink(target, kb::Posting{lt.tweet.id, lt.tweet.user,
+                                       lt.tweet.time});
+    }
+  }
+}
+
+SplitStats ComputeSplitStats(const Corpus& corpus,
+                             const DatasetSplit& split) {
+  SplitStats stats;
+  stats.num_users = static_cast<uint32_t>(split.users.size());
+  stats.num_tweets = static_cast<uint32_t>(split.tweet_indices.size());
+  for (uint32_t ti : split.tweet_indices) {
+    stats.num_mentions +=
+        static_cast<uint32_t>(corpus.tweets[ti].mentions.size());
+  }
+  stats.mentions_per_tweet =
+      stats.num_tweets == 0
+          ? 0
+          : static_cast<double>(stats.num_mentions) / stats.num_tweets;
+  return stats;
+}
+
+}  // namespace mel::gen

@@ -1,0 +1,102 @@
+#ifndef MEL_GEN_WORKLOAD_H_
+#define MEL_GEN_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gen/kb_generator.h"
+#include "gen/social_graph_generator.h"
+#include "gen/tweet_generator.h"
+#include "kb/complemented_kb.h"
+#include "util/random.h"
+
+namespace mel::gen {
+
+/// \brief A complete synthetic world: knowledgebase, followee-follower
+/// network, and labeled tweet corpus. One-stop setup for tests, examples,
+/// and benchmarks.
+struct World {
+  GeneratedKb kb_world;
+  GeneratedSocial social;
+  Corpus corpus;
+
+  const kb::Knowledgebase& kb() const { return kb_world.knowledgebase; }
+};
+
+struct WorldOptions {
+  KbGenOptions kb;
+  SocialGenOptions social;
+  TweetGenOptions tweets;
+};
+
+/// Generates a world; social/tweet topic counts are aligned with the
+/// knowledgebase automatically.
+World GenerateWorld(WorldOptions options);
+
+/// \brief A dataset split in the style of the paper's Table 2: indices of
+/// tweets authored by users with at least `min_tweets` postings.
+struct DatasetSplit {
+  std::string name;           // e.g. "D30"
+  uint32_t min_tweets = 0;    // the activity threshold theta
+  std::vector<uint32_t> users;
+  std::vector<uint32_t> tweet_indices;
+};
+
+/// Tweets of users with >= min_tweets postings (the D10..D90 datasets).
+DatasetSplit FilterActiveUsers(const Corpus& corpus, uint32_t min_tweets);
+
+/// Test split Dtest: up to `max_users` users with fewer than
+/// `max_tweets_per_user` postings (the paper's "information seekers"),
+/// sampled deterministically from `seed`. Only tweets that carry at least
+/// one mention are retained.
+DatasetSplit SampleInactiveUsers(const Corpus& corpus,
+                                 uint32_t max_tweets_per_user,
+                                 uint32_t max_users, uint64_t seed);
+
+/// Partitions a split's users into two disjoint splits (first gets
+/// ~first_fraction of the users, sampled deterministically). Tweet
+/// indices follow the user assignment. Used to carve a validation set
+/// out of Dtest for weight learning.
+std::pair<DatasetSplit, DatasetSplit> SplitDataset(
+    const Corpus& corpus, const DatasetSplit& split, double first_fraction,
+    uint64_t seed);
+
+/// \brief Offline complementation using ground truth (oracle): links every
+/// mention of the split's tweets to its true entity, flipping each link to
+/// a random co-candidate with probability `noise_rate` (imitating the
+/// mistakes a real collective pre-linker makes).
+void ComplementWithOracle(const World& world, const DatasetSplit& split,
+                          double noise_rate, uint64_t seed,
+                          kb::ComplementedKnowledgebase* ckb);
+
+/// \brief Offline complementation with a *simulated* collective pre-linker:
+/// each mention links to its true entity, flipped to a random co-candidate
+/// with a per-user error probability
+///     noise(u) = min(max_noise, base_noise / sqrt(#tweets of u)),
+/// reflecting that collective linking [2] degrades on users with sparse
+/// histories (the cause of the paper's Fig. 4(b) quality-vs-coverage
+/// trade-off). Unlike our from-scratch CollectiveLinker on a small corpus,
+/// errors here are independent across mentions — matching the error
+/// *rate* of a realistic pre-linker without the small-corpus error
+/// *correlation* that would fabricate recency bursts (see DESIGN.md).
+void ComplementWithSimulatedLinker(const World& world,
+                                   const DatasetSplit& split,
+                                   double base_noise, double max_noise,
+                                   uint64_t seed,
+                                   kb::ComplementedKnowledgebase* ckb);
+
+/// \brief Corpus statistics for the Table-2 style report.
+struct SplitStats {
+  uint32_t num_users = 0;
+  uint32_t num_tweets = 0;
+  uint32_t num_mentions = 0;
+  double mentions_per_tweet = 0;
+};
+
+SplitStats ComputeSplitStats(const Corpus& corpus, const DatasetSplit& split);
+
+}  // namespace mel::gen
+
+#endif  // MEL_GEN_WORKLOAD_H_

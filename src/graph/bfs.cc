@@ -1,0 +1,56 @@
+#include "graph/bfs.h"
+
+#include "util/logging.h"
+
+namespace mel::graph {
+
+BfsScratch::BfsScratch(uint32_t num_nodes)
+    : dist_(num_nodes, kUnreachable) {}
+
+template <bool kForward>
+void BfsScratch::Run(const DirectedGraph& g, NodeId source,
+                     uint32_t max_hops) {
+  MEL_CHECK(g.num_nodes() == dist_.size());
+  // Reset only entries touched by the previous run.
+  for (NodeId v : touched_) dist_[v] = kUnreachable;
+  touched_.clear();
+  queue_.clear();
+
+  dist_[source] = 0;
+  touched_.push_back(source);
+  queue_.push_back(source);
+  size_t head = 0;
+  while (head < queue_.size()) {
+    NodeId u = queue_[head++];
+    uint32_t du = dist_[u];
+    if (du >= max_hops) continue;
+    auto nbrs = kForward ? g.OutNeighbors(u) : g.InNeighbors(u);
+    for (NodeId v : nbrs) {
+      if (dist_[v] == kUnreachable) {
+        dist_[v] = du + 1;
+        touched_.push_back(v);
+        queue_.push_back(v);
+      }
+    }
+  }
+}
+
+void BfsScratch::RunForward(const DirectedGraph& g, NodeId source,
+                            uint32_t max_hops) {
+  Run<true>(g, source, max_hops);
+}
+
+void BfsScratch::RunBackward(const DirectedGraph& g, NodeId source,
+                             uint32_t max_hops) {
+  Run<false>(g, source, max_hops);
+}
+
+uint32_t ShortestPathDistance(const DirectedGraph& g, NodeId u, NodeId v,
+                              uint32_t max_hops) {
+  if (u == v) return 0;
+  BfsScratch scratch(g.num_nodes());
+  scratch.RunForward(g, u, max_hops);
+  return scratch.Distance(v);
+}
+
+}  // namespace mel::graph

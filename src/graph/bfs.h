@@ -1,0 +1,54 @@
+#ifndef MEL_GRAPH_BFS_H_
+#define MEL_GRAPH_BFS_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/directed_graph.h"
+
+namespace mel::graph {
+
+/// Distance value meaning "not reachable within the hop bound".
+inline constexpr uint32_t kUnreachable =
+    std::numeric_limits<uint32_t>::max();
+
+/// \brief Reusable breadth-first-search scratch space.
+///
+/// BFS is on the hot path of both index constructions and the naive
+/// reachability baseline; this class keeps the distance array allocated
+/// across runs and resets only the touched entries.
+class BfsScratch {
+ public:
+  explicit BfsScratch(uint32_t num_nodes);
+
+  /// Runs a forward (out-edge) BFS from source up to max_hops levels.
+  /// Afterwards Distance(v) is valid for every touched node.
+  void RunForward(const DirectedGraph& g, NodeId source, uint32_t max_hops);
+
+  /// Runs a backward (in-edge) BFS from source up to max_hops levels.
+  void RunBackward(const DirectedGraph& g, NodeId source, uint32_t max_hops);
+
+  /// Distance from the last run's source (kUnreachable if untouched).
+  uint32_t Distance(NodeId v) const { return dist_[v]; }
+
+  /// Nodes reached by the last run, in BFS order (includes the source).
+  const std::vector<NodeId>& Touched() const { return touched_; }
+
+ private:
+  template <bool kForward>
+  void Run(const DirectedGraph& g, NodeId source, uint32_t max_hops);
+
+  std::vector<uint32_t> dist_;
+  std::vector<NodeId> touched_;
+  std::vector<NodeId> queue_;
+};
+
+/// Single-shot shortest-path distance from u to v bounded by max_hops.
+/// Returns kUnreachable when there is no path within the bound.
+uint32_t ShortestPathDistance(const DirectedGraph& g, NodeId u, NodeId v,
+                              uint32_t max_hops);
+
+}  // namespace mel::graph
+
+#endif  // MEL_GRAPH_BFS_H_

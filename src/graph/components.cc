@@ -1,0 +1,110 @@
+#include "graph/components.h"
+
+#include <algorithm>
+
+namespace mel::graph {
+
+std::vector<uint32_t> ComponentAssignment::ComponentSizes() const {
+  std::vector<uint32_t> sizes(num_components, 0);
+  for (uint32_t c : component) ++sizes[c];
+  return sizes;
+}
+
+ComponentAssignment WeaklyConnectedComponents(const DirectedGraph& g) {
+  const uint32_t n = g.num_nodes();
+  ComponentAssignment out;
+  out.component.assign(n, kInvalidNode);
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < n; ++s) {
+    if (out.component[s] != kInvalidNode) continue;
+    uint32_t cid = out.num_components++;
+    out.component[s] = cid;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      NodeId u = stack.back();
+      stack.pop_back();
+      for (NodeId v : g.OutNeighbors(u)) {
+        if (out.component[v] == kInvalidNode) {
+          out.component[v] = cid;
+          stack.push_back(v);
+        }
+      }
+      for (NodeId v : g.InNeighbors(u)) {
+        if (out.component[v] == kInvalidNode) {
+          out.component[v] = cid;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Iterative Tarjan SCC; recursion would overflow on long chains.
+struct TarjanFrame {
+  NodeId node;
+  uint32_t next_edge;
+};
+
+}  // namespace
+
+ComponentAssignment StronglyConnectedComponents(const DirectedGraph& g) {
+  const uint32_t n = g.num_nodes();
+  constexpr uint32_t kUnvisited = static_cast<uint32_t>(-1);
+
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> scc_stack;
+  std::vector<TarjanFrame> frames;
+  uint32_t next_index = 0;
+
+  ComponentAssignment out;
+  out.component.assign(n, kInvalidNode);
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    frames.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    scc_stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!frames.empty()) {
+      TarjanFrame& frame = frames.back();
+      NodeId u = frame.node;
+      auto nbrs = g.OutNeighbors(u);
+      if (frame.next_edge < nbrs.size()) {
+        NodeId v = nbrs[frame.next_edge++];
+        if (index[v] == kUnvisited) {
+          index[v] = lowlink[v] = next_index++;
+          scc_stack.push_back(v);
+          on_stack[v] = true;
+          frames.push_back({v, 0});
+        } else if (on_stack[v]) {
+          lowlink[u] = std::min(lowlink[u], index[v]);
+        }
+      } else {
+        frames.pop_back();
+        if (!frames.empty()) {
+          NodeId parent = frames.back().node;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[u]);
+        }
+        if (lowlink[u] == index[u]) {
+          uint32_t cid = out.num_components++;
+          for (;;) {
+            NodeId w = scc_stack.back();
+            scc_stack.pop_back();
+            on_stack[w] = false;
+            out.component[w] = cid;
+            if (w == u) break;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mel::graph

@@ -1,0 +1,31 @@
+#ifndef MEL_GRAPH_COMPONENTS_H_
+#define MEL_GRAPH_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/directed_graph.h"
+
+namespace mel::graph {
+
+/// \brief Result of a component decomposition.
+struct ComponentAssignment {
+  /// component[v] is the 0-based component id of node v.
+  std::vector<uint32_t> component;
+  uint32_t num_components = 0;
+
+  /// Sizes indexed by component id.
+  std::vector<uint32_t> ComponentSizes() const;
+};
+
+/// Weakly connected components (edges treated as undirected). Used by the
+/// recency propagation network to find clusters of strongly related
+/// entities after thresholding edges at theta2 (the paper's Graph-Cut step).
+ComponentAssignment WeaklyConnectedComponents(const DirectedGraph& g);
+
+/// Strongly connected components via Tarjan's algorithm (iterative).
+ComponentAssignment StronglyConnectedComponents(const DirectedGraph& g);
+
+}  // namespace mel::graph
+
+#endif  // MEL_GRAPH_COMPONENTS_H_

@@ -1,0 +1,35 @@
+#include "graph/directed_graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace mel::graph {
+
+DirectedGraph::DirectedGraph(uint32_t num_nodes,
+                             std::vector<uint32_t> out_offsets,
+                             std::vector<NodeId> out_targets,
+                             std::vector<uint32_t> in_offsets,
+                             std::vector<NodeId> in_targets)
+    : num_nodes_(num_nodes),
+      out_offsets_(std::move(out_offsets)),
+      out_targets_(std::move(out_targets)),
+      in_offsets_(std::move(in_offsets)),
+      in_targets_(std::move(in_targets)) {
+  MEL_CHECK(out_offsets_.size() == num_nodes_ + 1);
+  MEL_CHECK(in_offsets_.size() == num_nodes_ + 1);
+  MEL_CHECK(out_offsets_.back() == out_targets_.size());
+  MEL_CHECK(in_offsets_.back() == in_targets_.size());
+}
+
+bool DirectedGraph::HasEdge(NodeId u, NodeId v) const {
+  auto nbrs = OutNeighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+uint64_t DirectedGraph::MemoryUsageBytes() const {
+  return (out_offsets_.size() + in_offsets_.size()) * sizeof(uint32_t) +
+         (out_targets_.size() + in_targets_.size()) * sizeof(NodeId);
+}
+
+}  // namespace mel::graph

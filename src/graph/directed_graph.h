@@ -1,0 +1,74 @@
+#ifndef MEL_GRAPH_DIRECTED_GRAPH_H_
+#define MEL_GRAPH_DIRECTED_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mel::graph {
+
+/// Node identifier. Nodes are dense integers [0, num_nodes).
+using NodeId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// \brief Immutable directed graph in compressed-sparse-row form.
+///
+/// Stores both forward (out-neighbour) and reverse (in-neighbour) adjacency
+/// so that forward and backward BFS — both needed by the 2-hop labeling
+/// construction (Algorithm 2 of the paper) — are equally cheap.
+///
+/// In the followee-follower network an edge u -> v means "u follows v",
+/// i.e., v is a followee of u and the out-neighbours of u are exactly the
+/// followee set F_u of Eq. 4.
+class DirectedGraph {
+ public:
+  /// Builds from a sorted, deduplicated CSR representation. Most callers
+  /// should use GraphBuilder instead.
+  DirectedGraph(uint32_t num_nodes, std::vector<uint32_t> out_offsets,
+                std::vector<NodeId> out_targets,
+                std::vector<uint32_t> in_offsets,
+                std::vector<NodeId> in_targets);
+
+  /// Empty graph.
+  DirectedGraph() : num_nodes_(0), out_offsets_{0}, in_offsets_{0} {}
+
+  uint32_t num_nodes() const { return num_nodes_; }
+  uint64_t num_edges() const { return out_targets_.size(); }
+
+  /// Out-neighbours of u (its followees), sorted ascending.
+  std::span<const NodeId> OutNeighbors(NodeId u) const {
+    return {out_targets_.data() + out_offsets_[u],
+            out_targets_.data() + out_offsets_[u + 1]};
+  }
+
+  /// In-neighbours of u (its followers), sorted ascending.
+  std::span<const NodeId> InNeighbors(NodeId u) const {
+    return {in_targets_.data() + in_offsets_[u],
+            in_targets_.data() + in_offsets_[u + 1]};
+  }
+
+  uint32_t OutDegree(NodeId u) const {
+    return out_offsets_[u + 1] - out_offsets_[u];
+  }
+  uint32_t InDegree(NodeId u) const {
+    return in_offsets_[u + 1] - in_offsets_[u];
+  }
+
+  /// True if the edge u -> v exists (binary search over out-neighbours).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Approximate heap footprint of the adjacency arrays, in bytes.
+  uint64_t MemoryUsageBytes() const;
+
+ private:
+  uint32_t num_nodes_;
+  std::vector<uint32_t> out_offsets_;
+  std::vector<NodeId> out_targets_;
+  std::vector<uint32_t> in_offsets_;
+  std::vector<NodeId> in_targets_;
+};
+
+}  // namespace mel::graph
+
+#endif  // MEL_GRAPH_DIRECTED_GRAPH_H_

@@ -1,0 +1,46 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace mel::graph {
+
+void GraphBuilder::AddEdge(NodeId u, NodeId v) {
+  MEL_CHECK(u < num_nodes_ && v < num_nodes_);
+  if (u == v) return;
+  edges_.emplace_back(u, v);
+}
+
+DirectedGraph GraphBuilder::Build() && {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  std::vector<uint32_t> out_offsets(num_nodes_ + 1, 0);
+  std::vector<NodeId> out_targets(edges_.size());
+  for (const auto& [u, v] : edges_) ++out_offsets[u + 1];
+  for (uint32_t i = 0; i < num_nodes_; ++i) out_offsets[i + 1] += out_offsets[i];
+  {
+    std::vector<uint32_t> cursor(out_offsets.begin(), out_offsets.end() - 1);
+    for (const auto& [u, v] : edges_) out_targets[cursor[u]++] = v;
+  }
+
+  std::vector<uint32_t> in_offsets(num_nodes_ + 1, 0);
+  std::vector<NodeId> in_targets(edges_.size());
+  for (const auto& [u, v] : edges_) ++in_offsets[v + 1];
+  for (uint32_t i = 0; i < num_nodes_; ++i) in_offsets[i + 1] += in_offsets[i];
+  {
+    std::vector<uint32_t> cursor(in_offsets.begin(), in_offsets.end() - 1);
+    // Edges are sorted by (u, v); filling in this order keeps each
+    // in-neighbour list sorted by source as well.
+    for (const auto& [u, v] : edges_) in_targets[cursor[v]++] = u;
+  }
+
+  edges_.clear();
+  edges_.shrink_to_fit();
+  return DirectedGraph(num_nodes_, std::move(out_offsets),
+                       std::move(out_targets), std::move(in_offsets),
+                       std::move(in_targets));
+}
+
+}  // namespace mel::graph

@@ -1,0 +1,35 @@
+#ifndef MEL_GRAPH_GRAPH_BUILDER_H_
+#define MEL_GRAPH_GRAPH_BUILDER_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/directed_graph.h"
+
+namespace mel::graph {
+
+/// \brief Accumulates edges and materializes an immutable DirectedGraph.
+///
+/// Self-loops and duplicate edges are silently dropped at Build() time, so
+/// generators may add edges without bookkeeping.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(uint32_t num_nodes) : num_nodes_(num_nodes) {}
+
+  /// Records the directed edge u -> v. Both endpoints must be < num_nodes.
+  void AddEdge(NodeId u, NodeId v);
+
+  /// Number of edges recorded so far (before deduplication).
+  size_t num_pending_edges() const { return edges_.size(); }
+
+  /// Sorts, deduplicates, and builds CSR adjacency in both directions.
+  DirectedGraph Build() &&;
+
+ private:
+  uint32_t num_nodes_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+};
+
+}  // namespace mel::graph
+
+#endif  // MEL_GRAPH_GRAPH_BUILDER_H_

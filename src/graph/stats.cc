@@ -1,0 +1,44 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+namespace mel::graph {
+
+std::string GraphStats::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "nodes=%u edges=%llu avg_deg=%.1f max_out=%u max_in=%u",
+                num_nodes, static_cast<unsigned long long>(num_edges),
+                avg_out_degree, max_out_degree, max_in_degree);
+  return buf;
+}
+
+GraphStats ComputeStats(const DirectedGraph& g) {
+  GraphStats s;
+  s.num_nodes = g.num_nodes();
+  s.num_edges = g.num_edges();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    s.max_out_degree = std::max(s.max_out_degree, g.OutDegree(u));
+    s.max_in_degree = std::max(s.max_in_degree, g.InDegree(u));
+  }
+  s.avg_out_degree =
+      g.num_nodes() == 0
+          ? 0
+          : static_cast<double>(g.num_edges()) / g.num_nodes();
+  return s;
+}
+
+std::vector<NodeId> NodesByDegreeDescending(const DirectedGraph& g) {
+  std::vector<NodeId> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    uint64_t da = static_cast<uint64_t>(g.OutDegree(a)) + g.InDegree(a);
+    uint64_t db = static_cast<uint64_t>(g.OutDegree(b)) + g.InDegree(b);
+    return da > db;
+  });
+  return order;
+}
+
+}  // namespace mel::graph

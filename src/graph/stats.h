@@ -1,0 +1,32 @@
+#ifndef MEL_GRAPH_STATS_H_
+#define MEL_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/directed_graph.h"
+
+namespace mel::graph {
+
+/// \brief Summary statistics matching the columns of the paper's Table 5
+/// (#node, #edge, avg degree, max degree).
+struct GraphStats {
+  uint32_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  double avg_out_degree = 0;
+  uint32_t max_out_degree = 0;
+  uint32_t max_in_degree = 0;
+
+  std::string ToString() const;
+};
+
+GraphStats ComputeStats(const DirectedGraph& g);
+
+/// Nodes sorted by total degree (in + out) descending — the landmark order
+/// used by the pruned-labeling construction (Algorithm 2, line 1).
+std::vector<NodeId> NodesByDegreeDescending(const DirectedGraph& g);
+
+}  // namespace mel::graph
+
+#endif  // MEL_GRAPH_STATS_H_

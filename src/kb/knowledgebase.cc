@@ -1,0 +1,257 @@
+#include "kb/knowledgebase.h"
+
+#include <algorithm>
+
+#include "text/tokenizer.h"
+#include "util/logging.h"
+#include "util/serialize.h"
+
+namespace mel::kb {
+
+uint32_t Vocabulary::Intern(std::string_view word) {
+  auto it = index_.find(std::string(word));
+  if (it != index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(words_.size());
+  words_.emplace_back(word);
+  index_.emplace(words_.back(), id);
+  return id;
+}
+
+uint32_t Vocabulary::Find(std::string_view word) const {
+  auto it = index_.find(std::string(word));
+  return it == index_.end() ? kMissing : it->second;
+}
+
+std::string Knowledgebase::NormalizeSurface(std::string_view surface) {
+  auto tokens = text::Tokenize(surface);
+  std::string out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) out.push_back(' ');
+    out += tokens[i].text;
+  }
+  return out;
+}
+
+EntityId Knowledgebase::AddEntity(
+    std::string name, EntityCategory category,
+    const std::vector<std::string>& description_words) {
+  MEL_CHECK(!finalized_);
+  EntityRecord rec;
+  rec.name = std::move(name);
+  rec.category = category;
+  rec.description.reserve(description_words.size());
+  for (const auto& w : description_words) {
+    rec.description.push_back(vocab_.Intern(w));
+  }
+  entities_.push_back(std::move(rec));
+  inlinks_.emplace_back();
+  outlinks_.emplace_back();
+  return static_cast<EntityId>(entities_.size() - 1);
+}
+
+void Knowledgebase::AddSurfaceForm(std::string_view surface, EntityId entity,
+                                   uint32_t anchor_count) {
+  MEL_CHECK(!finalized_);
+  MEL_CHECK(entity < entities_.size());
+  std::string norm = NormalizeSurface(surface);
+  if (norm.empty()) return;
+  auto [it, inserted] =
+      surface_index_.try_emplace(norm, static_cast<uint32_t>(surfaces_.size()));
+  if (inserted) {
+    surfaces_.push_back(norm);
+    surface_records_.emplace_back();
+  }
+  auto& cands = surface_records_[it->second].candidates;
+  for (auto& c : cands) {
+    if (c.entity == entity) {
+      c.anchor_count += anchor_count;
+      return;
+    }
+  }
+  cands.push_back(Candidate{entity, anchor_count});
+}
+
+void Knowledgebase::AddHyperlink(EntityId from, EntityId to) {
+  MEL_CHECK(!finalized_);
+  MEL_CHECK(from < entities_.size() && to < entities_.size());
+  if (from == to) return;
+  inlinks_[to].push_back(from);
+  outlinks_[from].push_back(to);
+}
+
+void Knowledgebase::Finalize() {
+  if (finalized_) return;
+  for (auto& rec : surface_records_) {
+    std::stable_sort(rec.candidates.begin(), rec.candidates.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       return a.anchor_count > b.anchor_count;
+                     });
+  }
+  for (auto& links : inlinks_) {
+    std::sort(links.begin(), links.end());
+    links.erase(std::unique(links.begin(), links.end()), links.end());
+  }
+  for (auto& links : outlinks_) {
+    std::sort(links.begin(), links.end());
+    links.erase(std::unique(links.begin(), links.end()), links.end());
+  }
+  finalized_ = true;
+}
+
+std::span<const Candidate> Knowledgebase::Candidates(
+    std::string_view surface) const {
+  MEL_CHECK(finalized_);
+  auto it = surface_index_.find(NormalizeSurface(surface));
+  if (it == surface_index_.end()) return {};
+  return surface_records_[it->second].candidates;
+}
+
+bool Knowledgebase::HasSurface(std::string_view surface) const {
+  return surface_index_.contains(NormalizeSurface(surface));
+}
+
+uint32_t Knowledgebase::SurfaceId(std::string_view surface) const {
+  auto it = surface_index_.find(NormalizeSurface(surface));
+  return it == surface_index_.end() ? kInvalidSurface : it->second;
+}
+
+std::span<const Candidate> Knowledgebase::CandidatesBySurfaceId(
+    uint32_t surface_id) const {
+  MEL_CHECK(finalized_);
+  MEL_CHECK(surface_id < surface_records_.size());
+  return surface_records_[surface_id].candidates;
+}
+
+namespace {
+constexpr uint32_t kKbMagic = 0x4d454c4b;  // "MELK"
+constexpr uint32_t kKbVersion = 1;
+}  // namespace
+
+Status Knowledgebase::Save(const std::string& path) const {
+  if (!finalized_) {
+    return Status::FailedPrecondition("knowledgebase is not finalized");
+  }
+  BinaryWriter writer(path);
+  writer.WriteU32(kKbMagic);
+  writer.WriteU32(kKbVersion);
+
+  writer.WriteU64(vocab_.size());
+  for (uint32_t w = 0; w < vocab_.size(); ++w) {
+    writer.WriteString(vocab_.Word(w));
+  }
+
+  writer.WriteU64(entities_.size());
+  for (const EntityRecord& rec : entities_) {
+    writer.WriteString(rec.name);
+    writer.WriteU8(static_cast<uint8_t>(rec.category));
+    writer.WriteVector(rec.description);
+  }
+
+  writer.WriteU64(surfaces_.size());
+  for (uint32_t sid = 0; sid < surfaces_.size(); ++sid) {
+    writer.WriteString(surfaces_[sid]);
+    const auto& cands = surface_records_[sid].candidates;
+    writer.WriteU64(cands.size());
+    for (const Candidate& c : cands) {
+      writer.WriteU32(c.entity);
+      writer.WriteU32(c.anchor_count);
+    }
+  }
+
+  for (const auto& links : outlinks_) writer.WriteVector(links);
+  return writer.Finish();
+}
+
+Result<Knowledgebase> Knowledgebase::Load(const std::string& path) {
+  BinaryReader reader(path);
+  uint32_t magic = reader.ReadU32();
+  uint32_t version = reader.ReadU32();
+  if (!reader.status().ok()) return reader.status();
+  if (magic != kKbMagic) {
+    return Status::InvalidArgument("not a knowledgebase file");
+  }
+  if (version != kKbVersion) {
+    return Status::InvalidArgument("unsupported knowledgebase version");
+  }
+
+  Knowledgebase kb;
+  uint64_t vocab_size = reader.ReadU64();
+  if (!reader.status().ok() || vocab_size > BinaryReader::kMaxElements) {
+    return Status::InvalidArgument("corrupt vocabulary");
+  }
+  for (uint64_t w = 0; w < vocab_size; ++w) {
+    kb.vocab_.Intern(reader.ReadString());
+    if (!reader.status().ok()) return reader.status();
+  }
+
+  uint64_t num_entities = reader.ReadU64();
+  if (!reader.status().ok() || num_entities > BinaryReader::kMaxElements) {
+    return Status::InvalidArgument("corrupt entity count");
+  }
+  for (uint64_t e = 0; e < num_entities; ++e) {
+    EntityRecord rec;
+    rec.name = reader.ReadString();
+    uint8_t category = reader.ReadU8();
+    if (category >= kNumEntityCategories) {
+      return Status::InvalidArgument("corrupt entity category");
+    }
+    rec.category = static_cast<EntityCategory>(category);
+    rec.description = reader.ReadVector<uint32_t>();
+    if (!reader.status().ok()) return reader.status();
+    for (uint32_t token : rec.description) {
+      if (token >= kb.vocab_.size()) {
+        return Status::InvalidArgument("description token out of range");
+      }
+    }
+    kb.entities_.push_back(std::move(rec));
+    kb.inlinks_.emplace_back();
+    kb.outlinks_.emplace_back();
+  }
+
+  uint64_t num_surfaces = reader.ReadU64();
+  if (!reader.status().ok() || num_surfaces > BinaryReader::kMaxElements) {
+    return Status::InvalidArgument("corrupt surface count");
+  }
+  for (uint64_t sid = 0; sid < num_surfaces; ++sid) {
+    std::string surface = reader.ReadString();
+    uint64_t num_cands = reader.ReadU64();
+    if (!reader.status().ok() || num_cands > BinaryReader::kMaxElements) {
+      return Status::InvalidArgument("corrupt candidate count");
+    }
+    for (uint64_t c = 0; c < num_cands; ++c) {
+      EntityId entity = reader.ReadU32();
+      uint32_t anchors = reader.ReadU32();
+      if (!reader.status().ok()) return reader.status();
+      if (entity >= kb.entities_.size()) {
+        return Status::InvalidArgument("candidate entity out of range");
+      }
+      kb.AddSurfaceForm(surface, entity, anchors);
+    }
+  }
+
+  for (EntityId e = 0; e < kb.entities_.size(); ++e) {
+    auto targets = reader.ReadVector<EntityId>();
+    if (!reader.status().ok()) return reader.status();
+    for (EntityId t : targets) {
+      if (t >= kb.entities_.size()) {
+        return Status::InvalidArgument("hyperlink target out of range");
+      }
+      kb.AddHyperlink(e, t);
+    }
+  }
+  if (!reader.status().ok()) return reader.status();
+  kb.Finalize();
+  return kb;
+}
+
+std::span<const EntityId> Knowledgebase::Inlinks(EntityId e) const {
+  MEL_CHECK(finalized_);
+  return inlinks_[e];
+}
+
+std::span<const EntityId> Knowledgebase::Outlinks(EntityId e) const {
+  MEL_CHECK(finalized_);
+  return outlinks_[e];
+}
+
+}  // namespace mel::kb

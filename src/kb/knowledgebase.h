@@ -1,0 +1,140 @@
+#ifndef MEL_KB_KNOWLEDGEBASE_H_
+#define MEL_KB_KNOWLEDGEBASE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "kb/types.h"
+#include "util/status.h"
+
+namespace mel::kb {
+
+/// \brief Interns words to dense token ids (shared by entity descriptions
+/// and the context-similarity features of the baselines).
+class Vocabulary {
+ public:
+  /// Returns the id for the word, creating one if unseen.
+  uint32_t Intern(std::string_view word);
+
+  /// Returns the id, or kMissing when the word was never interned.
+  uint32_t Find(std::string_view word) const;
+
+  const std::string& Word(uint32_t id) const { return words_[id]; }
+  size_t size() const { return words_.size(); }
+
+  static constexpr uint32_t kMissing = static_cast<uint32_t>(-1);
+
+ private:
+  std::vector<std::string> words_;
+  std::unordered_map<std::string, uint32_t> index_;
+};
+
+/// \brief Immutable-after-Finalize knowledgebase: entities, surface forms,
+/// mention->candidate mappings, and the inter-article hyperlink structure
+/// (Definition 4 of the paper; Wikipedia in the original system).
+///
+/// Population order: AddEntity / AddSurfaceForm / AddHyperlink in any
+/// interleaving, then Finalize() exactly once. Read accessors require a
+/// finalized knowledgebase.
+class Knowledgebase {
+ public:
+  struct EntityRecord {
+    std::string name;            // canonical page title
+    EntityCategory category = EntityCategory::kPerson;
+    std::vector<uint32_t> description;  // token ids of the article text
+  };
+
+  Knowledgebase() = default;
+  Knowledgebase(const Knowledgebase&) = delete;
+  Knowledgebase& operator=(const Knowledgebase&) = delete;
+  Knowledgebase(Knowledgebase&&) = default;
+  Knowledgebase& operator=(Knowledgebase&&) = default;
+
+  /// Creates an entity and returns its id. Descriptions are interned
+  /// through vocab().
+  EntityId AddEntity(std::string name, EntityCategory category,
+                     const std::vector<std::string>& description_words);
+
+  /// Maps a surface form (name variation, nickname, redirect, anchor text)
+  /// to an entity. anchor_count is the number of times this anchor text
+  /// pointed at this entity; repeat calls accumulate it.
+  void AddSurfaceForm(std::string_view surface, EntityId entity,
+                      uint32_t anchor_count);
+
+  /// Records that article `from` hyperlinks to article `to`.
+  void AddHyperlink(EntityId from, EntityId to);
+
+  /// Sorts candidate lists and inlink sets; must be called once before any
+  /// read accessor. Idempotent.
+  void Finalize();
+
+  // -- read accessors (require Finalize) ---------------------------------
+
+  uint32_t num_entities() const {
+    return static_cast<uint32_t>(entities_.size());
+  }
+  size_t num_surface_forms() const { return surface_index_.size(); }
+
+  const EntityRecord& entity(EntityId e) const { return entities_[e]; }
+
+  /// Candidate entities of the (normalized) surface form, sorted by
+  /// descending anchor_count. Empty when the surface is unknown.
+  std::span<const Candidate> Candidates(std::string_view surface) const;
+
+  /// True iff the surface form exists in the knowledgebase.
+  bool HasSurface(std::string_view surface) const;
+
+  /// All registered surface forms (normalized) with their ids; the id is
+  /// the index into this list and is stable after Finalize.
+  const std::vector<std::string>& surfaces() const { return surfaces_; }
+
+  /// Candidates by surface id (index into surfaces()).
+  std::span<const Candidate> CandidatesBySurfaceId(uint32_t surface_id) const;
+
+  /// Id of the (normalized) surface form, or kInvalidSurface if unknown.
+  uint32_t SurfaceId(std::string_view surface) const;
+
+  static constexpr uint32_t kInvalidSurface = static_cast<uint32_t>(-1);
+
+  /// Articles linking TO entity e (the set A_e of Eq. 10), sorted.
+  std::span<const EntityId> Inlinks(EntityId e) const;
+
+  /// Articles entity e links to, sorted.
+  std::span<const EntityId> Outlinks(EntityId e) const;
+
+  Vocabulary& vocab() { return vocab_; }
+  const Vocabulary& vocab() const { return vocab_; }
+
+  bool finalized() const { return finalized_; }
+
+  /// Persists the finalized knowledgebase (entities, vocabulary, surface
+  /// forms, hyperlinks) to disk.
+  Status Save(const std::string& path) const;
+
+  /// Loads a knowledgebase written by Save; the result is finalized.
+  static Result<Knowledgebase> Load(const std::string& path);
+
+ private:
+  struct SurfaceRecord {
+    std::vector<Candidate> candidates;
+  };
+
+  static std::string NormalizeSurface(std::string_view surface);
+
+  std::vector<EntityRecord> entities_;
+  std::vector<std::string> surfaces_;
+  std::vector<SurfaceRecord> surface_records_;
+  std::unordered_map<std::string, uint32_t> surface_index_;
+  std::vector<std::vector<EntityId>> inlinks_;
+  std::vector<std::vector<EntityId>> outlinks_;
+  Vocabulary vocab_;
+  bool finalized_ = false;
+};
+
+}  // namespace mel::kb
+
+#endif  // MEL_KB_KNOWLEDGEBASE_H_

@@ -1,0 +1,80 @@
+#ifndef MEL_KB_TYPES_H_
+#define MEL_KB_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace mel::kb {
+
+/// Dense entity identifier (a knowledgebase article).
+using EntityId = uint32_t;
+/// Dense user identifier (a node of the followee-follower network).
+using UserId = uint32_t;
+/// Tweet identifier.
+using TweetId = uint32_t;
+/// Seconds since an arbitrary epoch. All corpus timestamps use this unit.
+using Timestamp = int64_t;
+
+inline constexpr EntityId kInvalidEntity =
+    std::numeric_limits<EntityId>::max();
+inline constexpr UserId kInvalidUser = std::numeric_limits<UserId>::max();
+
+inline constexpr Timestamp kSecondsPerDay = 24 * 60 * 60;
+
+/// \brief A microblog post.
+struct Tweet {
+  TweetId id = 0;
+  UserId user = kInvalidUser;  // d.u in the paper
+  Timestamp time = 0;          // d.t in the paper
+  std::string text;
+};
+
+/// \brief One entry of an entity's posting list in the complemented
+/// knowledgebase: a tweet known to mention the entity.
+struct Posting {
+  TweetId tweet = 0;
+  UserId user = kInvalidUser;
+  Timestamp time = 0;
+};
+
+/// \brief A candidate produced for a mention: entity plus the anchor
+/// statistics used by popularity-style priors.
+struct Candidate {
+  EntityId entity = kInvalidEntity;
+  /// Number of knowledgebase anchors mapping this surface to this entity
+  /// (the "commonness" prior used by the TAGME-style baseline).
+  uint32_t anchor_count = 0;
+};
+
+/// \brief Coarse entity category (Appendix C.1 of the paper).
+enum class EntityCategory : uint8_t {
+  kPerson = 0,
+  kLocation,
+  kCompany,
+  kProduct,
+  kMovieMusic,
+};
+
+inline const char* EntityCategoryName(EntityCategory c) {
+  switch (c) {
+    case EntityCategory::kPerson:
+      return "Person";
+    case EntityCategory::kLocation:
+      return "Location";
+    case EntityCategory::kCompany:
+      return "Company";
+    case EntityCategory::kProduct:
+      return "Product";
+    case EntityCategory::kMovieMusic:
+      return "Movie&Music";
+  }
+  return "Unknown";
+}
+
+inline constexpr int kNumEntityCategories = 5;
+
+}  // namespace mel::kb
+
+#endif  // MEL_KB_TYPES_H_

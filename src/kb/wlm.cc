@@ -1,0 +1,49 @@
+#include "kb/wlm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace mel::kb {
+
+WlmRelatedness::WlmRelatedness(const Knowledgebase* kb) : kb_(kb) {
+  MEL_CHECK(kb != nullptr && kb->finalized());
+  log_total_articles_ =
+      std::log(std::max<uint32_t>(2, kb->num_entities()));
+}
+
+uint32_t WlmRelatedness::InlinkIntersection(EntityId a, EntityId b) const {
+  auto ia = kb_->Inlinks(a);
+  auto ib = kb_->Inlinks(b);
+  uint32_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < ia.size() && j < ib.size()) {
+    if (ia[i] < ib[j]) {
+      ++i;
+    } else if (ia[i] > ib[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+double WlmRelatedness::Relatedness(EntityId a, EntityId b) const {
+  if (a == b) return 1.0;
+  const double na = static_cast<double>(kb_->Inlinks(a).size());
+  const double nb = static_cast<double>(kb_->Inlinks(b).size());
+  if (na == 0 || nb == 0) return 0.0;
+  const double inter = static_cast<double>(InlinkIntersection(a, b));
+  if (inter == 0) return 0.0;
+  const double denom = log_total_articles_ - std::log(std::min(na, nb));
+  if (denom <= 0) return 1.0;  // both linked from (nearly) every article
+  const double rel =
+      1.0 - (std::log(std::max(na, nb)) - std::log(inter)) / denom;
+  return std::clamp(rel, 0.0, 1.0);
+}
+
+}  // namespace mel::kb

@@ -1,0 +1,38 @@
+#ifndef MEL_KB_WLM_H_
+#define MEL_KB_WLM_H_
+
+#include <cstdint>
+
+#include "kb/knowledgebase.h"
+#include "kb/types.h"
+
+namespace mel::kb {
+
+/// \brief Wikipedia Link-based Measure (Witten & Milne), Eq. 10 of the
+/// paper: topical relatedness of two entities from the overlap of the
+/// article sets linking to them.
+///
+///   Rel(e_i, e_j) = 1 - (log(max(|A_i|,|A_j|)) - log(|A_i ∩ A_j|))
+///                       / (log(|A|) - log(min(|A_i|,|A_j|)))
+///
+/// Values are clamped to [0, 1]; pairs with empty inlink sets or empty
+/// intersection score 0.
+class WlmRelatedness {
+ public:
+  /// The knowledgebase must be finalized and outlive this object.
+  explicit WlmRelatedness(const Knowledgebase* kb);
+
+  /// Topical relatedness in [0, 1].
+  double Relatedness(EntityId a, EntityId b) const;
+
+  /// |A_a ∩ A_b|: number of articles linking to both.
+  uint32_t InlinkIntersection(EntityId a, EntityId b) const;
+
+ private:
+  const Knowledgebase* kb_;
+  double log_total_articles_;
+};
+
+}  // namespace mel::kb
+
+#endif  // MEL_KB_WLM_H_

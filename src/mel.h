@@ -1,0 +1,54 @@
+#ifndef MEL_MEL_H_
+#define MEL_MEL_H_
+
+/// \file
+/// Umbrella header: the full public API of the microblog entity linking
+/// library (see README.md for a guided tour).
+///
+/// Typical assembly, mirroring the paper's Fig. 2 pipeline:
+///   1. Build a kb::Knowledgebase and wrap it in a
+///      kb::ComplementedKnowledgebase (offline complementation).
+///   2. Build a reach::* index over the followee-follower graph.
+///   3. Build the recency::PropagationNetwork.
+///   4. Construct a core::EntityLinker and call LinkMention / LinkTweet.
+
+#include "baseline/collective_linker.h"
+#include "baseline/on_the_fly_linker.h"
+#include "core/candidate_generator.h"
+#include "core/entity_linker.h"
+#include "core/parallel_linker.h"
+#include "core/personalized_search.h"
+#include "graph/bfs.h"
+#include "graph/components.h"
+#include "graph/directed_graph.h"
+#include "graph/graph_builder.h"
+#include "graph/stats.h"
+#include "kb/complemented_kb.h"
+#include "kb/knowledgebase.h"
+#include "kb/types.h"
+#include "kb/wlm.h"
+#include "reach/distance_label_index.h"
+#include "reach/naive_reachability.h"
+#include "reach/pruned_online_search.h"
+#include "reach/transitive_closure.h"
+#include "reach/two_hop_index.h"
+#include "reach/weighted_reachability.h"
+#include "recency/burst_tracker.h"
+#include "recency/propagation_network.h"
+#include "recency/recency_propagator.h"
+#include "recency/recency_source.h"
+#include "recency/sliding_window.h"
+#include "social/influence.h"
+#include "social/influential_index.h"
+#include "social/user_interest.h"
+#include "text/edit_distance.h"
+#include "text/gazetteer.h"
+#include "text/qgram_index.h"
+#include "text/tokenizer.h"
+#include "util/random.h"
+#include "util/serialize.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+#endif  // MEL_MEL_H_

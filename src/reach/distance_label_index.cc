@@ -1,0 +1,151 @@
+#include "reach/distance_label_index.h"
+
+#include <algorithm>
+
+#include "graph/stats.h"
+#include "util/logging.h"
+
+namespace mel::reach {
+
+namespace {
+constexpr uint32_t kInf = kUnreachableDistance;
+}  // namespace
+
+DistanceLabelIndex::DistanceLabelIndex(const graph::DirectedGraph* g,
+                                       uint32_t max_hops)
+    : g_(g), max_hops_(max_hops) {
+  in_labels_.resize(g->num_nodes());
+  out_labels_.resize(g->num_nodes());
+  hub_dist_.assign(g->num_nodes(), kInf);
+  in_queue_.assign(g->num_nodes(), 0);
+}
+
+DistanceLabelIndex DistanceLabelIndex::Build(const graph::DirectedGraph* g,
+                                             uint32_t max_hops) {
+  DistanceLabelIndex index(g, max_hops);
+  for (NodeId landmark : graph::NodesByDegreeDescending(*g)) {
+    index.ProcessLandmark(landmark, /*forward=*/false);
+    index.ProcessLandmark(landmark, /*forward=*/true);
+  }
+  for (auto& labels : index.in_labels_) {
+    std::sort(labels.begin(), labels.end(),
+              [](const Label& a, const Label& b) { return a.node < b.node; });
+  }
+  for (auto& labels : index.out_labels_) {
+    std::sort(labels.begin(), labels.end(),
+              [](const Label& a, const Label& b) { return a.node < b.node; });
+  }
+  index.hub_dist_.clear();
+  index.hub_dist_.shrink_to_fit();
+  index.in_queue_.clear();
+  index.in_queue_.shrink_to_fit();
+  return index;
+}
+
+void DistanceLabelIndex::ProcessLandmark(NodeId landmark, bool forward) {
+  // Backward BFS extends L_out of nodes reaching the landmark; forward
+  // BFS extends L_in of nodes the landmark reaches. Queries during
+  // construction meet at hubs recorded for the opposite direction.
+  auto& meet_labels = forward ? out_labels_[landmark] : in_labels_[landmark];
+  auto& grow = forward ? in_labels_ : out_labels_;
+
+  std::vector<NodeId> touched_hubs;
+  for (const Label& label : meet_labels) {
+    hub_dist_[label.node] = label.dist;
+    touched_hubs.push_back(label.node);
+  }
+  hub_dist_[landmark] = 0;
+  touched_hubs.push_back(landmark);
+
+  auto query = [&](NodeId x) -> uint32_t {
+    uint32_t dmin = kInf;
+    for (const Label& label : grow[x]) {
+      uint32_t hd = hub_dist_[label.node];
+      if (hd != kInf) dmin = std::min(dmin, hd + label.dist);
+    }
+    return dmin;
+  };
+
+  std::vector<std::pair<NodeId, uint32_t>> queue;
+  queue.emplace_back(landmark, 0);
+  in_queue_[landmark] = 1;
+  size_t head = 0;
+  while (head < queue.size()) {
+    auto [u, len_u] = queue[head++];
+    if (len_u >= max_hops_) continue;
+    const uint32_t len = len_u + 1;
+    auto nbrs = forward ? g_->OutNeighbors(u) : g_->InNeighbors(u);
+    for (NodeId x : nbrs) {
+      if (x == landmark || in_queue_[x]) continue;
+      if (len < query(x)) {
+        grow[x].push_back(Label{landmark, len});
+        if (len < max_hops_) {
+          in_queue_[x] = 1;
+          queue.emplace_back(x, len);
+        }
+      }
+    }
+  }
+
+  for (NodeId w : touched_hubs) hub_dist_[w] = kInf;
+  for (const auto& [node, len] : queue) in_queue_[node] = 0;
+}
+
+uint32_t DistanceLabelIndex::Distance(NodeId u, NodeId v) const {
+  if (u == v) return 0;
+  const auto& outs = out_labels_[u];
+  const auto& ins = in_labels_[v];
+  uint32_t dmin = kInf;
+  size_t i = 0, j = 0;
+  while (i < outs.size() && j < ins.size()) {
+    if (outs[i].node < ins[j].node) {
+      ++i;
+    } else if (outs[i].node > ins[j].node) {
+      ++j;
+    } else {
+      dmin = std::min(dmin, outs[i].dist + ins[j].dist);
+      ++i;
+      ++j;
+    }
+  }
+  for (const Label& label : outs) {
+    if (label.node == v) dmin = std::min(dmin, label.dist);
+  }
+  for (const Label& label : ins) {
+    if (label.node == u) dmin = std::min(dmin, label.dist);
+  }
+  return dmin > max_hops_ ? kInf : dmin;
+}
+
+ReachQueryResult DistanceLabelIndex::Query(NodeId u, NodeId v) const {
+  ReachQueryResult result;
+  if (u == v) {
+    result.distance = 0;
+    return result;
+  }
+  uint32_t duv = Distance(u, v);
+  if (duv == kInf) return result;
+  result.distance = duv;
+  // Theorem 1: reconstruct F_uv with one distance query per followee.
+  for (NodeId t : g_->OutNeighbors(u)) {
+    if (t == v || Distance(t, v) == duv - 1) result.followees.push_back(t);
+  }
+  return result;
+}
+
+double DistanceLabelIndex::Score(NodeId u, NodeId v) const {
+  return WeightedScore(Query(u, v), g_->OutDegree(u), u == v);
+}
+
+uint64_t DistanceLabelIndex::TotalLabelEntries() const {
+  uint64_t total = 0;
+  for (const auto& labels : in_labels_) total += labels.size();
+  for (const auto& labels : out_labels_) total += labels.size();
+  return total;
+}
+
+uint64_t DistanceLabelIndex::IndexSizeBytes() const {
+  return TotalLabelEntries() * sizeof(Label);
+}
+
+}  // namespace mel::reach

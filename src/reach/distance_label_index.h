@@ -1,0 +1,60 @@
+#ifndef MEL_REACH_DISTANCE_LABEL_INDEX_H_
+#define MEL_REACH_DISTANCE_LABEL_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/directed_graph.h"
+#include "reach/weighted_reachability.h"
+
+namespace mel::reach {
+
+/// \brief Ablation of the paper's extended 2-hop cover: classic pruned
+/// landmark labeling that stores ONLY distances, reconstructing the
+/// followee set at query time through Theorem 1:
+///
+///   F_uv = { t in F_u : d(t, v) = d(u, v) - 1 }
+///
+/// Each weighted query therefore costs 1 + outdeg(u) distance queries,
+/// trading query time for an index that is smaller and much faster to
+/// build than the followee-carrying labels of Algorithm 2. The
+/// bench_followee_storage benchmark quantifies the trade-off.
+class DistanceLabelIndex : public WeightedReachability {
+ public:
+  struct Label {
+    NodeId node;
+    uint32_t dist;
+  };
+
+  /// Builds the index; landmarks in descending total-degree order.
+  static DistanceLabelIndex Build(const graph::DirectedGraph* g,
+                                  uint32_t max_hops);
+
+  /// Shortest-path distance (kUnreachableDistance beyond H hops).
+  uint32_t Distance(NodeId u, NodeId v) const;
+
+  double Score(NodeId u, NodeId v) const override;
+  ReachQueryResult Query(NodeId u, NodeId v) const override;
+  uint64_t IndexSizeBytes() const override;
+  const char* Name() const override { return "2-hop-dist-only"; }
+
+  uint64_t TotalLabelEntries() const;
+
+ private:
+  DistanceLabelIndex(const graph::DirectedGraph* g, uint32_t max_hops);
+
+  void ProcessLandmark(NodeId landmark, bool forward);
+
+  const graph::DirectedGraph* g_;
+  uint32_t max_hops_;
+  std::vector<std::vector<Label>> in_labels_;   // sorted by node
+  std::vector<std::vector<Label>> out_labels_;  // sorted by node
+
+  // Construction scratch.
+  std::vector<uint32_t> hub_dist_;
+  std::vector<uint8_t> in_queue_;
+};
+
+}  // namespace mel::reach
+
+#endif  // MEL_REACH_DISTANCE_LABEL_INDEX_H_

@@ -1,0 +1,34 @@
+#include "reach/naive_reachability.h"
+
+namespace mel::reach {
+
+NaiveReachability::NaiveReachability(const graph::DirectedGraph* g,
+                                     uint32_t max_hops)
+    : g_(g), max_hops_(max_hops), scratch_(g->num_nodes()) {}
+
+ReachQueryResult NaiveReachability::Query(NodeId u, NodeId v) const {
+  ReachQueryResult result;
+  if (u == v) {
+    result.distance = 0;
+    return result;
+  }
+  // Backward BFS from v: Distance(x) is then d_xv for every touched x.
+  scratch_.RunBackward(*g_, v, max_hops_);
+  uint32_t duv = scratch_.Distance(u);
+  if (duv == graph::kUnreachable) return result;
+  result.distance = duv;
+  for (NodeId t : g_->OutNeighbors(u)) {
+    // Theorem 1: t participates in a duv-hop shortest path from u to v
+    // iff d_tv = duv - 1 (v itself qualifies when it is a direct followee).
+    if (t == v || scratch_.Distance(t) == duv - 1) {
+      result.followees.push_back(t);
+    }
+  }
+  return result;
+}
+
+double NaiveReachability::Score(NodeId u, NodeId v) const {
+  return WeightedScore(Query(u, v), g_->OutDegree(u), u == v);
+}
+
+}  // namespace mel::reach

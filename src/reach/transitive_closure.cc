@@ -1,0 +1,300 @@
+#include "reach/transitive_closure.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "graph/bfs.h"
+#include "util/logging.h"
+#include "util/serialize.h"
+
+namespace mel::reach {
+
+TransitiveClosureIndex::TransitiveClosureIndex(const graph::DirectedGraph* g,
+                                               uint32_t max_hops)
+    : g_(g), n_(g->num_nodes()), max_hops_(max_hops) {
+  MEL_CHECK_MSG(max_hops_ < 255, "distances are stored in one byte");
+  score_.assign(static_cast<size_t>(n_) * n_, 0.0f);
+  dist_.assign(static_cast<size_t>(n_) * n_, 0);
+  overlay_out_.resize(n_);
+  overlay_in_.resize(n_);
+}
+
+template <typename Fn>
+void TransitiveClosureIndex::ForEachFollowee(NodeId a, Fn fn) const {
+  for (NodeId t : g_->OutNeighbors(a)) fn(t);
+  for (NodeId t : overlay_out_[a]) fn(t);
+}
+
+template <typename Fn>
+void TransitiveClosureIndex::ForEachFollower(NodeId t, Fn fn) const {
+  for (NodeId a : g_->InNeighbors(t)) fn(a);
+  for (NodeId a : overlay_in_[t]) fn(a);
+}
+
+uint32_t TransitiveClosureIndex::CurrentOutDegree(NodeId u) const {
+  return g_->OutDegree(u) + static_cast<uint32_t>(overlay_out_[u].size());
+}
+
+TransitiveClosureIndex TransitiveClosureIndex::Build(
+    const graph::DirectedGraph* g, uint32_t max_hops, Construction mode) {
+  TransitiveClosureIndex index(g, max_hops);
+  if (mode == Construction::kNaive) {
+    index.BuildNaive();
+  } else {
+    index.BuildIncremental();
+  }
+  return index;
+}
+
+void TransitiveClosureIndex::BuildNaive() {
+  // The paper's strawman: an independent traversal per node pair. One
+  // bounded backward BFS per (u, v) recovers d_uv and the followee
+  // distances needed by Eq. 4.
+  graph::BfsScratch scratch(n_);
+  for (NodeId v = 0; v < n_; ++v) {
+    for (NodeId u = 0; u < n_; ++u) {
+      if (u == v) continue;
+      scratch.RunBackward(*g_, v, max_hops_);
+      uint32_t duv = scratch.Distance(u);
+      if (duv == graph::kUnreachable) continue;
+      dist_[Cell(u, v)] = static_cast<uint8_t>(duv);
+      if (duv == 1) {
+        score_[Cell(u, v)] = 1.0f;  // Algorithm 1 line 3 convention
+        continue;
+      }
+      uint32_t on_shortest = 0;
+      for (NodeId t : g_->OutNeighbors(u)) {
+        if (scratch.Distance(t) == duv - 1) ++on_shortest;
+      }
+      score_[Cell(u, v)] = static_cast<float>(
+          (1.0 / duv) * on_shortest / g_->OutDegree(u));
+    }
+  }
+}
+
+void TransitiveClosureIndex::BuildIncremental() {
+  // Algorithm 1. Level len extends knowledge from levels < len: a followee
+  // t of u lies on a len-hop shortest path to v iff d_tv = len - 1
+  // (Theorem 1), which after len - 1 iterations is equivalent to
+  // dist_[t][v] being set in an earlier level while dist_[u][v] is not.
+  for (NodeId u = 0; u < n_; ++u) {
+    for (NodeId v : g_->OutNeighbors(u)) {
+      score_[Cell(u, v)] = 1.0f;
+      dist_[Cell(u, v)] = 1;
+    }
+  }
+
+  // Epoch-stamped accumulator: counts[v] = n_v, the number of u's
+  // followees that reach v in len - 1 hops.
+  std::vector<uint32_t> counts(n_, 0);
+  std::vector<uint32_t> epoch(n_, 0);
+  std::vector<NodeId> touched;
+  uint32_t current_epoch = 0;
+
+  for (uint32_t len = 2; len <= max_hops_; ++len) {
+    bool any_update = false;
+    for (NodeId u = 0; u < n_; ++u) {
+      auto followees = g_->OutNeighbors(u);
+      if (followees.empty()) continue;
+      ++current_epoch;
+      touched.clear();
+      for (NodeId t : followees) {
+        const uint8_t* trow = dist_.data() + Cell(t, 0);
+        for (NodeId v = 0; v < n_; ++v) {
+          // Set in an earlier level <=> 0 < dist < len.
+          if (trow[v] == 0 || trow[v] >= len) continue;
+          if (epoch[v] != current_epoch) {
+            epoch[v] = current_epoch;
+            counts[v] = 0;
+            touched.push_back(v);
+          }
+          ++counts[v];
+        }
+      }
+      const double inv = 1.0 / (static_cast<double>(len) * followees.size());
+      for (NodeId v : touched) {
+        size_t cell = Cell(u, v);
+        if (dist_[cell] != 0 || v == u) continue;  // shorter path exists
+        dist_[cell] = static_cast<uint8_t>(len);
+        score_[cell] = static_cast<float>(inv * counts[v]);
+        any_update = true;
+      }
+    }
+    if (!any_update) break;  // diameter reached before H
+  }
+}
+
+double TransitiveClosureIndex::Score(NodeId u, NodeId v) const {
+  if (u == v) return 1.0;
+  return score_[Cell(u, v)];
+}
+
+uint32_t TransitiveClosureIndex::Distance(NodeId u, NodeId v) const {
+  if (u == v) return 0;
+  uint8_t d = dist_[Cell(u, v)];
+  return d == 0 ? kUnreachableDistance : d;
+}
+
+ReachQueryResult TransitiveClosureIndex::Query(NodeId u, NodeId v) const {
+  ReachQueryResult result;
+  uint32_t duv = Distance(u, v);
+  if (duv == kUnreachableDistance || u == v) {
+    result.distance = duv;
+    return result;
+  }
+  result.distance = duv;
+  // The matrix keeps distances for every pair, so F_uv can be
+  // reconstructed on demand via Theorem 1 without storing it.
+  ForEachFollowee(u, [&](NodeId t) {
+    if (t == v || Distance(t, v) == duv - 1) result.followees.push_back(t);
+  });
+  std::sort(result.followees.begin(), result.followees.end());
+  return result;
+}
+
+void TransitiveClosureIndex::RecomputeScore(NodeId a, NodeId b) {
+  size_t cell = Cell(a, b);
+  uint8_t d = dist_[cell];
+  if (d == 0) {
+    score_[cell] = 0.0f;
+    return;
+  }
+  if (d == 1) {
+    score_[cell] = 1.0f;  // Algorithm 1 line 3 convention
+    return;
+  }
+  uint32_t on_shortest = 0;
+  ForEachFollowee(a, [&](NodeId t) {
+    if (dist_[Cell(t, b)] == d - 1) ++on_shortest;
+  });
+  uint32_t out_degree = CurrentOutDegree(a);
+  score_[cell] = out_degree == 0
+                     ? 0.0f
+                     : static_cast<float>((1.0 / d) * on_shortest /
+                                          out_degree);
+}
+
+bool TransitiveClosureIndex::InsertEdge(NodeId u, NodeId v) {
+  MEL_CHECK(u < n_ && v < n_);
+  if (u == v) return false;
+  if (g_->HasEdge(u, v)) return false;
+  if (std::find(overlay_out_[u].begin(), overlay_out_[u].end(), v) !=
+      overlay_out_[u].end()) {
+    return false;
+  }
+  overlay_out_[u].push_back(v);
+  overlay_in_[v].push_back(u);
+
+  // Distances shrink only along paths a ~> u -> v ~> b.
+  std::vector<std::pair<NodeId, uint32_t>> sources;  // (a, d(a, u))
+  std::vector<std::pair<NodeId, uint32_t>> targets;  // (b, d(v, b))
+  sources.emplace_back(u, 0);
+  targets.emplace_back(v, 0);
+  for (NodeId a = 0; a < n_; ++a) {
+    if (a != u && dist_[Cell(a, u)] != 0) {
+      sources.emplace_back(a, dist_[Cell(a, u)]);
+    }
+  }
+  for (NodeId b = 0; b < n_; ++b) {
+    if (b != v && dist_[Cell(v, b)] != 0) {
+      targets.emplace_back(b, dist_[Cell(v, b)]);
+    }
+  }
+
+  std::vector<std::pair<NodeId, NodeId>> changed;
+  for (const auto& [a, da] : sources) {
+    for (const auto& [b, db] : targets) {
+      if (a == b) continue;
+      uint32_t cand = da + 1 + db;
+      if (cand > max_hops_) continue;
+      size_t cell = Cell(a, b);
+      if (dist_[cell] == 0 || cand < dist_[cell]) {
+        dist_[cell] = static_cast<uint8_t>(cand);
+        changed.emplace_back(a, b);
+      }
+    }
+  }
+
+  // Scores are a pure function of the distance matrix and followee sets:
+  // repair (1) every changed pair, (2) followers of a changed pair's
+  // source (their Theorem-1 followee set may have gained t), and (3) the
+  // whole live row of u (its out-degree, Eq. 4's denominator, grew).
+  std::unordered_set<uint64_t> repair;
+  auto add = [&](NodeId a, NodeId b) {
+    repair.insert((static_cast<uint64_t>(a) << 32) | b);
+  };
+  for (const auto& [t, b] : changed) {
+    add(t, b);
+    ForEachFollower(t, [&](NodeId a) {
+      if (a != b && dist_[Cell(a, b)] != 0) add(a, b);
+    });
+  }
+  for (NodeId b = 0; b < n_; ++b) {
+    if (b != u && dist_[Cell(u, b)] != 0) add(u, b);
+  }
+  for (uint64_t key : repair) {
+    RecomputeScore(static_cast<NodeId>(key >> 32),
+                   static_cast<NodeId>(key & 0xffffffffu));
+  }
+  return true;
+}
+
+uint64_t TransitiveClosureIndex::IndexSizeBytes() const {
+  return static_cast<uint64_t>(n_) * n_ * (sizeof(float) + sizeof(uint8_t));
+}
+
+namespace {
+constexpr uint32_t kTcMagic = 0x4d454c54;  // "MELT"
+constexpr uint32_t kTcVersion = 1;
+}  // namespace
+
+Status TransitiveClosureIndex::Save(const std::string& path) const {
+  BinaryWriter writer(path);
+  writer.WriteU32(kTcMagic);
+  writer.WriteU32(kTcVersion);
+  writer.WriteU32(n_);
+  writer.WriteU32(max_hops_);
+  writer.WriteVector(dist_);
+  writer.WriteVector(score_);
+  for (NodeId u = 0; u < n_; ++u) writer.WriteVector(overlay_out_[u]);
+  return writer.Finish();
+}
+
+Result<TransitiveClosureIndex> TransitiveClosureIndex::Load(
+    const std::string& path, const graph::DirectedGraph* g) {
+  BinaryReader reader(path);
+  uint32_t magic = reader.ReadU32();
+  uint32_t version = reader.ReadU32();
+  uint32_t n = reader.ReadU32();
+  uint32_t max_hops = reader.ReadU32();
+  if (!reader.status().ok()) return reader.status();
+  if (magic != kTcMagic) {
+    return Status::InvalidArgument("not a transitive-closure index file");
+  }
+  if (version != kTcVersion) {
+    return Status::InvalidArgument("unsupported index version");
+  }
+  if (n != g->num_nodes()) {
+    return Status::FailedPrecondition(
+        "index was built for a graph with a different node count");
+  }
+  TransitiveClosureIndex index(g, max_hops);
+  index.dist_ = reader.ReadVector<uint8_t>();
+  index.score_ = reader.ReadVector<float>();
+  const size_t cells = static_cast<size_t>(n) * n;
+  if (!reader.status().ok()) return reader.status();
+  if (index.dist_.size() != cells || index.score_.size() != cells) {
+    return Status::InvalidArgument("corrupt matrix payload");
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    index.overlay_out_[u] = reader.ReadVector<NodeId>();
+    for (NodeId v : index.overlay_out_[u]) {
+      if (v >= n) return Status::InvalidArgument("corrupt overlay edge");
+      index.overlay_in_[v].push_back(u);
+    }
+  }
+  if (!reader.status().ok()) return reader.status();
+  return index;
+}
+
+}  // namespace mel::reach

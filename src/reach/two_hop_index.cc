@@ -1,0 +1,357 @@
+#include "reach/two_hop_index.h"
+
+#include <algorithm>
+
+#include "graph/stats.h"
+#include "util/logging.h"
+#include "util/serialize.h"
+
+namespace mel::reach {
+
+namespace {
+
+constexpr uint32_t kInf = kUnreachableDistance;
+
+bool Contains(const std::vector<NodeId>& vec, NodeId x) {
+  return std::find(vec.begin(), vec.end(), x) != vec.end();
+}
+
+}  // namespace
+
+TwoHopIndex::TwoHopIndex(const graph::DirectedGraph* g, uint32_t max_hops)
+    : g_(g), max_hops_(max_hops) {
+  in_labels_.resize(g->num_nodes());
+  out_labels_.resize(g->num_nodes());
+  hub_dist_.assign(g->num_nodes(), kInf);
+  in_queue_.assign(g->num_nodes(), 0);
+}
+
+TwoHopIndex TwoHopIndex::Build(const graph::DirectedGraph* g,
+                               uint32_t max_hops) {
+  TwoHopIndex index(g, max_hops);
+  // Algorithm 2 line 1: landmarks in descending degree order, so that hub
+  // nodes prune the most subsequent label entries.
+  for (NodeId landmark : graph::NodesByDegreeDescending(*g)) {
+    index.ProcessLandmarkBackward(landmark);
+    index.ProcessLandmarkForward(landmark);
+  }
+  // Canonical ordering enables two-pointer intersection at query time.
+  for (auto& labels : index.in_labels_) {
+    std::sort(labels.begin(), labels.end(),
+              [](const InLabel& a, const InLabel& b) {
+                return a.node < b.node;
+              });
+  }
+  for (auto& labels : index.out_labels_) {
+    std::sort(labels.begin(), labels.end(),
+              [](const OutLabel& a, const OutLabel& b) {
+                return a.node < b.node;
+              });
+    for (auto& label : labels) {
+      std::sort(label.followees.begin(), label.followees.end());
+    }
+  }
+  // Release construction scratch.
+  index.hub_dist_.clear();
+  index.hub_dist_.shrink_to_fit();
+  index.in_queue_.clear();
+  index.in_queue_.shrink_to_fit();
+  return index;
+}
+
+void TwoHopIndex::ProcessLandmarkBackward(NodeId landmark) {
+  // hub_dist_[w] = d(w, landmark) for every hub w that queries may meet at.
+  std::vector<NodeId> touched_hubs;
+  for (const InLabel& il : in_labels_[landmark]) {
+    hub_dist_[il.node] = il.dist;
+    touched_hubs.push_back(il.node);
+  }
+  hub_dist_[landmark] = 0;
+  touched_hubs.push_back(landmark);
+
+  // Distance + membership query against current labels:
+  // min over hubs w in L_out(s) of d_sw + d(w, landmark); has_u reports
+  // whether u already belongs to the unioned followee set at that minimum.
+  auto query = [&](NodeId s, NodeId u) -> std::pair<uint32_t, bool> {
+    uint32_t dmin = kInf;
+    bool has_u = false;
+    for (const OutLabel& ol : out_labels_[s]) {
+      uint32_t hd = hub_dist_[ol.node];
+      if (hd == kInf) continue;
+      uint32_t total = ol.dist + hd;
+      if (total < dmin) {
+        dmin = total;
+        has_u = Contains(ol.followees, u);
+      } else if (total == dmin && !has_u) {
+        has_u = Contains(ol.followees, u);
+      }
+    }
+    return {dmin, has_u};
+  };
+
+  std::vector<std::pair<NodeId, uint32_t>> queue;
+  queue.emplace_back(landmark, 0);
+  in_queue_[landmark] = 1;
+  size_t head = 0;
+  while (head < queue.size()) {
+    auto [u, len_u] = queue[head++];
+    if (len_u >= max_hops_) continue;
+    const uint32_t len = len_u + 1;
+    for (NodeId s : g_->InNeighbors(u)) {
+      if (s == landmark) continue;
+      auto [d, has_u] = query(s, u);
+      if (len < d) {
+        // A strictly shorter path s -> u ~> landmark: record the landmark
+        // as a hub of s, remembering followee u (Algorithm 2 lines 11-19).
+        out_labels_[s].push_back(OutLabel{landmark, len, {u}});
+        if (len < max_hops_ && !in_queue_[s]) {
+          in_queue_[s] = 1;
+          queue.emplace_back(s, len);
+        }
+      } else if (len == d && !has_u) {
+        // A new shortest path through followee u (lines 20-27). Distances
+        // of s's ancestors are unchanged, so s is not re-enqueued.
+        // Entries for this landmark are only appended during this BFS, so
+        // if one exists it is the most recent.
+        if (!out_labels_[s].empty() &&
+            out_labels_[s].back().node == landmark) {
+          MEL_CHECK(out_labels_[s].back().dist == len);
+          out_labels_[s].back().followees.push_back(u);
+        } else {
+          out_labels_[s].push_back(OutLabel{landmark, len, {u}});
+        }
+      }
+    }
+  }
+
+  for (NodeId w : touched_hubs) hub_dist_[w] = kInf;
+  for (const auto& [node, len] : queue) in_queue_[node] = 0;
+}
+
+void TwoHopIndex::ProcessLandmarkForward(NodeId landmark) {
+  std::vector<NodeId> touched_hubs;
+  for (const OutLabel& ol : out_labels_[landmark]) {
+    hub_dist_[ol.node] = ol.dist;
+    touched_hubs.push_back(ol.node);
+  }
+  hub_dist_[landmark] = 0;
+  touched_hubs.push_back(landmark);
+
+  auto query = [&](NodeId t) -> uint32_t {
+    uint32_t dmin = kInf;
+    for (const InLabel& il : in_labels_[t]) {
+      uint32_t hd = hub_dist_[il.node];
+      if (hd == kInf) continue;
+      dmin = std::min(dmin, hd + il.dist);
+    }
+    return dmin;
+  };
+
+  std::vector<std::pair<NodeId, uint32_t>> queue;
+  queue.emplace_back(landmark, 0);
+  in_queue_[landmark] = 1;
+  size_t head = 0;
+  while (head < queue.size()) {
+    auto [u, len_u] = queue[head++];
+    if (len_u >= max_hops_) continue;
+    const uint32_t len = len_u + 1;
+    for (NodeId t : g_->OutNeighbors(u)) {
+      if (t == landmark) continue;
+      // L_in carries distances only; update when strictly shortened
+      // (Algorithm 2 line 30).
+      if (len < query(t)) {
+        in_labels_[t].push_back(InLabel{landmark, len});
+        if (len < max_hops_ && !in_queue_[t]) {
+          in_queue_[t] = 1;
+          queue.emplace_back(t, len);
+        }
+      }
+    }
+  }
+
+  for (NodeId w : touched_hubs) hub_dist_[w] = kInf;
+  for (const auto& [node, len] : queue) in_queue_[node] = 0;
+}
+
+ReachQueryResult TwoHopIndex::Query(NodeId u, NodeId v) const {
+  ReachQueryResult result;
+  if (u == v) {
+    result.distance = 0;
+    return result;
+  }
+  const auto& outs = out_labels_[u];
+  const auto& ins = in_labels_[v];
+
+  // Pass 1: minimum distance over all meeting hubs, including the two
+  // degenerate hubs w = v (entry of L_out(u)) and w = u (entry of L_in(v)).
+  uint32_t dmin = kInf;
+  {
+    size_t i = 0, j = 0;
+    while (i < outs.size() && j < ins.size()) {
+      if (outs[i].node < ins[j].node) {
+        ++i;
+      } else if (outs[i].node > ins[j].node) {
+        ++j;
+      } else {
+        dmin = std::min(dmin, outs[i].dist + ins[j].dist);
+        ++i;
+        ++j;
+      }
+    }
+  }
+  for (const OutLabel& ol : outs) {
+    if (ol.node == v) dmin = std::min(dmin, ol.dist);
+  }
+  for (const InLabel& il : ins) {
+    if (il.node == u) dmin = std::min(dmin, il.dist);
+  }
+  if (dmin == kInf || dmin > max_hops_) return result;
+  result.distance = dmin;
+
+  // Pass 2 (Theorem 2): union the followee sets of every hub achieving
+  // the minimum distance.
+  {
+    size_t i = 0, j = 0;
+    while (i < outs.size() && j < ins.size()) {
+      if (outs[i].node < ins[j].node) {
+        ++i;
+      } else if (outs[i].node > ins[j].node) {
+        ++j;
+      } else {
+        if (outs[i].dist + ins[j].dist == dmin) {
+          result.followees.insert(result.followees.end(),
+                                  outs[i].followees.begin(),
+                                  outs[i].followees.end());
+        }
+        ++i;
+        ++j;
+      }
+    }
+  }
+  for (const OutLabel& ol : outs) {
+    if (ol.node == v && ol.dist == dmin) {
+      result.followees.insert(result.followees.end(), ol.followees.begin(),
+                              ol.followees.end());
+    }
+  }
+  std::sort(result.followees.begin(), result.followees.end());
+  result.followees.erase(
+      std::unique(result.followees.begin(), result.followees.end()),
+      result.followees.end());
+  return result;
+}
+
+double TwoHopIndex::Score(NodeId u, NodeId v) const {
+  return WeightedScore(Query(u, v), g_->OutDegree(u), u == v);
+}
+
+uint64_t TwoHopIndex::TotalLabelEntries() const {
+  uint64_t total = 0;
+  for (const auto& labels : in_labels_) total += labels.size();
+  for (const auto& labels : out_labels_) total += labels.size();
+  return total;
+}
+
+namespace {
+constexpr uint32_t kTwoHopMagic = 0x4d454c32;  // "MEL2"
+constexpr uint32_t kTwoHopVersion = 1;
+}  // namespace
+
+Status TwoHopIndex::Save(const std::string& path) const {
+  BinaryWriter writer(path);
+  writer.WriteU32(kTwoHopMagic);
+  writer.WriteU32(kTwoHopVersion);
+  writer.WriteU32(static_cast<uint32_t>(in_labels_.size()));
+  writer.WriteU32(max_hops_);
+  for (const auto& labels : in_labels_) {
+    writer.WriteU64(labels.size());
+    for (const InLabel& label : labels) {
+      writer.WriteU32(label.node);
+      writer.WriteU32(label.dist);
+    }
+  }
+  for (const auto& labels : out_labels_) {
+    writer.WriteU64(labels.size());
+    for (const OutLabel& label : labels) {
+      writer.WriteU32(label.node);
+      writer.WriteU32(label.dist);
+      writer.WriteVector(label.followees);
+    }
+  }
+  return writer.Finish();
+}
+
+Result<TwoHopIndex> TwoHopIndex::Load(const std::string& path,
+                                      const graph::DirectedGraph* g) {
+  BinaryReader reader(path);
+  uint32_t magic = reader.ReadU32();
+  uint32_t version = reader.ReadU32();
+  uint32_t n = reader.ReadU32();
+  uint32_t max_hops = reader.ReadU32();
+  if (!reader.status().ok()) return reader.status();
+  if (magic != kTwoHopMagic) {
+    return Status::InvalidArgument("not a 2-hop index file");
+  }
+  if (version != kTwoHopVersion) {
+    return Status::InvalidArgument("unsupported index version");
+  }
+  if (n != g->num_nodes()) {
+    return Status::FailedPrecondition(
+        "index was built for a graph with a different node count");
+  }
+  TwoHopIndex index(g, max_hops);
+  for (NodeId v = 0; v < n; ++v) {
+    uint64_t count = reader.ReadU64();
+    if (!reader.status().ok()) return reader.status();
+    if (count > BinaryReader::kMaxElements) {
+      return Status::InvalidArgument("corrupt label count");
+    }
+    index.in_labels_[v].resize(count);
+    for (auto& label : index.in_labels_[v]) {
+      label.node = reader.ReadU32();
+      label.dist = reader.ReadU32();
+      if (label.node >= n) {
+        return Status::InvalidArgument("corrupt label node id");
+      }
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    uint64_t count = reader.ReadU64();
+    if (!reader.status().ok()) return reader.status();
+    if (count > BinaryReader::kMaxElements) {
+      return Status::InvalidArgument("corrupt label count");
+    }
+    index.out_labels_[v].resize(count);
+    for (auto& label : index.out_labels_[v]) {
+      label.node = reader.ReadU32();
+      label.dist = reader.ReadU32();
+      label.followees = reader.ReadVector<NodeId>();
+      if (label.node >= n) {
+        return Status::InvalidArgument("corrupt label node id");
+      }
+    }
+  }
+  if (!reader.status().ok()) return reader.status();
+  index.hub_dist_.clear();
+  index.hub_dist_.shrink_to_fit();
+  index.in_queue_.clear();
+  index.in_queue_.shrink_to_fit();
+  return index;
+}
+
+uint64_t TwoHopIndex::IndexSizeBytes() const {
+  uint64_t total = 0;
+  for (const auto& labels : in_labels_) {
+    total += labels.size() * sizeof(InLabel);
+  }
+  for (const auto& labels : out_labels_) {
+    total += labels.size() * (sizeof(NodeId) + sizeof(uint32_t) +
+                              sizeof(void*));
+    for (const auto& label : labels) {
+      total += label.followees.size() * sizeof(NodeId);
+    }
+  }
+  return total;
+}
+
+}  // namespace mel::reach

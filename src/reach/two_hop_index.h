@@ -1,0 +1,86 @@
+#ifndef MEL_REACH_TWO_HOP_INDEX_H_
+#define MEL_REACH_TWO_HOP_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/directed_graph.h"
+#include "reach/weighted_reachability.h"
+#include "util/status.h"
+
+namespace mel::reach {
+
+/// \brief Extended 2-hop cover for weighted reachability (Sec. 4.1.1,
+/// Algorithm 2).
+///
+/// A pruned-landmark-labeling index where, unlike classic reachability
+/// labels, the out-labels additionally carry the followee sets needed by
+/// Eq. 4:
+///
+///   L_in(v)  = { (s, d_sv) }            — landmarks reaching v
+///   L_out(v) = { (t, d_vt, F_vt) }      — landmarks reachable from v,
+///                                          with v's followees on the
+///                                          shortest paths to t
+///
+/// A query unions the followee sets of every minimum-distance meeting
+/// landmark (Theorem 2), recovering the exact F_uv. Distances are bounded
+/// by H hops, matching the transitive-closure backend.
+class TwoHopIndex : public WeightedReachability {
+ public:
+  struct InLabel {
+    NodeId node;
+    uint32_t dist;
+  };
+  struct OutLabel {
+    NodeId node;
+    uint32_t dist;
+    std::vector<NodeId> followees;  // sorted after Build
+  };
+
+  /// Builds the index; landmarks are processed in descending total-degree
+  /// order (Algorithm 2 line 1). The graph must outlive the index.
+  static TwoHopIndex Build(const graph::DirectedGraph* g, uint32_t max_hops);
+
+  double Score(NodeId u, NodeId v) const override;
+  ReachQueryResult Query(NodeId u, NodeId v) const override;
+  uint64_t IndexSizeBytes() const override;
+  const char* Name() const override { return "2-hop-cover"; }
+
+  /// Total number of in-label plus out-label entries (index-size metric).
+  uint64_t TotalLabelEntries() const;
+
+  /// Persists the labels to disk.
+  Status Save(const std::string& path) const;
+
+  /// Loads an index previously written by Save. The graph must be the
+  /// same one the index was built from (node count is validated).
+  static Result<TwoHopIndex> Load(const std::string& path,
+                                  const graph::DirectedGraph* g);
+
+  const std::vector<InLabel>& in_labels(NodeId v) const {
+    return in_labels_[v];
+  }
+  const std::vector<OutLabel>& out_labels(NodeId v) const {
+    return out_labels_[v];
+  }
+
+ private:
+  explicit TwoHopIndex(const graph::DirectedGraph* g, uint32_t max_hops);
+
+  void ProcessLandmarkBackward(NodeId landmark);
+  void ProcessLandmarkForward(NodeId landmark);
+
+  const graph::DirectedGraph* g_;
+  uint32_t max_hops_;
+  std::vector<std::vector<InLabel>> in_labels_;
+  std::vector<std::vector<OutLabel>> out_labels_;
+
+  // Construction-time scratch, keyed by node id.
+  std::vector<uint32_t> hub_dist_;   // distance to/from current landmark
+  std::vector<uint8_t> in_queue_;
+};
+
+}  // namespace mel::reach
+
+#endif  // MEL_REACH_TWO_HOP_INDEX_H_

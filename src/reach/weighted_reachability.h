@@ -1,0 +1,70 @@
+#ifndef MEL_REACH_WEIGHTED_REACHABILITY_H_
+#define MEL_REACH_WEIGHTED_REACHABILITY_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/directed_graph.h"
+
+namespace mel::reach {
+
+using graph::NodeId;
+
+/// Distance reported when the target is not reachable within H hops.
+inline constexpr uint32_t kUnreachableDistance =
+    std::numeric_limits<uint32_t>::max();
+
+/// \brief Raw answer of a weighted reachability query (Eq. 5):
+/// shortest-path distance plus the source's followees participating in at
+/// least one shortest path.
+struct ReachQueryResult {
+  uint32_t distance = kUnreachableDistance;
+  std::vector<NodeId> followees;  // F_uv, sorted ascending
+
+  bool reachable() const { return distance != kUnreachableDistance; }
+};
+
+/// \brief Converts a query result to the weighted reachability score of
+/// Eq. 4, with the conventions fixed by Algorithm 1 of the paper:
+///   R(u, u)               = 1            (trivially reachable)
+///   R(u, v), v in F_u     = 1            (Algorithm 1 line 3)
+///   R(u, v), d_uv >= 2    = (1 / d_uv) * |F_uv| / |F_u|
+///   unreachable within H  = 0
+inline double WeightedScore(const ReachQueryResult& r, uint32_t out_degree,
+                            bool same_node) {
+  if (same_node) return 1.0;
+  if (!r.reachable()) return 0.0;
+  if (r.distance == 1) return 1.0;
+  if (out_degree == 0) return 0.0;
+  return (1.0 / r.distance) *
+         (static_cast<double>(r.followees.size()) / out_degree);
+}
+
+/// \brief Common interface of the three weighted-reachability backends
+/// (naive BFS, extended transitive closure, extended 2-hop cover).
+///
+/// All backends answer with identical semantics; they differ in
+/// pre-computation time, index size, and query latency — the trade-off
+/// studied in Table 5 of the paper.
+class WeightedReachability {
+ public:
+  virtual ~WeightedReachability() = default;
+
+  /// Weighted reachability score R(u, v) in [0, 1].
+  virtual double Score(NodeId u, NodeId v) const = 0;
+
+  /// Raw distance + followee-set query (Eq. 5). Backends that only store
+  /// scores (the transitive closure) do not implement this.
+  virtual ReachQueryResult Query(NodeId u, NodeId v) const = 0;
+
+  /// Approximate index footprint in bytes (0 for index-free backends).
+  virtual uint64_t IndexSizeBytes() const = 0;
+
+  /// Human-readable backend name for benchmark tables.
+  virtual const char* Name() const = 0;
+};
+
+}  // namespace mel::reach
+
+#endif  // MEL_REACH_WEIGHTED_REACHABILITY_H_

@@ -1,0 +1,69 @@
+#include "recency/burst_tracker.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace mel::recency {
+
+BurstTracker::BurstTracker(uint32_t num_entities, kb::Timestamp tau,
+                           uint32_t num_buckets, uint32_t theta1)
+    : tau_(tau), num_buckets_(num_buckets), theta1_(theta1) {
+  MEL_CHECK(tau > 0 && num_buckets > 0);
+  bucket_width_ = std::max<kb::Timestamp>(1, tau / num_buckets);
+  // One spare slot so the retained span is tau + bucket_width: a query
+  // issued anywhere inside the head bucket still finds every bucket that
+  // intersects [now - tau, now], making the approximation one-sided
+  // (trailing-edge over-count only).
+  slots_ = num_buckets_ + 1;
+  rings_.resize(num_entities);
+  for (auto& ring : rings_) ring.counts.assign(slots_, 0);
+}
+
+void BurstTracker::Observe(kb::EntityId e, kb::Timestamp t) {
+  MEL_CHECK(e < rings_.size());
+  Ring& ring = rings_[e];
+  int64_t bucket = BucketOf(t);
+  if (ring.head_bucket < 0) {
+    ring.head_bucket = bucket;
+  } else if (bucket > ring.head_bucket) {
+    // Advance the head, zeroing the buckets we skip over (they now
+    // represent future time slots being reused).
+    int64_t advance =
+        std::min<int64_t>(bucket - ring.head_bucket, slots_);
+    for (int64_t i = 1; i <= advance; ++i) {
+      ring.counts[(ring.head_bucket + i) % slots_] = 0;
+    }
+    ring.head_bucket = bucket;
+  } else if (ring.head_bucket - bucket >= slots_) {
+    return;  // older than the retained window: already expired
+  }
+  ring.counts[bucket % slots_] += 1;
+}
+
+uint32_t BurstTracker::ApproxRecentCount(kb::EntityId e,
+                                         kb::Timestamp now) const {
+  MEL_CHECK(e < rings_.size());
+  const Ring& ring = rings_[e];
+  if (ring.head_bucket < 0) return 0;
+  int64_t now_bucket = BucketOf(now);
+  int64_t oldest_bucket = BucketOf(std::max<kb::Timestamp>(0, now - tau_));
+  uint32_t total = 0;
+  for (int64_t b = oldest_bucket; b <= now_bucket; ++b) {
+    if (b > ring.head_bucket) break;        // future relative to data
+    if (ring.head_bucket - b >= slots_) continue;  // evicted
+    total += ring.counts[b % slots_];
+  }
+  return total;
+}
+
+double BurstTracker::BurstMass(kb::EntityId e, kb::Timestamp now) const {
+  uint32_t count = ApproxRecentCount(e, now);
+  return count >= theta1_ ? static_cast<double>(count) : 0.0;
+}
+
+uint64_t BurstTracker::MemoryUsageBytes() const {
+  return rings_.size() * (sizeof(Ring) + slots_ * sizeof(uint32_t));
+}
+
+}  // namespace mel::recency

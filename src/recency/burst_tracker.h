@@ -1,0 +1,74 @@
+#ifndef MEL_RECENCY_BURST_TRACKER_H_
+#define MEL_RECENCY_BURST_TRACKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "kb/types.h"
+#include "recency/recency_source.h"
+
+namespace mel::recency {
+
+/// \brief Streaming sliding-window recency counter.
+///
+/// The reference SlidingWindowRecency answers |D_e^tau| by binary search
+/// over full posting lists — exact, but it retains every link forever.
+/// At the paper's target rate (Sec. 5.2.2: ~5000 tweets/second) a
+/// deployment wants O(1) updates and O(1) memory per entity; this
+/// tracker keeps a ring of `num_buckets` counters per entity covering
+/// the window tau, trading bucket-granularity approximation (the window
+/// edge is rounded to a bucket boundary, i.e., a relative error of at
+/// most 1/num_buckets of the window) for constant-time maintenance.
+///
+/// Observations may arrive slightly out of order; anything older than
+/// the retained window is dropped (it would have expired anyway).
+class BurstTracker : public RecencySource {
+ public:
+  /// \param num_entities dense entity-id space size
+  /// \param tau window length in seconds (paper: 3 days)
+  /// \param num_buckets ring resolution (16 gives <= 6.25% edge error)
+  /// \param theta1 burst threshold of Eq. 9
+  BurstTracker(uint32_t num_entities, kb::Timestamp tau,
+               uint32_t num_buckets, uint32_t theta1);
+
+  /// Records one tweet linked to entity e at time t. O(1) amortized.
+  void Observe(kb::EntityId e, kb::Timestamp t);
+
+  /// Approximate |D_e^tau| at time `now` (counts the buckets whose span
+  /// intersects [now - tau, now]).
+  uint32_t ApproxRecentCount(kb::EntityId e, kb::Timestamp now) const;
+
+  /// RecencySource: same as ApproxRecentCount.
+  uint32_t RecentCount(kb::EntityId e, kb::Timestamp now) const override {
+    return ApproxRecentCount(e, now);
+  }
+
+  /// Thresholded burst mass, like SlidingWindowRecency::BurstMass.
+  double BurstMass(kb::EntityId e, kb::Timestamp now) const override;
+
+  /// Bytes held by the rings.
+  uint64_t MemoryUsageBytes() const;
+
+  kb::Timestamp bucket_width() const { return bucket_width_; }
+
+ private:
+  struct Ring {
+    // head_bucket is the absolute bucket index stored at slot
+    // head_bucket % num_buckets; older buckets wrap behind it.
+    int64_t head_bucket = -1;
+    std::vector<uint32_t> counts;
+  };
+
+  int64_t BucketOf(kb::Timestamp t) const { return t / bucket_width_; }
+
+  kb::Timestamp tau_;
+  kb::Timestamp bucket_width_;
+  uint32_t num_buckets_;
+  uint32_t slots_ = 0;  // num_buckets_ + 1 (see constructor comment)
+  uint32_t theta1_;
+  std::vector<Ring> rings_;
+};
+
+}  // namespace mel::recency
+
+#endif  // MEL_RECENCY_BURST_TRACKER_H_

@@ -1,0 +1,159 @@
+#include "recency/propagation_network.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace mel::recency {
+
+namespace {
+
+uint64_t PairKey(kb::EntityId a, kb::EntityId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+// Simple union-find for cluster detection.
+class UnionFind {
+ public:
+  explicit UnionFind(uint32_t n) : parent_(n) {
+    for (uint32_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) parent_[a] = b;
+  }
+
+ private:
+  std::vector<uint32_t> parent_;
+};
+
+}  // namespace
+
+PropagationNetwork PropagationNetwork::Build(const kb::Knowledgebase& kb,
+                                             double theta2) {
+  MEL_CHECK(kb.finalized());
+  const uint32_t n = kb.num_entities();
+  kb::WlmRelatedness wlm(&kb);
+
+  // Heuristic 1: no recency flow between candidates of the same mention.
+  std::unordered_set<uint64_t> excluded;
+  for (const std::string& surface : kb.surfaces()) {
+    auto cands = kb.Candidates(surface);
+    for (size_t i = 0; i < cands.size(); ++i) {
+      for (size_t j = i + 1; j < cands.size(); ++j) {
+        excluded.insert(PairKey(cands[i].entity, cands[j].entity));
+      }
+    }
+  }
+
+  // Candidate pairs by hyperlink co-citation: WLM is positive only for
+  // entities sharing an inlinking article.
+  std::unordered_set<uint64_t> seen;
+  std::vector<std::pair<kb::EntityId, kb::EntityId>> edges;
+  for (kb::EntityId a = 0; a < n; ++a) {
+    auto outs = kb.Outlinks(a);
+    for (size_t i = 0; i < outs.size(); ++i) {
+      for (size_t j = i + 1; j < outs.size(); ++j) {
+        uint64_t key = PairKey(outs[i], outs[j]);
+        if (!seen.insert(key).second) continue;
+        if (excluded.contains(key)) continue;
+        if (wlm.Relatedness(outs[i], outs[j]) >= theta2) {
+          edges.emplace_back(outs[i], outs[j]);
+        }
+      }
+    }
+  }
+
+  PropagationNetwork net;
+  net.num_edges_ = edges.size();
+
+  // Undirected adjacency in CSR form, with WLM weights.
+  net.adj_offsets_.assign(n + 1, 0);
+  for (const auto& [a, b] : edges) {
+    ++net.adj_offsets_[a + 1];
+    ++net.adj_offsets_[b + 1];
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    net.adj_offsets_[i + 1] += net.adj_offsets_[i];
+  }
+  net.adj_.resize(edges.size() * 2);
+  {
+    std::vector<uint32_t> cursor(net.adj_offsets_.begin(),
+                                 net.adj_offsets_.end() - 1);
+    for (const auto& [a, b] : edges) {
+      double w = wlm.Relatedness(a, b);
+      net.adj_[cursor[a]++] = Edge{b, w, 0};
+      net.adj_[cursor[b]++] = Edge{a, w, 0};
+    }
+  }
+  // Row-normalize edge weights into propagation probabilities.
+  for (uint32_t e = 0; e < n; ++e) {
+    double total = 0;
+    for (uint32_t i = net.adj_offsets_[e]; i < net.adj_offsets_[e + 1]; ++i) {
+      total += net.adj_[i].weight;
+    }
+    if (total <= 0) continue;
+    for (uint32_t i = net.adj_offsets_[e]; i < net.adj_offsets_[e + 1]; ++i) {
+      net.adj_[i].probability = net.adj_[i].weight / total;
+    }
+  }
+
+  // Clusters = connected components of the thresholded graph.
+  UnionFind uf(n);
+  for (const auto& [a, b] : edges) uf.Union(a, b);
+  net.cluster_of_.assign(n, 0);
+  std::vector<uint32_t> root_to_cluster(n, static_cast<uint32_t>(-1));
+  for (uint32_t e = 0; e < n; ++e) {
+    uint32_t root = uf.Find(e);
+    if (root_to_cluster[root] == static_cast<uint32_t>(-1)) {
+      root_to_cluster[root] = net.num_clusters_++;
+    }
+    net.cluster_of_[e] = root_to_cluster[root];
+  }
+  net.cluster_offsets_.assign(net.num_clusters_ + 1, 0);
+  for (uint32_t e = 0; e < n; ++e) ++net.cluster_offsets_[net.cluster_of_[e] + 1];
+  for (uint32_t c = 0; c < net.num_clusters_; ++c) {
+    net.cluster_offsets_[c + 1] += net.cluster_offsets_[c];
+  }
+  net.cluster_members_.resize(n);
+  {
+    std::vector<uint32_t> cursor(net.cluster_offsets_.begin(),
+                                 net.cluster_offsets_.end() - 1);
+    for (uint32_t e = 0; e < n; ++e) {
+      net.cluster_members_[cursor[net.cluster_of_[e]]++] = e;
+    }
+  }
+  return net;
+}
+
+std::span<const kb::EntityId> PropagationNetwork::ClusterMembers(
+    uint32_t cluster) const {
+  MEL_CHECK(cluster < num_clusters_);
+  return {cluster_members_.data() + cluster_offsets_[cluster],
+          cluster_members_.data() + cluster_offsets_[cluster + 1]};
+}
+
+std::span<const PropagationNetwork::Edge> PropagationNetwork::Neighbors(
+    kb::EntityId e) const {
+  return {adj_.data() + adj_offsets_[e], adj_.data() + adj_offsets_[e + 1]};
+}
+
+uint32_t PropagationNetwork::MaxClusterSize() const {
+  uint32_t best = 0;
+  for (uint32_t c = 0; c < num_clusters_; ++c) {
+    best = std::max(best, cluster_offsets_[c + 1] - cluster_offsets_[c]);
+  }
+  return best;
+}
+
+}  // namespace mel::recency

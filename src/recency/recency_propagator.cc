@@ -1,0 +1,102 @@
+#include "recency/recency_propagator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace mel::recency {
+
+RecencyPropagator::RecencyPropagator(const PropagationNetwork* network,
+                                     const RecencySource* source,
+                                     const PropagatorOptions& options)
+    : network_(network), source_(source), options_(options) {
+  MEL_CHECK(network != nullptr && source != nullptr);
+  MEL_CHECK(options.lambda >= 0 && options.lambda <= 1);
+}
+
+std::vector<double> RecencyPropagator::PropagateCluster(
+    uint32_t cluster, kb::Timestamp now) const {
+  auto members = network_->ClusterMembers(cluster);
+  const size_t m = members.size();
+
+  // Initial vector S_r^0: raw thresholded burst mass. The vector is NOT
+  // normalized here — the iteration of Eq. 11 is linear, and keeping raw
+  // masses preserves relative burst magnitude across clusters so the
+  // final candidate-set normalization (Eq. 9) stays meaningful.
+  std::vector<double> initial(m, 0.0);
+  double total = 0;
+  for (size_t i = 0; i < m; ++i) {
+    initial[i] = source_->BurstMass(members[i], now);
+    total += initial[i];
+  }
+  if (total == 0 || m == 1) return initial;  // nothing to diffuse
+
+  // Local index of each member for neighbour lookups.
+  std::unordered_map<kb::EntityId, uint32_t> local;
+  local.reserve(m * 2);
+  for (size_t i = 0; i < m; ++i) local.emplace(members[i], i);
+
+  std::vector<double> current = initial;
+  std::vector<double> next(m);
+  const double lambda = options_.lambda;
+  for (uint32_t iter = 0; iter < options_.max_iterations; ++iter) {
+    double delta = 0;
+    for (size_t i = 0; i < m; ++i) {
+      double pulled = 0;
+      for (const auto& edge : network_->Neighbors(members[i])) {
+        auto it = local.find(edge.target);
+        // Neighbours are always in the same cluster by construction.
+        MEL_CHECK(it != local.end());
+        pulled += edge.probability * current[it->second];
+      }
+      next[i] = lambda * initial[i] + (1 - lambda) * pulled;
+      delta += std::abs(next[i] - current[i]);
+    }
+    current.swap(next);
+    if (delta < options_.convergence_epsilon) break;
+  }
+  return current;
+}
+
+std::vector<double> RecencyPropagator::CandidateScores(
+    std::span<const kb::EntityId> candidates, kb::Timestamp now,
+    bool enable_propagation) const {
+  std::vector<double> raw(candidates.size(), 0.0);
+  if (!enable_propagation) {
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      raw[i] = source_->BurstMass(candidates[i], now);
+    }
+  } else {
+    // Propagate once per distinct cluster among the candidates.
+    std::vector<std::pair<uint32_t, std::vector<double>>> cluster_results;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      uint32_t cluster = network_->Cluster(candidates[i]);
+      const std::vector<double>* result = nullptr;
+      for (const auto& [cid, values] : cluster_results) {
+        if (cid == cluster) {
+          result = &values;
+          break;
+        }
+      }
+      if (result == nullptr) {
+        cluster_results.emplace_back(cluster,
+                                     PropagateCluster(cluster, now));
+        result = &cluster_results.back().second;
+      }
+      auto members = network_->ClusterMembers(cluster);
+      auto it = std::find(members.begin(), members.end(), candidates[i]);
+      MEL_CHECK(it != members.end());
+      raw[i] = (*result)[static_cast<size_t>(it - members.begin())];
+    }
+  }
+  // Normalize over the candidate set (Eq. 9's denominator role).
+  double total = 0;
+  for (double v : raw) total += v;
+  if (total > 0) {
+    for (double& v : raw) v /= total;
+  }
+  return raw;
+}
+
+}  // namespace mel::recency

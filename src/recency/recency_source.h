@@ -1,0 +1,32 @@
+#ifndef MEL_RECENCY_RECENCY_SOURCE_H_
+#define MEL_RECENCY_RECENCY_SOURCE_H_
+
+#include <cstdint>
+
+#include "kb/types.h"
+
+namespace mel::recency {
+
+/// \brief Source of per-entity recent-tweet mass for the propagation
+/// model.
+///
+/// Two implementations ship with the library:
+///  * SlidingWindowRecency — exact counts by binary search over the
+///    complemented knowledgebase's posting lists (the evaluation setup);
+///  * BurstTracker — O(1)-maintenance bucketed ring counters for
+///    streaming deployments that cannot retain full posting lists.
+class RecencySource {
+ public:
+  virtual ~RecencySource() = default;
+
+  /// |D_e^tau| (possibly approximate) at time `now`.
+  virtual uint32_t RecentCount(kb::EntityId e, kb::Timestamp now) const = 0;
+
+  /// Thresholded burst mass: RecentCount when >= theta1, else 0 (the
+  /// un-normalized Eq. 9 numerator and the propagation seed).
+  virtual double BurstMass(kb::EntityId e, kb::Timestamp now) const = 0;
+};
+
+}  // namespace mel::recency
+
+#endif  // MEL_RECENCY_RECENCY_SOURCE_H_

@@ -1,0 +1,42 @@
+#include "recency/sliding_window.h"
+
+#include "util/logging.h"
+
+namespace mel::recency {
+
+SlidingWindowRecency::SlidingWindowRecency(
+    const kb::ComplementedKnowledgebase* ckb, kb::Timestamp tau,
+    uint32_t theta1)
+    : ckb_(ckb), tau_(tau), theta1_(theta1) {
+  MEL_CHECK(ckb != nullptr);
+  MEL_CHECK(tau > 0);
+}
+
+uint32_t SlidingWindowRecency::RecentCount(kb::EntityId e,
+                                           kb::Timestamp now) const {
+  return ckb_->RecentTweetCount(e, now, tau_);
+}
+
+double SlidingWindowRecency::BurstMass(kb::EntityId e,
+                                       kb::Timestamp now) const {
+  uint32_t count = RecentCount(e, now);
+  return count >= theta1_ ? static_cast<double>(count) : 0.0;
+}
+
+std::vector<double> SlidingWindowRecency::Scores(
+    std::span<const kb::EntityId> candidates, kb::Timestamp now) const {
+  std::vector<double> scores(candidates.size(), 0.0);
+  double denom = 0;
+  std::vector<uint32_t> counts(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    counts[i] = RecentCount(candidates[i], now);
+    denom += counts[i];
+  }
+  if (denom == 0) return scores;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (counts[i] >= theta1_) scores[i] = counts[i] / denom;
+  }
+  return scores;
+}
+
+}  // namespace mel::recency

@@ -1,0 +1,51 @@
+#ifndef MEL_RECENCY_SLIDING_WINDOW_H_
+#define MEL_RECENCY_SLIDING_WINDOW_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kb/complemented_kb.h"
+#include "kb/types.h"
+#include "recency/recency_source.h"
+
+namespace mel::recency {
+
+/// \brief Sliding-window burst detector (Sec. 4.2, Eq. 9).
+///
+/// An entity is "fresh" when at least theta1 tweets were linked to it
+/// inside the window [now - tau, now]. Scores are normalized over a
+/// mention's candidate set.
+class SlidingWindowRecency : public RecencySource {
+ public:
+  /// \param ckb complemented knowledgebase (must outlive this object)
+  /// \param tau window length in seconds (paper default: 3 days)
+  /// \param theta1 minimum recent tweets forming a burst (default: 10)
+  SlidingWindowRecency(const kb::ComplementedKnowledgebase* ckb,
+                       kb::Timestamp tau, uint32_t theta1);
+
+  /// |D_e^tau|: tweets linked to e in the window ending at `now`.
+  uint32_t RecentCount(kb::EntityId e, kb::Timestamp now) const override;
+
+  /// Thresholded burst mass: |D_e^tau| when >= theta1, else 0. This is
+  /// the un-normalized numerator of Eq. 9 and the initial recency fed to
+  /// the propagation model.
+  double BurstMass(kb::EntityId e, kb::Timestamp now) const override;
+
+  /// Eq. 9 for a whole candidate set: the i-th result is S_r of
+  /// candidates[i], normalized by the total recent count over the set.
+  std::vector<double> Scores(std::span<const kb::EntityId> candidates,
+                             kb::Timestamp now) const;
+
+  kb::Timestamp tau() const { return tau_; }
+  uint32_t theta1() const { return theta1_; }
+
+ private:
+  const kb::ComplementedKnowledgebase* ckb_;
+  kb::Timestamp tau_;
+  uint32_t theta1_;
+};
+
+}  // namespace mel::recency
+
+#endif  // MEL_RECENCY_SLIDING_WINDOW_H_

@@ -1,0 +1,73 @@
+#include "social/influential_index.h"
+
+#include "util/logging.h"
+
+namespace mel::social {
+
+InfluentialUserIndex::InfluentialUserIndex(
+    const kb::ComplementedKnowledgebase* ckb, InfluenceMethod method,
+    uint32_t top_k)
+    : ckb_(ckb), estimator_(ckb, method), top_k_(top_k) {
+  MEL_CHECK(ckb != nullptr);
+  const kb::Knowledgebase& kbase = ckb->base();
+  cache_.resize(kbase.surfaces().size());
+  for (uint32_t sid = 0; sid < kbase.surfaces().size(); ++sid) {
+    for (const kb::Candidate& c : kbase.CandidatesBySurfaceId(sid)) {
+      entity_surfaces_[c.entity].push_back(sid);
+    }
+  }
+}
+
+void InfluentialUserIndex::FillSurface(uint32_t surface_id) {
+  SurfaceCache& entry = cache_[surface_id];
+  auto candidates = ckb_->base().CandidatesBySurfaceId(surface_id);
+  std::vector<kb::EntityId> entities;
+  entities.reserve(candidates.size());
+  for (const kb::Candidate& c : candidates) entities.push_back(c.entity);
+  entry.per_candidate.assign(candidates.size(), {});
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    entry.per_candidate[i] =
+        estimator_.TopInfluential(entities[i], entities, top_k_);
+  }
+  entry.valid = true;
+}
+
+void InfluentialUserIndex::PrecomputeAll() {
+  for (uint32_t sid = 0; sid < cache_.size(); ++sid) {
+    if (!cache_[sid].valid) FillSurface(sid);
+  }
+}
+
+const std::vector<InfluentialUser>& InfluentialUserIndex::Get(
+    uint32_t surface_id, kb::EntityId entity) {
+  MEL_CHECK(surface_id < cache_.size());
+  if (!cache_[surface_id].valid) FillSurface(surface_id);
+  auto candidates = ckb_->base().CandidatesBySurfaceId(surface_id);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].entity == entity) {
+      return cache_[surface_id].per_candidate[i];
+    }
+  }
+  MEL_CHECK_MSG(false, "entity is not a candidate of the surface");
+  static const std::vector<InfluentialUser> kEmpty;
+  return kEmpty;
+}
+
+void InfluentialUserIndex::Invalidate(kb::EntityId entity) {
+  auto it = entity_surfaces_.find(entity);
+  if (it == entity_surfaces_.end()) return;
+  for (uint32_t sid : it->second) {
+    cache_[sid].valid = false;
+    cache_[sid].per_candidate.clear();
+  }
+}
+
+size_t InfluentialUserIndex::CachedEntries() const {
+  size_t count = 0;
+  for (const auto& entry : cache_) {
+    if (entry.valid) count += entry.per_candidate.size();
+  }
+  return count;
+}
+
+}  // namespace mel::social

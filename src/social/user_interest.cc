@@ -1,0 +1,32 @@
+#include "social/user_interest.h"
+
+#include "util/logging.h"
+
+namespace mel::social {
+
+UserInterestScorer::UserInterestScorer(
+    const InfluenceEstimator* influence,
+    const reach::WeightedReachability* reachability,
+    uint32_t top_k_influential)
+    : influence_(influence), reach_(reachability), top_k_(top_k_influential) {
+  MEL_CHECK(influence != nullptr && reachability != nullptr);
+}
+
+double UserInterestScorer::Interest(
+    kb::UserId u, kb::EntityId entity,
+    std::span<const kb::EntityId> candidates) const {
+  auto influential = influence_->TopInfluential(entity, candidates, top_k_);
+  return InterestOver(u, influential);
+}
+
+double UserInterestScorer::InterestOver(
+    kb::UserId u, std::span<const InfluentialUser> influential) const {
+  if (influential.empty()) return 0;
+  double total = 0;
+  for (const InfluentialUser& v : influential) {
+    total += reach_->Score(u, v.user);
+  }
+  return total / static_cast<double>(influential.size());
+}
+
+}  // namespace mel::social

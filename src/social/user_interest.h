@@ -1,0 +1,45 @@
+#ifndef MEL_SOCIAL_USER_INTEREST_H_
+#define MEL_SOCIAL_USER_INTEREST_H_
+
+#include <span>
+
+#include "kb/types.h"
+#include "reach/weighted_reachability.h"
+#include "social/influence.h"
+
+namespace mel::social {
+
+/// \brief Computes S_in(u, e): user u's interest in entity e as her
+/// average weighted reachability to the most influential users of e's
+/// community (Eq. 8; Eq. 3 is the special case top_k = 0, i.e., the whole
+/// community).
+///
+/// User ids must coincide with node ids of the followee-follower network
+/// behind the reachability backend.
+class UserInterestScorer {
+ public:
+  /// Both dependencies must outlive this object.
+  UserInterestScorer(const InfluenceEstimator* influence,
+                     const reach::WeightedReachability* reachability,
+                     uint32_t top_k_influential);
+
+  /// S_in(u, e) in [0, 1] under candidate set `candidates`.
+  double Interest(kb::UserId u, kb::EntityId entity,
+                  std::span<const kb::EntityId> candidates) const;
+
+  /// Eq. 8 with an explicit, pre-selected influential-user set.
+  double InterestOver(kb::UserId u,
+                      std::span<const InfluentialUser> influential) const;
+
+  uint32_t top_k_influential() const { return top_k_; }
+  void set_top_k_influential(uint32_t k) { top_k_ = k; }
+
+ private:
+  const InfluenceEstimator* influence_;
+  const reach::WeightedReachability* reach_;
+  uint32_t top_k_;
+};
+
+}  // namespace mel::social
+
+#endif  // MEL_SOCIAL_USER_INTEREST_H_

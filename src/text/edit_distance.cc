@@ -1,0 +1,78 @@
+#include "text/edit_distance.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace mel::text {
+
+uint32_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter one
+  const size_t m = b.size();
+  std::vector<uint32_t> row(m + 1);
+  for (size_t j = 0; j <= m; ++j) row[j] = static_cast<uint32_t>(j);
+  for (size_t i = 1; i <= a.size(); ++i) {
+    uint32_t diag = row[0];
+    row[0] = static_cast<uint32_t>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      uint32_t next_diag = row[j];
+      uint32_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+      diag = next_diag;
+    }
+  }
+  return row[m];
+}
+
+uint32_t BoundedEditDistance(std::string_view a, std::string_view b,
+                             uint32_t max_distance) {
+  if (a.size() < b.size()) std::swap(a, b);
+  const size_t n = a.size(), m = b.size();
+  if (n - m > max_distance) return max_distance + 1;
+  const uint32_t kBig = max_distance + 1;
+  std::vector<uint32_t> row(m + 1, kBig);
+  for (size_t j = 0; j <= std::min<size_t>(m, max_distance); ++j) {
+    row[j] = static_cast<uint32_t>(j);
+  }
+  for (size_t i = 1; i <= n; ++i) {
+    // Only cells with |i - j| <= max_distance can hold values within the
+    // bound; restrict the scan to that band.
+    size_t lo = i > max_distance ? i - max_distance : 0;
+    size_t hi = std::min(m, i + max_distance);
+    uint32_t diag = lo > 0 ? row[lo - 1] : static_cast<uint32_t>(i - 1);
+    if (lo == 0) {
+      diag = static_cast<uint32_t>(i - 1);
+    }
+    uint32_t row_min = kBig;
+    uint32_t prev_left = (lo == 0) ? static_cast<uint32_t>(i) : kBig;
+    if (lo == 0) {
+      row[0] = std::min<uint32_t>(static_cast<uint32_t>(i), kBig);
+      row_min = row[0];
+    }
+    for (size_t j = std::max<size_t>(lo, 1); j <= hi; ++j) {
+      uint32_t next_diag = row[j];
+      uint32_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      uint32_t del = next_diag == kBig ? kBig : next_diag + 1;
+      uint32_t ins = prev_left == kBig ? kBig : prev_left + 1;
+      uint32_t v = std::min({del, ins, sub});
+      if (v > kBig) v = kBig;
+      row[j] = v;
+      prev_left = v;
+      diag = next_diag;
+      row_min = std::min(row_min, v);
+    }
+    // Cells just outside the band must not leak stale small values into the
+    // next row's diagonal reads.
+    if (hi < m) row[hi + 1] = kBig;
+    if (row_min > max_distance) return kBig;
+  }
+  return row[m];
+}
+
+double EditSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t longest = std::max(a.size(), b.size());
+  return 1.0 - static_cast<double>(EditDistance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+}  // namespace mel::text

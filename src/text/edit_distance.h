@@ -1,0 +1,25 @@
+#ifndef MEL_TEXT_EDIT_DISTANCE_H_
+#define MEL_TEXT_EDIT_DISTANCE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace mel::text {
+
+/// Levenshtein distance between a and b (insert/delete/substitute, unit
+/// costs). O(|a|·|b|) time, O(min(|a|,|b|)) space.
+uint32_t EditDistance(std::string_view a, std::string_view b);
+
+/// Banded variant: returns the exact distance if it is <= max_distance,
+/// otherwise any value > max_distance (early exit). Used by the fuzzy
+/// candidate-generation path where only near matches matter.
+uint32_t BoundedEditDistance(std::string_view a, std::string_view b,
+                             uint32_t max_distance);
+
+/// Normalized edit similarity in [0, 1]:
+/// 1 - distance / max(|a|, |b|); 1.0 when both strings are empty.
+double EditSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace mel::text
+
+#endif  // MEL_TEXT_EDIT_DISTANCE_H_

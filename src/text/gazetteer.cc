@@ -1,0 +1,88 @@
+#include "text/gazetteer.h"
+
+#include <algorithm>
+
+namespace mel::text {
+
+namespace {
+
+std::string NormalizeForm(std::string_view surface) {
+  auto tokens = Tokenize(surface);
+  std::string out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) out.push_back(' ');
+    out += tokens[i].text;
+  }
+  return out;
+}
+
+}  // namespace
+
+void Gazetteer::AddSurfaceForm(std::string_view surface,
+                               uint32_t surface_id) {
+  std::string norm = NormalizeForm(surface);
+  if (norm.empty()) return;
+  size_t num_tokens =
+      1 + static_cast<size_t>(std::count(norm.begin(), norm.end(), ' '));
+  max_tokens_ = std::max(max_tokens_, num_tokens);
+  forms_[norm] = surface_id;
+  // Register every token-prefix so the scanner can prune extensions.
+  size_t pos = 0;
+  while ((pos = norm.find(' ', pos)) != std::string::npos) {
+    prefixes_.insert(norm.substr(0, pos));
+    ++pos;
+  }
+}
+
+std::string Gazetteer::JoinTokens(const std::vector<Token>& tokens,
+                                  size_t begin, size_t end) {
+  std::string out;
+  for (size_t i = begin; i < end; ++i) {
+    if (i > begin) out.push_back(' ');
+    out += tokens[i].text;
+  }
+  return out;
+}
+
+std::vector<DetectedMention> Gazetteer::Detect(std::string_view text) const {
+  return DetectTokens(Tokenize(text));
+}
+
+std::vector<DetectedMention> Gazetteer::DetectTokens(
+    const std::vector<Token>& tokens) const {
+  std::vector<DetectedMention> mentions;
+  size_t i = 0;
+  while (i < tokens.size()) {
+    // Extend the candidate span as long as it is still a prefix of some
+    // registered form; remember the longest exact match seen.
+    size_t best_end = 0;
+    uint32_t best_id = 0;
+    std::string span;
+    size_t j = i;
+    while (j < tokens.size() && (j - i) < max_tokens_) {
+      if (j > i) span.push_back(' ');
+      span += tokens[j].text;
+      ++j;
+      auto it = forms_.find(span);
+      if (it != forms_.end()) {
+        best_end = j;
+        best_id = it->second;
+      }
+      if (!prefixes_.contains(span)) break;
+    }
+    if (best_end > 0) {
+      DetectedMention m;
+      m.surface = JoinTokens(tokens, i, best_end);
+      m.surface_id = best_id;
+      m.token_begin = i;
+      m.token_end = best_end;
+      mentions.push_back(std::move(m));
+      i = best_end;  // longest-cover: matched spans do not overlap
+    } else {
+      ++i;
+    }
+  }
+  return mentions;
+}
+
+}  // namespace mel::text

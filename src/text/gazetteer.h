@@ -1,0 +1,59 @@
+#ifndef MEL_TEXT_GAZETTEER_H_
+#define MEL_TEXT_GAZETTEER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "text/tokenizer.h"
+
+namespace mel::text {
+
+/// \brief A mention detected in a piece of text.
+struct DetectedMention {
+  std::string surface;      // normalized (lowercase, space-joined) form
+  uint32_t surface_id = 0;  // payload registered with AddSurfaceForm
+  size_t token_begin = 0;   // index of first token
+  size_t token_end = 0;     // one past last token
+};
+
+/// \brief Knowledge-based named-entity recognizer (Longest-Cover).
+///
+/// Implements the unsupervised, dictionary-driven NER the paper adopts as
+/// its pre-step (Appendix A): scan the text left to right and greedily take
+/// the longest token sequence that matches a knowledgebase surface form.
+/// Matched spans do not overlap.
+class Gazetteer {
+ public:
+  Gazetteer() = default;
+
+  /// Registers a surface form (any capitalization; it is normalized).
+  /// Multi-word forms match as contiguous token sequences.
+  void AddSurfaceForm(std::string_view surface, uint32_t surface_id);
+
+  /// Longest-cover scan over the text.
+  std::vector<DetectedMention> Detect(std::string_view text) const;
+
+  /// Longest-cover scan over pre-tokenized text.
+  std::vector<DetectedMention> DetectTokens(
+      const std::vector<Token>& tokens) const;
+
+  size_t num_surface_forms() const { return forms_.size(); }
+
+ private:
+  static std::string JoinTokens(const std::vector<Token>& tokens,
+                                size_t begin, size_t end);
+
+  std::unordered_map<std::string, uint32_t> forms_;
+  // All proper prefixes (in tokens) of registered forms; lets the scanner
+  // stop extending a span as soon as no longer form can match.
+  std::unordered_set<std::string> prefixes_;
+  size_t max_tokens_ = 0;
+};
+
+}  // namespace mel::text
+
+#endif  // MEL_TEXT_GAZETTEER_H_

@@ -1,0 +1,107 @@
+#include "text/qgram_index.h"
+
+#include <algorithm>
+
+#include "text/edit_distance.h"
+#include "util/logging.h"
+
+namespace mel::text {
+
+SegmentFuzzyIndex::SegmentFuzzyIndex(uint32_t max_distance)
+    : max_distance_(max_distance) {}
+
+std::vector<std::pair<uint32_t, uint32_t>> SegmentFuzzyIndex::Segments(
+    uint32_t length) const {
+  const uint32_t parts = max_distance_ + 1;
+  std::vector<std::pair<uint32_t, uint32_t>> segs;
+  if (length == 0) return segs;
+  uint32_t base = length / parts;
+  uint32_t extra = length % parts;
+  uint32_t pos = 0;
+  for (uint32_t i = 0; i < parts && pos < length; ++i) {
+    uint32_t len = base + (i < extra ? 1 : 0);
+    if (len == 0) continue;
+    segs.emplace_back(pos, len);
+    pos += len;
+  }
+  return segs;
+}
+
+std::string SegmentFuzzyIndex::MakeKey(uint32_t length, uint32_t seg_idx,
+                                       std::string_view seg_text) {
+  std::string key;
+  key.reserve(seg_text.size() + 8);
+  key.push_back(static_cast<char>('0' + (length % 64)));
+  key.push_back(static_cast<char>('0' + (length / 64)));
+  key.push_back(static_cast<char>('0' + seg_idx));
+  key.push_back('|');
+  key.append(seg_text);
+  return key;
+}
+
+void SegmentFuzzyIndex::Add(std::string_view s, uint32_t payload) {
+  MEL_CHECK_MSG(s.size() < 4096, "indexed strings must be short");
+  uint32_t id = static_cast<uint32_t>(entries_.size());
+  entries_.push_back(Entry{std::string(s), payload});
+  auto segs = Segments(static_cast<uint32_t>(s.size()));
+  for (uint32_t i = 0; i < segs.size(); ++i) {
+    auto [pos, len] = segs[i];
+    seg_to_entries_[MakeKey(static_cast<uint32_t>(s.size()), i,
+                            s.substr(pos, len))]
+        .push_back(id);
+  }
+}
+
+std::vector<uint32_t> SegmentFuzzyIndex::Lookup(
+    std::string_view query, uint32_t max_threshold) const {
+  MEL_CHECK(max_threshold <= max_distance_);
+  std::vector<uint32_t> candidate_entries;
+  const uint32_t qlen = static_cast<uint32_t>(query.size());
+  const uint32_t lo_len = qlen > max_threshold ? qlen - max_threshold : 0;
+  const uint32_t hi_len = qlen + max_threshold;
+  for (uint32_t length = std::max(1u, lo_len); length <= hi_len; ++length) {
+    auto segs = Segments(length);
+    for (uint32_t i = 0; i < segs.size(); ++i) {
+      auto [pos, len] = segs[i];
+      // A matching segment can only shift by +- max_threshold in the query.
+      uint32_t q_lo = pos > max_threshold ? pos - max_threshold : 0;
+      uint32_t q_hi = std::min<uint32_t>(
+          pos + max_threshold, qlen >= len ? qlen - len : 0);
+      if (qlen < len) continue;
+      for (uint32_t qpos = q_lo; qpos <= q_hi; ++qpos) {
+        auto it = seg_to_entries_.find(
+            MakeKey(length, i, query.substr(qpos, len)));
+        if (it == seg_to_entries_.end()) continue;
+        candidate_entries.insert(candidate_entries.end(), it->second.begin(),
+                                 it->second.end());
+      }
+    }
+  }
+  std::sort(candidate_entries.begin(), candidate_entries.end());
+  candidate_entries.erase(
+      std::unique(candidate_entries.begin(), candidate_entries.end()),
+      candidate_entries.end());
+
+  std::vector<uint32_t> payloads;
+  for (uint32_t id : candidate_entries) {
+    const Entry& e = entries_[id];
+    if (BoundedEditDistance(query, e.str, max_threshold) <= max_threshold) {
+      payloads.push_back(e.payload);
+    }
+  }
+  std::sort(payloads.begin(), payloads.end());
+  payloads.erase(std::unique(payloads.begin(), payloads.end()),
+                 payloads.end());
+  return payloads;
+}
+
+uint64_t SegmentFuzzyIndex::MemoryUsageBytes() const {
+  uint64_t total = 0;
+  for (const auto& e : entries_) total += sizeof(Entry) + e.str.capacity();
+  for (const auto& [key, vec] : seg_to_entries_) {
+    total += key.capacity() + vec.capacity() * sizeof(uint32_t) + 48;
+  }
+  return total;
+}
+
+}  // namespace mel::text

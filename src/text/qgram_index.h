@@ -1,0 +1,63 @@
+#ifndef MEL_TEXT_QGRAM_INDEX_H_
+#define MEL_TEXT_QGRAM_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mel::text {
+
+/// \brief Segment-based fuzzy string index (pigeonhole filtering).
+///
+/// Implements the "segment-based index ... fuzzy matching based on edit
+/// distance similarity" the paper adopts for candidate generation from
+/// misspelled mentions (Sec. 3.2.2, following Li et al., ICDE 2014).
+///
+/// Each indexed string of length L is split into (max_distance + 1)
+/// near-equal segments. If ed(query, s) <= max_distance then, by the
+/// pigeonhole principle, at least one segment of s occurs verbatim in the
+/// query at a position shifted by at most max_distance. Lookup probes the
+/// few admissible (length, segment, substring) keys and verifies survivors
+/// with a banded edit-distance computation.
+class SegmentFuzzyIndex {
+ public:
+  /// \param max_distance maximum edit distance served by Lookup.
+  explicit SegmentFuzzyIndex(uint32_t max_distance);
+
+  /// Adds a string with a caller-chosen payload id. Strings may repeat.
+  void Add(std::string_view s, uint32_t payload);
+
+  /// Returns payloads of all indexed strings within edit distance
+  /// max_threshold of the query, where max_threshold <= max_distance
+  /// given at construction. Results are deduplicated.
+  std::vector<uint32_t> Lookup(std::string_view query,
+                               uint32_t max_threshold) const;
+
+  size_t num_entries() const { return entries_.size(); }
+
+  /// Approximate heap footprint in bytes.
+  uint64_t MemoryUsageBytes() const;
+
+ private:
+  struct Entry {
+    std::string str;
+    uint32_t payload;
+  };
+
+  // Deterministic segment boundaries for a string of the given length:
+  // (max_distance_ + 1) segments, remainder spread over the first ones.
+  std::vector<std::pair<uint32_t, uint32_t>> Segments(uint32_t length) const;
+
+  static std::string MakeKey(uint32_t length, uint32_t seg_idx,
+                             std::string_view seg_text);
+
+  uint32_t max_distance_;
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string, std::vector<uint32_t>> seg_to_entries_;
+};
+
+}  // namespace mel::text
+
+#endif  // MEL_TEXT_QGRAM_INDEX_H_

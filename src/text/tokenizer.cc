@@ -1,0 +1,50 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace mel::text {
+
+namespace {
+
+bool IsWordChar(unsigned char c) { return std::isalnum(c) != 0; }
+
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    unsigned char c = static_cast<unsigned char>(text[i]);
+    if (!IsWordChar(c)) {
+      ++i;
+      continue;
+    }
+    size_t begin = i;
+    std::string word;
+    while (i < n) {
+      unsigned char cur = static_cast<unsigned char>(text[i]);
+      if (IsWordChar(cur)) {
+        word.push_back(static_cast<char>(std::tolower(cur)));
+        ++i;
+      } else if (cur == '\'' && i + 1 < n &&
+                 IsWordChar(static_cast<unsigned char>(text[i + 1]))) {
+        // Keep intra-word apostrophes ("o'neal").
+        word.push_back('\'');
+        ++i;
+      } else {
+        break;
+      }
+    }
+    tokens.push_back(Token{std::move(word), begin, i});
+  }
+  return tokens;
+}
+
+std::vector<std::string> TokenizeToStrings(std::string_view text) {
+  std::vector<std::string> out;
+  for (auto& t : Tokenize(text)) out.push_back(std::move(t.text));
+  return out;
+}
+
+}  // namespace mel::text

@@ -1,0 +1,31 @@
+#ifndef MEL_TEXT_TOKENIZER_H_
+#define MEL_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mel::text {
+
+/// \brief A token with its byte span in the original text.
+struct Token {
+  std::string text;     // lowercased token
+  size_t begin = 0;     // byte offset of first character
+  size_t end = 0;       // byte offset one past the last character
+};
+
+/// \brief Splits microblog text into lowercase word tokens.
+///
+/// Tweets are informal: the tokenizer keeps alphanumeric runs (plus
+/// apostrophes inside words, so "o'neal" stays one token), drops
+/// punctuation, and lowercases everything. '@' and '#' prefixes are
+/// stripped but the following word is kept, matching how knowledge-based
+/// NER treats @usernames and #hashtags as potential mentions.
+std::vector<Token> Tokenize(std::string_view text);
+
+/// Convenience: token strings only.
+std::vector<std::string> TokenizeToStrings(std::string_view text);
+
+}  // namespace mel::text
+
+#endif  // MEL_TEXT_TOKENIZER_H_

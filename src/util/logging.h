@@ -1,0 +1,28 @@
+#ifndef MEL_UTIL_LOGGING_H_
+#define MEL_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Internal invariant checks. These guard programming errors, not user input;
+// user input is validated with Status returns. A failed check aborts.
+
+#define MEL_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "MEL_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define MEL_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "MEL_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // MEL_UTIL_LOGGING_H_

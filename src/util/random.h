@@ -1,0 +1,85 @@
+#ifndef MEL_UTIL_RANDOM_H_
+#define MEL_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mel {
+
+/// \brief Deterministic 64-bit PRNG (xoshiro256** seeded via splitmix64).
+///
+/// All randomized components in the library (generators, samplers, query
+/// workloads) draw from this engine so that experiments are reproducible
+/// from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t Next();
+
+  /// Returns a uniform integer in [0, bound). Requires bound > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Returns a uniform integer in [lo, hi]. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Returns a uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Returns true with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Samples from a normal distribution via Box-Muller.
+  double Normal(double mean, double stddev);
+
+  /// Samples an exponential inter-arrival time with the given rate.
+  double Exponential(double rate);
+
+  /// Fisher-Yates shuffles the vector in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(Uniform(i + 1));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+/// \brief Zipf-distributed sampler over ranks {0, ..., n-1}.
+///
+/// Rank r is drawn with probability proportional to 1 / (r+1)^exponent.
+/// Used to model entity popularity and user activity skew (both heavily
+/// skewed in microblog data).
+class ZipfSampler {
+ public:
+  /// \param n number of distinct items (> 0)
+  /// \param exponent skew parameter; 0 degenerates to uniform
+  ZipfSampler(size_t n, double exponent);
+
+  /// Draws one rank in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  /// Probability mass of the given rank.
+  double Probability(size_t rank) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // inclusive cumulative probabilities
+};
+
+/// \brief Samples an index proportional to the given non-negative weights.
+///
+/// Returns weights.size() when all weights are zero or the vector is empty.
+size_t WeightedSample(const std::vector<double>& weights, Rng* rng);
+
+}  // namespace mel
+
+#endif  // MEL_UTIL_RANDOM_H_

@@ -1,0 +1,92 @@
+#include "util/serialize.h"
+
+namespace mel {
+
+BinaryWriter::BinaryWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_.is_open()) {
+    status_ = Status::NotFound("cannot open for writing: " + path);
+  }
+}
+
+void BinaryWriter::WriteRaw(const void* data, size_t size) {
+  if (!status_.ok()) return;
+  out_.write(static_cast<const char*>(data),
+             static_cast<std::streamsize>(size));
+  if (!out_.good()) status_ = Status::Internal("write failed");
+}
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  if (!s.empty()) WriteRaw(s.data(), s.size());
+}
+
+Status BinaryWriter::Finish() {
+  if (status_.ok()) {
+    out_.flush();
+    if (!out_.good()) status_ = Status::Internal("flush failed");
+  }
+  out_.close();
+  return status_;
+}
+
+BinaryReader::BinaryReader(const std::string& path)
+    : in_(path, std::ios::binary) {
+  if (!in_.is_open()) {
+    status_ = Status::NotFound("cannot open for reading: " + path);
+  }
+}
+
+void BinaryReader::ReadRaw(void* data, size_t size) {
+  if (!status_.ok()) return;
+  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+  if (in_.gcount() != static_cast<std::streamsize>(size)) {
+    status_ = Status::OutOfRange("unexpected end of file");
+  }
+}
+
+uint8_t BinaryReader::ReadU8() {
+  uint8_t v = 0;
+  ReadRaw(&v, 1);
+  return v;
+}
+
+uint32_t BinaryReader::ReadU32() {
+  uint32_t v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+uint64_t BinaryReader::ReadU64() {
+  uint64_t v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+float BinaryReader::ReadFloat() {
+  float v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+double BinaryReader::ReadDouble() {
+  double v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+std::string BinaryReader::ReadString() {
+  uint64_t size = ReadU64();
+  if (!status_.ok() || size > kMaxElements) {
+    if (status_.ok()) {
+      status_ = Status::InvalidArgument("corrupt string length");
+    }
+    return {};
+  }
+  std::string s(size, '\0');
+  if (size > 0) ReadRaw(s.data(), size);
+  if (!status_.ok()) s.clear();
+  return s;
+}
+
+}  // namespace mel

@@ -1,0 +1,94 @@
+#ifndef MEL_UTIL_SERIALIZE_H_
+#define MEL_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mel {
+
+/// \brief Little-endian binary writer for index files.
+///
+/// Failures are sticky: any write after an I/O error is a no-op and
+/// Finish() reports the first failure.
+class BinaryWriter {
+ public:
+  /// Opens (truncates) the file for writing.
+  explicit BinaryWriter(const std::string& path);
+
+  void WriteU8(uint8_t v) { WriteRaw(&v, 1); }
+  void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteFloat(float v) { WriteRaw(&v, sizeof(v)); }
+  void WriteDouble(double v) { WriteRaw(&v, sizeof(v)); }
+
+  /// Length-prefixed byte string.
+  void WriteString(const std::string& s);
+
+  /// Length-prefixed vector of fixed-width elements.
+  template <typename T>
+  void WriteVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteU64(v.size());
+    if (!v.empty()) WriteRaw(v.data(), v.size() * sizeof(T));
+  }
+
+  /// Flushes and closes; returns the first error, if any.
+  Status Finish();
+
+ private:
+  void WriteRaw(const void* data, size_t size);
+
+  std::ofstream out_;
+  Status status_;
+};
+
+/// \brief Little-endian binary reader matching BinaryWriter.
+///
+/// Failures (including truncated files) are sticky; callers check
+/// status() once after reading.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+
+  uint8_t ReadU8();
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  float ReadFloat();
+  double ReadDouble();
+  std::string ReadString();
+
+  template <typename T>
+  std::vector<T> ReadVector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t size = ReadU64();
+    // Guard against absurd sizes from corrupt headers.
+    if (!status_.ok() || size > kMaxElements) {
+      if (status_.ok()) {
+        status_ = Status::InvalidArgument("corrupt vector length");
+      }
+      return {};
+    }
+    std::vector<T> v(size);
+    if (size > 0) ReadRaw(v.data(), size * sizeof(T));
+    if (!status_.ok()) v.clear();
+    return v;
+  }
+
+  const Status& status() const { return status_; }
+
+  static constexpr uint64_t kMaxElements = 1ull << 33;
+
+ private:
+  void ReadRaw(void* data, size_t size);
+
+  std::ifstream in_;
+  Status status_;
+};
+
+}  // namespace mel
+
+#endif  // MEL_UTIL_SERIALIZE_H_

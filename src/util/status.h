@@ -1,0 +1,132 @@
+#ifndef MEL_UTIL_STATUS_H_
+#define MEL_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mel {
+
+/// \brief Error categories used across the library.
+///
+/// The library does not throw exceptions across API boundaries; fallible
+/// operations return a Status (or a Result<T>, below) instead.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// \brief A lightweight success-or-error value.
+///
+/// Mirrors the conventional database-engine Status idiom: cheap to return in
+/// the success case, carries a code plus a human-readable message on failure.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Accessors on an error-holding Result (value()) are programming errors;
+/// callers must check ok() first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value, so `return computed_value;` works.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status.
+  Result(Status status) : rep_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const T& value() const& { return std::get<T>(rep_); }
+  T& value() & { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  /// Returns the error, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(rep_);
+  }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+inline std::string Status::ToString() const {
+  if (ok()) return "OK";
+  const char* name = "UNKNOWN";
+  switch (code_) {
+    case StatusCode::kOk:
+      name = "OK";
+      break;
+    case StatusCode::kInvalidArgument:
+      name = "INVALID_ARGUMENT";
+      break;
+    case StatusCode::kNotFound:
+      name = "NOT_FOUND";
+      break;
+    case StatusCode::kOutOfRange:
+      name = "OUT_OF_RANGE";
+      break;
+    case StatusCode::kFailedPrecondition:
+      name = "FAILED_PRECONDITION";
+      break;
+    case StatusCode::kResourceExhausted:
+      name = "RESOURCE_EXHAUSTED";
+      break;
+    case StatusCode::kInternal:
+      name = "INTERNAL";
+      break;
+  }
+  std::string out(name);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace mel
+
+#endif  // MEL_UTIL_STATUS_H_

@@ -1,0 +1,72 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace mel {
+
+std::string AsciiLower(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    out.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+std::vector<std::string> SplitNonEmpty(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t end = s.find(sep, start);
+    if (end == std::string_view::npos) end = s.size();
+    if (end > start) out.emplace_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(pieces[i]);
+  }
+  return out;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[32];
+  if (u == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu%s",
+                  static_cast<unsigned long long>(bytes), units[u]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f%s", v, units[u]);
+  }
+  return buf;
+}
+
+std::string HumanNanos(double nanos) {
+  char buf[32];
+  if (nanos < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0fns", nanos);
+  } else if (nanos < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", nanos / 1e3);
+  } else if (nanos < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", nanos / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fs", nanos / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace mel

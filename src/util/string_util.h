@@ -1,0 +1,28 @@
+#ifndef MEL_UTIL_STRING_UTIL_H_
+#define MEL_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mel {
+
+/// Returns the ASCII-lowercased copy of the input.
+std::string AsciiLower(std::string_view s);
+
+/// Splits on the separator character; empty fields are dropped.
+std::vector<std::string> SplitNonEmpty(std::string_view s, char sep);
+
+/// Joins the pieces with the given separator.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Formats a byte count as a short human-readable string ("1.4GB").
+std::string HumanBytes(uint64_t bytes);
+
+/// Formats a duration given in nanoseconds ("0.3us", "17ms", "42s").
+std::string HumanNanos(double nanos);
+
+}  // namespace mel
+
+#endif  // MEL_UTIL_STRING_UTIL_H_

@@ -1,0 +1,13 @@
+#include "util/timer.h"
+
+namespace mel {
+
+void WallTimer::Restart() { start_ = std::chrono::steady_clock::now(); }
+
+int64_t WallTimer::ElapsedNanos() const {
+  auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(now - start_)
+      .count();
+}
+
+}  // namespace mel

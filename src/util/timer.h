@@ -1,0 +1,30 @@
+#ifndef MEL_UTIL_TIMER_H_
+#define MEL_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace mel {
+
+/// \brief Monotonic wall-clock stopwatch used by the benchmark harnesses.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart();
+
+  /// Nanoseconds elapsed since construction or the last Restart().
+  int64_t ElapsedNanos() const;
+
+  double ElapsedMicros() const { return ElapsedNanos() / 1e3; }
+  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+  double ElapsedSeconds() const { return ElapsedNanos() / 1e9; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mel
+
+#endif  // MEL_UTIL_TIMER_H_

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/collective_linker.h"
+#include "baseline/on_the_fly_linker.h"
+#include "gen/workload.h"
+#include "kb/wlm.h"
+
+namespace mel::baseline {
+namespace {
+
+// World where context and coherence carry signal:
+//   "jordan" -> player (popular) or expert (rare).
+class BaselineFixture : public ::testing::Test {
+ protected:
+  BaselineFixture() {
+    player_ = kb_.AddEntity("player", kb::EntityCategory::kPerson,
+                            {"basketball", "bulls", "dunk"});
+    expert_ = kb_.AddEntity("expert", kb::EntityCategory::kPerson,
+                            {"machine", "learning", "gradient"});
+    bulls_ = kb_.AddEntity("bulls", kb::EntityCategory::kCompany,
+                           {"basketball", "chicago"});
+    icml_ = kb_.AddEntity("icml", kb::EntityCategory::kCompany,
+                          {"machine", "learning", "conference"});
+    kb_.AddSurfaceForm("jordan", player_, 90);
+    kb_.AddSurfaceForm("jordan", expert_, 10);
+    kb_.AddSurfaceForm("bulls", bulls_, 40);
+    kb_.AddSurfaceForm("icml", icml_, 30);
+    for (int i = 0; i < 4; ++i) {
+      kb::EntityId a = kb_.AddEntity("a" + std::to_string(i),
+                                     kb::EntityCategory::kMovieMusic, {});
+      kb_.AddHyperlink(a, player_);
+      kb_.AddHyperlink(a, bulls_);
+      kb::EntityId b = kb_.AddEntity("b" + std::to_string(i),
+                                     kb::EntityCategory::kMovieMusic, {});
+      kb_.AddHyperlink(b, expert_);
+      kb_.AddHyperlink(b, icml_);
+    }
+    kb_.Finalize();
+    wlm_ = std::make_unique<kb::WlmRelatedness>(&kb_);
+  }
+
+  kb::Tweet MakeTweet(const std::string& text, kb::UserId user = 1) {
+    kb::Tweet t;
+    t.id = next_id_++;
+    t.user = user;
+    t.time = 1000;
+    t.text = text;
+    return t;
+  }
+
+  kb::Knowledgebase kb_;
+  std::unique_ptr<kb::WlmRelatedness> wlm_;
+  kb::EntityId player_, expert_, bulls_, icml_;
+  kb::TweetId next_id_ = 0;
+};
+
+// ------------------------------------------------------------- on-the-fly
+
+TEST_F(BaselineFixture, PopularityPriorWinsWithoutContext) {
+  OnTheFlyLinker linker(&kb_, wlm_.get(), OnTheFlyOptions{});
+  auto r = linker.LinkTweet(MakeTweet("nothing but jordan here"));
+  ASSERT_EQ(r.mentions.size(), 1u);
+  EXPECT_EQ(r.mentions[0].best(), player_);
+}
+
+TEST_F(BaselineFixture, ContextSimilarityFlipsDecision) {
+  // Weight context enough to overcome the 90:10 anchor prior.
+  OnTheFlyOptions options;
+  options.w_commonness = 0.3;
+  options.w_context = 0.5;
+  options.w_coherence = 0.2;
+  OnTheFlyLinker linker(&kb_, wlm_.get(), options);
+  // Tweet text overlaps the expert's description tokens.
+  auto r = linker.LinkTweet(
+      MakeTweet("jordan machine learning gradient talk"));
+  ASSERT_EQ(r.mentions.size(), 1u);
+  EXPECT_EQ(r.mentions[0].best(), expert_);
+}
+
+TEST_F(BaselineFixture, CoherenceVotesAcrossMentions) {
+  OnTheFlyOptions options;
+  options.w_commonness = 0.3;
+  options.w_context = 0.0;  // isolate coherence
+  options.w_coherence = 0.7;
+  OnTheFlyLinker linker(&kb_, wlm_.get(), options);
+  // "icml" is unambiguous and strongly related to the expert.
+  auto r = linker.LinkTweet(MakeTweet("jordan speaks at icml"));
+  ASSERT_EQ(r.mentions.size(), 2u);
+  EXPECT_EQ(r.mentions[0].best(), expert_);
+  EXPECT_EQ(r.mentions[1].best(), icml_);
+}
+
+TEST_F(BaselineFixture, EmptyTweetYieldsNothing) {
+  OnTheFlyLinker linker(&kb_, wlm_.get(), OnTheFlyOptions{});
+  auto r = linker.LinkTweet(MakeTweet("no entities whatsoever"));
+  EXPECT_TRUE(r.mentions.empty());
+}
+
+TEST_F(BaselineFixture, TopKRespected) {
+  OnTheFlyOptions options;
+  options.top_k_results = 1;
+  OnTheFlyLinker linker(&kb_, wlm_.get(), options);
+  auto r = linker.LinkTweet(MakeTweet("jordan"));
+  ASSERT_EQ(r.mentions.size(), 1u);
+  EXPECT_EQ(r.mentions[0].ranked.size(), 1u);
+}
+
+// -------------------------------------------------------------- collective
+
+TEST_F(BaselineFixture, CollectiveUsesHistoryAcrossTweets) {
+  CollectiveLinker linker(&kb_, wlm_.get(), CollectiveOptions{});
+  // A user whose history is full of basketball: "bulls" tweets pull the
+  // ambiguous "jordan" tweet toward the player even with ML-ish words.
+  std::vector<kb::Tweet> tweets = {
+      MakeTweet("the bulls again"),
+      MakeTweet("bulls chicago forever"),
+      MakeTweet("bulls bulls bulls"),
+      MakeTweet("jordan is great"),
+  };
+  auto results = linker.LinkUserTweets(tweets);
+  ASSERT_EQ(results.size(), 4u);
+  ASSERT_EQ(results[3].mentions.size(), 1u);
+  EXPECT_EQ(results[3].mentions[0].best(), player_);
+
+  // An ML-heavy history pulls the same mention the other way.
+  std::vector<kb::Tweet> ml_tweets = {
+      MakeTweet("icml deadline"),
+      MakeTweet("icml reviews"),
+      MakeTweet("icml rebuttal"),
+      MakeTweet("jordan is great"),
+  };
+  auto ml_results = linker.LinkUserTweets(ml_tweets);
+  ASSERT_EQ(ml_results[3].mentions.size(), 1u);
+  EXPECT_EQ(ml_results[3].mentions[0].best(), expert_);
+}
+
+TEST_F(BaselineFixture, CollectiveHandlesEmptyBatch) {
+  CollectiveLinker linker(&kb_, wlm_.get(), CollectiveOptions{});
+  EXPECT_TRUE(linker.LinkUserTweets({}).empty());
+  auto r = linker.LinkUserTweets(
+      std::vector<kb::Tweet>{MakeTweet("nothing here")});
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r[0].mentions.empty());
+}
+
+TEST_F(BaselineFixture, CollectiveSingleTweetDegeneratesToIntraFeatures) {
+  CollectiveOptions options;
+  options.w_commonness = 0.3;
+  options.w_context = 0.7;  // let context dominate the 90:10 prior
+  CollectiveLinker linker(&kb_, wlm_.get(), options);
+  auto r = linker.LinkUserTweets(
+      std::vector<kb::Tweet>{MakeTweet("jordan gradient machine learning")});
+  ASSERT_EQ(r.size(), 1u);
+  ASSERT_EQ(r[0].mentions.size(), 1u);
+  EXPECT_EQ(r[0].mentions[0].best(), expert_);
+}
+
+TEST_F(BaselineFixture, CollectiveResultsAlignWithInput) {
+  CollectiveLinker linker(&kb_, wlm_.get(), CollectiveOptions{});
+  std::vector<kb::Tweet> tweets = {
+      MakeTweet("bulls game"),
+      MakeTweet("no mention"),
+      MakeTweet("icml talk"),
+  };
+  auto results = linker.LinkUserTweets(tweets);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].mentions.size(), 1u);
+  EXPECT_TRUE(results[1].mentions.empty());
+  EXPECT_EQ(results[2].mentions.size(), 1u);
+}
+
+}  // namespace
+}  // namespace mel::baseline

@@ -1,0 +1,336 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/candidate_generator.h"
+#include "core/entity_linker.h"
+#include "gen/workload.h"
+#include "graph/graph_builder.h"
+#include "reach/naive_reachability.h"
+
+namespace mel::core {
+namespace {
+
+// Handcrafted Fig.-1 world with full control over every feature:
+//   entities: 0 player, 1 expert, 2 bulls, 3 nba, 4 icml
+//   users:    0 target (follows 1=@NBAOfficial), 1 hub, 2 ML fan, 3 misc
+class LinkerFixture : public ::testing::Test {
+ protected:
+  LinkerFixture() {
+    player_ = kb_.AddEntity("player", kb::EntityCategory::kPerson,
+                            {"basketball", "nba"});
+    expert_ = kb_.AddEntity("expert", kb::EntityCategory::kPerson,
+                            {"machine", "learning"});
+    bulls_ = kb_.AddEntity("bulls", kb::EntityCategory::kCompany,
+                           {"basketball", "team"});
+    nba_ = kb_.AddEntity("nba", kb::EntityCategory::kCompany,
+                         {"basketball", "league"});
+    icml_ = kb_.AddEntity("icml", kb::EntityCategory::kCompany,
+                          {"machine", "learning"});
+    kb_.AddSurfaceForm("jordan", player_, 100);
+    kb_.AddSurfaceForm("jordan", expert_, 10);
+    kb_.AddSurfaceForm("bulls", bulls_, 50);
+    kb_.AddSurfaceForm("nba", nba_, 50);
+    kb_.AddSurfaceForm("icml", icml_, 20);
+    // Co-citation articles so WLM clusters {player,bulls,nba} and
+    // {expert,icml}.
+    for (int i = 0; i < 4; ++i) {
+      kb::EntityId a = kb_.AddEntity("art" + std::to_string(i),
+                                     kb::EntityCategory::kMovieMusic, {});
+      kb_.AddHyperlink(a, player_);
+      kb_.AddHyperlink(a, bulls_);
+      kb_.AddHyperlink(a, nba_);
+      kb::EntityId b = kb_.AddEntity("ml" + std::to_string(i),
+                                     kb::EntityCategory::kMovieMusic, {});
+      kb_.AddHyperlink(b, expert_);
+      kb_.AddHyperlink(b, icml_);
+    }
+    kb_.Finalize();
+
+    ckb_ = std::make_unique<kb::ComplementedKnowledgebase>(&kb_);
+    // Communities: user 1 tweets about the player (hub), user 2 about the
+    // expert.
+    for (int i = 0; i < 10; ++i) {
+      ckb_->AddLink(player_,
+                    kb::Posting{static_cast<kb::TweetId>(i), 1, i * 100});
+    }
+    for (int i = 0; i < 4; ++i) {
+      ckb_->AddLink(expert_, kb::Posting{static_cast<kb::TweetId>(100 + i),
+                                         2, i * 100});
+    }
+
+    // Social graph: target user 0 follows hub 1; user 3 follows ML fan 2.
+    graph::GraphBuilder b(5);
+    b.AddEdge(0, 1);
+    b.AddEdge(3, 2);
+    b.AddEdge(4, 1);
+    b.AddEdge(4, 2);
+    graph_ = std::move(b).Build();
+    reach_ = std::make_unique<reach::NaiveReachability>(&graph_, 5);
+    network_ = std::make_unique<recency::PropagationNetwork>(
+        recency::PropagationNetwork::Build(kb_, 0.3));
+  }
+
+  EntityLinker MakeLinker(LinkerOptions options) {
+    return EntityLinker(&kb_, ckb_.get(), reach_.get(), network_.get(),
+                        options);
+  }
+
+  static LinkerOptions DefaultOptions() {
+    LinkerOptions options;
+    options.theta1 = 3;
+    options.tau = 500;
+    return options;
+  }
+
+  kb::Knowledgebase kb_;
+  std::unique_ptr<kb::ComplementedKnowledgebase> ckb_;
+  graph::DirectedGraph graph_;
+  std::unique_ptr<reach::NaiveReachability> reach_;
+  std::unique_ptr<recency::PropagationNetwork> network_;
+  kb::EntityId player_, expert_, bulls_, nba_, icml_;
+};
+
+// ------------------------------------------------------------ candidates
+
+TEST_F(LinkerFixture, CandidateGeneratorExact) {
+  CandidateGenerator gen(&kb_, 1);
+  auto cands = gen.Generate("jordan");
+  ASSERT_EQ(cands.size(), 2u);
+  EXPECT_EQ(cands[0].entity, player_);  // higher anchor count first
+  EXPECT_EQ(cands[1].entity, expert_);
+}
+
+TEST_F(LinkerFixture, CandidateGeneratorFuzzyFallback) {
+  CandidateGenerator gen(&kb_, 1);
+  auto cands = gen.Generate("jordam");  // one substitution
+  ASSERT_EQ(cands.size(), 2u);
+  EXPECT_EQ(cands[0].entity, player_);
+}
+
+TEST_F(LinkerFixture, CandidateGeneratorFuzzyDisabled) {
+  CandidateGenerator gen(&kb_, 0);
+  EXPECT_TRUE(gen.Generate("jordam").empty());
+  EXPECT_FALSE(gen.Generate("jordan").empty());
+}
+
+TEST_F(LinkerFixture, DetectMentionsInTweet) {
+  CandidateGenerator gen(&kb_, 1);
+  auto mentions = gen.DetectMentions("watching jordan in the nba tonight");
+  ASSERT_EQ(mentions.size(), 2u);
+  EXPECT_EQ(mentions[0].surface, "jordan");
+  EXPECT_EQ(mentions[1].surface, "nba");
+}
+
+// ---------------------------------------------------------------- linking
+
+TEST_F(LinkerFixture, SocialInterestDisambiguates) {
+  // Pure interest (alpha = 1): user 0 follows the basketball hub, user 3
+  // follows the ML fan.
+  LinkerOptions options = DefaultOptions();
+  options.alpha = 1;
+  options.beta = 0;
+  options.gamma = 0;
+  EntityLinker linker = MakeLinker(options);
+
+  auto r0 = linker.LinkMention("jordan", 0, 10000);
+  ASSERT_TRUE(r0.linked());
+  EXPECT_EQ(r0.best(), player_);
+
+  auto r3 = linker.LinkMention("jordan", 3, 10000);
+  ASSERT_TRUE(r3.linked());
+  EXPECT_EQ(r3.best(), expert_);
+}
+
+TEST_F(LinkerFixture, PopularityOnlyFollowsAnchorMass) {
+  LinkerOptions options = DefaultOptions();
+  options.alpha = 0;
+  options.beta = 0;
+  options.gamma = 1;
+  EntityLinker linker = MakeLinker(options);
+  // Popularity = linked tweet share: player has 10 links, expert 4.
+  auto r = linker.LinkMention("jordan", 3, 10000);
+  ASSERT_TRUE(r.linked());
+  EXPECT_EQ(r.best(), player_);
+  EXPECT_NEAR(r.ranked[0].popularity, 10.0 / 14.0, 1e-9);
+}
+
+TEST_F(LinkerFixture, RecencyOnlyReactsToBursts) {
+  LinkerOptions options = DefaultOptions();
+  options.alpha = 0;
+  options.beta = 1;
+  options.gamma = 0;
+  EntityLinker linker = MakeLinker(options);
+
+  // Burst on the expert just before the query time.
+  for (int i = 0; i < 5; ++i) {
+    ckb_->AddLink(expert_, kb::Posting{static_cast<kb::TweetId>(200 + i), 2,
+                                       20000 + i});
+  }
+  auto r = linker.LinkMention("jordan", 0, 20100);
+  ASSERT_TRUE(r.linked());
+  EXPECT_EQ(r.best(), expert_);
+  EXPECT_GT(r.ranked[0].recency, 0.0);
+}
+
+TEST_F(LinkerFixture, RecencyPropagationLiftsRelatedEntity) {
+  LinkerOptions options = DefaultOptions();
+  options.alpha = 0;
+  options.beta = 1;
+  options.gamma = 0;
+  EntityLinker linker = MakeLinker(options);
+
+  // ICML bursts; the expert has no burst of his own but should win via
+  // propagation.
+  for (int i = 0; i < 8; ++i) {
+    ckb_->AddLink(icml_, kb::Posting{static_cast<kb::TweetId>(300 + i), 2,
+                                     30000 + i});
+  }
+  auto with = linker.LinkMention("jordan", 0, 30100);
+  ASSERT_TRUE(with.linked());
+  EXPECT_EQ(with.best(), expert_);
+
+  linker.mutable_options()->enable_recency_propagation = false;
+  auto without = linker.LinkMention("jordan", 0, 30100);
+  // Without propagation there is no recency signal at all; scores tie at
+  // zero and anchor order (player first) wins.
+  EXPECT_EQ(without.best(), player_);
+}
+
+TEST_F(LinkerFixture, CombinedScoreIsConvexCombination) {
+  EntityLinker linker = MakeLinker(DefaultOptions());
+  auto r = linker.LinkMention("jordan", 0, 10000);
+  ASSERT_TRUE(r.linked());
+  for (const auto& s : r.ranked) {
+    EXPECT_NEAR(s.score,
+                0.6 * s.interest + 0.3 * s.recency + 0.1 * s.popularity,
+                1e-12);
+    EXPECT_GE(s.score, 0.0);
+    EXPECT_LE(s.score, 1.0);
+  }
+}
+
+TEST_F(LinkerFixture, RankedSortedDescending) {
+  EntityLinker linker = MakeLinker(DefaultOptions());
+  auto r = linker.LinkMention("jordan", 0, 10000);
+  for (size_t i = 0; i + 1 < r.ranked.size(); ++i) {
+    EXPECT_GE(r.ranked[i].score, r.ranked[i + 1].score);
+  }
+}
+
+TEST_F(LinkerFixture, TopKTruncation) {
+  LinkerOptions options = DefaultOptions();
+  options.top_k_results = 1;
+  EntityLinker linker = MakeLinker(options);
+  auto r = linker.LinkMention("jordan", 0, 10000);
+  EXPECT_EQ(r.ranked.size(), 1u);
+}
+
+TEST_F(LinkerFixture, UnknownMentionNotLinked) {
+  EntityLinker linker = MakeLinker(DefaultOptions());
+  auto r = linker.LinkMention("completely unknown thing", 0, 10000);
+  EXPECT_FALSE(r.linked());
+  EXPECT_EQ(r.best(), kb::kInvalidEntity);
+  EXPECT_FALSE(r.probable_new_entity);
+}
+
+TEST_F(LinkerFixture, LinkTweetLinksEachDetectedMention) {
+  EntityLinker linker = MakeLinker(DefaultOptions());
+  kb::Tweet tweet;
+  tweet.user = 0;
+  tweet.time = 10000;
+  tweet.text = "jordan dunks while the bulls watch";
+  auto result = linker.LinkTweet(tweet);
+  ASSERT_EQ(result.mentions.size(), 2u);
+  EXPECT_EQ(result.mentions[0].surface, "jordan");
+  EXPECT_EQ(result.mentions[0].best(), player_);
+  EXPECT_EQ(result.mentions[1].surface, "bulls");
+  EXPECT_EQ(result.mentions[1].best(), bulls_);
+}
+
+TEST_F(LinkerFixture, ConfirmLinkUpdatesKnowledge) {
+  EntityLinker linker = MakeLinker(DefaultOptions());
+  uint32_t before = ckb_->LinkedTweetCount(nba_);
+  kb::Tweet tweet;
+  tweet.id = 999;
+  tweet.user = 0;
+  tweet.time = 40000;
+  linker.ConfirmLink(nba_, tweet);
+  EXPECT_EQ(ckb_->LinkedTweetCount(nba_), before + 1);
+  EXPECT_EQ(ckb_->UserTweetCount(nba_, 0), 1u);
+}
+
+// --------------------------------------------------- Appendix D threshold
+
+TEST_F(LinkerFixture, NewEntityRejection) {
+  LinkerOptions options = DefaultOptions();
+  options.reject_below_interest_threshold = true;
+  EntityLinker linker = MakeLinker(options);
+
+  // User 3 has no reachability to the player community and no burst is
+  // active: every candidate scores <= beta + gamma.
+  auto r = linker.LinkMention("jordan", 3, 2000000);
+  // User 3 reaches the ML fan, so the expert retains interest > 0...
+  // confirm the threshold semantics both ways.
+  for (const auto& s : r.ranked) {
+    EXPECT_GT(s.score, options.beta + options.gamma);
+  }
+
+  // A fresh user (id 4 follows both communities' members, but user 2's
+  // community...) — use a user with NO followees: everything suppressed.
+  graph::GraphBuilder b(6);
+  b.AddEdge(0, 1);
+  auto lonely_graph = std::move(b).Build();
+  reach::NaiveReachability lonely_reach(&lonely_graph, 5);
+  EntityLinker lonely_linker(&kb_, ckb_.get(), &lonely_reach,
+                             network_.get(), options);
+  auto r5 = lonely_linker.LinkMention("jordan", 5, 2000000);
+  EXPECT_FALSE(r5.linked());
+  EXPECT_TRUE(r5.probable_new_entity);
+}
+
+// ----------------------------------------------- generated-world smoke
+
+TEST(LinkerWorldTest, BeatsPopularityBaselineOnGeneratedWorld) {
+  gen::WorldOptions wopts;
+  wopts.kb.num_entities = 400;
+  wopts.kb.num_topics = 12;
+  wopts.kb.num_ambiguous_surfaces = 120;
+  wopts.kb.seed = 31;
+  wopts.social.num_users = 500;
+  wopts.social.seed = 32;
+  wopts.tweets.num_tweets = 6000;
+  wopts.tweets.seed = 33;
+  gen::World world = gen::GenerateWorld(wopts);
+
+  auto active = gen::FilterActiveUsers(world.corpus, 8);
+  kb::ComplementedKnowledgebase ckb(&world.kb());
+  gen::ComplementWithOracle(world, active, 0.05, 7, &ckb);
+
+  reach::NaiveReachability reach(&world.social.graph, 5);
+  auto network = recency::PropagationNetwork::Build(world.kb(), 0.6);
+
+  LinkerOptions options;
+  options.theta1 = 5;
+  EntityLinker linker(&world.kb(), &ckb, &reach, &network, options);
+
+  auto test_split = gen::SampleInactiveUsers(world.corpus, 8, 60, 9);
+  uint32_t ours_correct = 0, popularity_correct = 0, total = 0;
+  for (uint32_t ti : test_split.tweet_indices) {
+    const auto& lt = world.corpus.tweets[ti];
+    for (const auto& m : lt.mentions) {
+      ++total;
+      auto r = linker.LinkMention(m.surface, lt.tweet.user, lt.tweet.time);
+      if (r.best() == m.truth) ++ours_correct;
+      auto cands = world.kb().Candidates(m.surface);
+      if (!cands.empty() && cands[0].entity == m.truth) ++popularity_correct;
+    }
+  }
+  ASSERT_GT(total, 50u);
+  // The social-temporal linker must beat the raw anchor-popularity prior.
+  EXPECT_GT(ours_correct, popularity_correct);
+  EXPECT_GT(static_cast<double>(ours_correct) / total, 0.5);
+}
+
+}  // namespace
+}  // namespace mel::core

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "eval/runner.h"
+
+namespace mel::eval {
+namespace {
+
+TEST(MetricsTest, EmptyOutcomes) {
+  Accuracy acc = Summarize({});
+  EXPECT_EQ(acc.mentions, 0u);
+  EXPECT_DOUBLE_EQ(acc.MentionAccuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.TweetAccuracy(), 0.0);
+}
+
+TEST(MetricsTest, MentionAndTweetAccuracy) {
+  std::vector<MentionOutcome> outcomes = {
+      {0, 1, 1},   // tweet 0: correct
+      {0, 2, 2},   // tweet 0: correct
+      {1, 3, 4},   // tweet 1: wrong
+      {1, 5, 5},   // tweet 1: one right, one wrong -> tweet wrong
+      {2, 6, 6},   // tweet 2: correct
+  };
+  Accuracy acc = Summarize(outcomes);
+  EXPECT_EQ(acc.mentions, 5u);
+  EXPECT_EQ(acc.correct_mentions, 4u);
+  EXPECT_EQ(acc.tweets, 3u);
+  EXPECT_EQ(acc.correct_tweets, 2u);
+  EXPECT_DOUBLE_EQ(acc.MentionAccuracy(), 0.8);
+  EXPECT_NEAR(acc.TweetAccuracy(), 2.0 / 3.0, 1e-12);
+  EXPECT_FALSE(acc.ToString().empty());
+}
+
+TEST(MetricsTest, MentionAccuracyAlwaysAtLeastTweetAccuracy) {
+  // The paper observes mention accuracy >= tweet accuracy; it holds by
+  // construction (a correct tweet needs all mentions correct).
+  std::vector<MentionOutcome> outcomes;
+  for (uint32_t t = 0; t < 20; ++t) {
+    for (uint32_t m = 0; m < 3; ++m) {
+      outcomes.push_back({t, m, (t * 3 + m) % 4 == 0 ? m + 1 : m});
+    }
+  }
+  Accuracy acc = Summarize(outcomes);
+  EXPECT_GE(acc.MentionAccuracy(), acc.TweetAccuracy());
+}
+
+TEST(MetricsTest, InvalidPredictionNeverCorrect) {
+  std::vector<MentionOutcome> outcomes = {
+      {0, kb::kInvalidEntity, kb::kInvalidEntity}};
+  Accuracy acc = Summarize(outcomes);
+  EXPECT_EQ(acc.correct_mentions, 0u);
+}
+
+TEST(EvalRunTest, PerMentionAndPerTweetTiming) {
+  EvalRun run;
+  run.outcomes = {{0, 1, 1}, {0, 2, 2}, {1, 3, 3}};
+  run.num_tweets = 2;
+  run.total_nanos = 6000;
+  EXPECT_DOUBLE_EQ(run.NanosPerMention(), 2000.0);
+  EXPECT_DOUBLE_EQ(run.NanosPerTweet(), 3000.0);
+}
+
+TEST(BootstrapTest, DegenerateDistributionsHaveTightIntervals) {
+  std::vector<MentionOutcome> all_right, all_wrong;
+  for (uint32_t i = 0; i < 50; ++i) {
+    all_right.push_back({i, 1, 1});
+    all_wrong.push_back({i, 1, 2});
+  }
+  auto right = BootstrapMentionAccuracy(all_right, 500, 0.95, 1);
+  EXPECT_DOUBLE_EQ(right.mean, 1.0);
+  EXPECT_DOUBLE_EQ(right.lo, 1.0);
+  EXPECT_DOUBLE_EQ(right.hi, 1.0);
+  auto wrong = BootstrapMentionAccuracy(all_wrong, 500, 0.95, 1);
+  EXPECT_DOUBLE_EQ(wrong.mean, 0.0);
+}
+
+TEST(BootstrapTest, IntervalCoversTrueAccuracy) {
+  std::vector<MentionOutcome> outcomes;
+  for (uint32_t i = 0; i < 200; ++i) {
+    outcomes.push_back({i, 1, i % 4 == 0 ? 1u : 2u});  // accuracy 0.25
+  }
+  auto ci = BootstrapMentionAccuracy(outcomes, 2000, 0.95, 7);
+  EXPECT_LT(ci.lo, 0.25);
+  EXPECT_GT(ci.hi, 0.25);
+  EXPECT_NEAR(ci.mean, 0.25, 0.02);
+  EXPECT_GT(ci.hi - ci.lo, 0.0);
+}
+
+TEST(BootstrapTest, PairedDifferenceDetectsDominance) {
+  // System A correct on 80%, system B on 50%, same mentions.
+  std::vector<MentionOutcome> a, b;
+  for (uint32_t i = 0; i < 300; ++i) {
+    a.push_back({i, 1, i % 5 != 0 ? 1u : 2u});
+    b.push_back({i, 1, i % 2 == 0 ? 1u : 2u});
+  }
+  auto diff = BootstrapAccuracyDifference(a, b, 2000, 0.95, 9);
+  EXPECT_NEAR(diff.mean, 0.3, 0.05);
+  EXPECT_TRUE(diff.ExcludesZero());
+
+  // A vs itself: difference exactly zero.
+  auto self = BootstrapAccuracyDifference(a, a, 500, 0.95, 9);
+  EXPECT_DOUBLE_EQ(self.mean, 0.0);
+  EXPECT_FALSE(self.ExcludesZero());
+}
+
+TEST(AlignTest, MatchesBySurfaceInOrder) {
+  core::TweetLinkResult prediction;
+  core::MentionLinkResult m1;
+  m1.surface = "jordan";
+  m1.ranked.push_back(core::ScoredEntity{7, 1, 0, 0, 0});
+  core::MentionLinkResult m2;
+  m2.surface = "jordan";
+  m2.ranked.push_back(core::ScoredEntity{8, 1, 0, 0, 0});
+  prediction.mentions = {m1, m2};
+
+  std::vector<gen::LabeledMention> labels = {{"jordan", 7}, {"jordan", 8}};
+  auto aligned = AlignPredictions(prediction, labels);
+  ASSERT_EQ(aligned.size(), 2u);
+  EXPECT_EQ(aligned[0], 7u);  // first prediction consumed by first label
+  EXPECT_EQ(aligned[1], 8u);
+}
+
+TEST(AlignTest, MissingPredictionYieldsInvalid) {
+  core::TweetLinkResult prediction;  // nothing detected
+  std::vector<gen::LabeledMention> labels = {{"jordan", 7}};
+  auto aligned = AlignPredictions(prediction, labels);
+  ASSERT_EQ(aligned.size(), 1u);
+  EXPECT_EQ(aligned[0], kb::kInvalidEntity);
+}
+
+TEST(AlignTest, SurfaceMismatchNotConsumed) {
+  core::TweetLinkResult prediction;
+  core::MentionLinkResult m;
+  m.surface = "bulls";
+  m.ranked.push_back(core::ScoredEntity{3, 1, 0, 0, 0});
+  prediction.mentions = {m};
+  std::vector<gen::LabeledMention> labels = {{"jordan", 7}, {"bulls", 3}};
+  auto aligned = AlignPredictions(prediction, labels);
+  EXPECT_EQ(aligned[0], kb::kInvalidEntity);
+  EXPECT_EQ(aligned[1], 3u);
+}
+
+}  // namespace
+}  // namespace mel::eval

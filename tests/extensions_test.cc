@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mel.h"
+
+#include "core/parallel_linker.h"
+#include "core/personalized_search.h"
+#include "eval/harness.h"
+#include "eval/runner.h"
+#include "eval/weight_learner.h"
+#include "gen/workload.h"
+#include "social/influential_index.h"
+
+namespace mel {
+namespace {
+
+class ExtensionsFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    eval::HarnessOptions options;
+    options.scale = 0.5;
+    harness_ = new eval::Harness(options);
+  }
+  static void TearDownTestSuite() {
+    delete harness_;
+    harness_ = nullptr;
+  }
+  static eval::Harness* harness_;
+};
+
+eval::Harness* ExtensionsFixture::harness_ = nullptr;
+
+// ------------------------------------------------- influential index
+
+TEST_F(ExtensionsFixture, InfluentialIndexMatchesOnlineComputation) {
+  social::InfluenceEstimator online(&harness_->ckb(),
+                                    social::InfluenceMethod::kEntropy);
+  social::InfluentialUserIndex index(&harness_->ckb(),
+                                     social::InfluenceMethod::kEntropy, 5);
+  const auto& kb = harness_->kb();
+  for (uint32_t sid = 0; sid < std::min<size_t>(kb.surfaces().size(), 50);
+       ++sid) {
+    auto candidates = kb.CandidatesBySurfaceId(sid);
+    std::vector<kb::EntityId> entities;
+    for (const auto& c : candidates) entities.push_back(c.entity);
+    for (kb::EntityId e : entities) {
+      auto expected = online.TopInfluential(e, entities, 5);
+      const auto& cached = index.Get(sid, e);
+      ASSERT_EQ(expected.size(), cached.size());
+      for (size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(expected[i].user, cached[i].user);
+        EXPECT_DOUBLE_EQ(expected[i].influence, cached[i].influence);
+      }
+    }
+  }
+}
+
+TEST_F(ExtensionsFixture, InfluentialIndexInvalidationRefreshes) {
+  kb::ComplementedKnowledgebase fresh(&harness_->kb());
+  social::InfluentialUserIndex index(&fresh,
+                                     social::InfluenceMethod::kEntropy, 3);
+  // An ambiguous surface whose candidates start with empty communities.
+  uint32_t sid = harness_->kb().SurfaceId(
+      harness_->world().kb_world.ambiguous_surfaces[0]);
+  ASSERT_NE(sid, kb::Knowledgebase::kInvalidSurface);
+  auto candidates = harness_->kb().CandidatesBySurfaceId(sid);
+  ASSERT_GE(candidates.size(), 2u);
+  kb::EntityId entity = candidates[0].entity;
+  EXPECT_TRUE(index.Get(sid, entity).empty());
+
+  // A new link makes user 7 influential; without invalidation the cache
+  // would still say "empty".
+  fresh.AddLink(entity, kb::Posting{1, 7, 100});
+  index.Invalidate(entity);
+  auto updated = index.Get(sid, entity);
+  ASSERT_EQ(updated.size(), 1u);
+  EXPECT_EQ(updated[0].user, 7u);
+}
+
+TEST_F(ExtensionsFixture, PrecomputeAllFillsEverySurface) {
+  social::InfluentialUserIndex index(&harness_->ckb(),
+                                     social::InfluenceMethod::kTfIdf, 2);
+  EXPECT_EQ(index.CachedEntries(), 0u);
+  index.PrecomputeAll();
+  EXPECT_GT(index.CachedEntries(), harness_->kb().surfaces().size());
+}
+
+// --------------------------------------------------- parallel linking
+
+TEST_F(ExtensionsFixture, ParallelMatchesSequential) {
+  auto linker = harness_->MakeLinker(harness_->DefaultLinkerOptions());
+  std::vector<kb::Tweet> batch;
+  for (uint32_t ti : harness_->test_split().tweet_indices) {
+    batch.push_back(harness_->world().corpus.tweets[ti].tweet);
+    if (batch.size() >= 200) break;
+  }
+  auto sequential = core::LinkTweetsParallel(&linker, batch, 1);
+  auto parallel = core::LinkTweetsParallel(&linker, batch, 4);
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (size_t i = 0; i < sequential.size(); ++i) {
+    ASSERT_EQ(sequential[i].mentions.size(), parallel[i].mentions.size());
+    for (size_t m = 0; m < sequential[i].mentions.size(); ++m) {
+      EXPECT_EQ(sequential[i].mentions[m].best(),
+                parallel[i].mentions[m].best());
+    }
+  }
+}
+
+TEST_F(ExtensionsFixture, ParallelMentionRequests) {
+  auto linker = harness_->MakeLinker(harness_->DefaultLinkerOptions());
+  std::vector<core::MentionRequest> requests;
+  for (uint32_t ti : harness_->test_split().tweet_indices) {
+    const auto& lt = harness_->world().corpus.tweets[ti];
+    for (const auto& m : lt.mentions) {
+      requests.push_back(
+          core::MentionRequest{m.surface, lt.tweet.user, lt.tweet.time});
+    }
+    if (requests.size() >= 100) break;
+  }
+  auto results = core::LinkMentionsParallel(&linker, requests, 3);
+  ASSERT_EQ(results.size(), requests.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    auto direct = linker.LinkMention(requests[i].surface, requests[i].user,
+                                     requests[i].time);
+    EXPECT_EQ(results[i].best(), direct.best());
+  }
+}
+
+TEST(ParallelLinkerTest, EmptyBatch) {
+  eval::HarnessOptions options;
+  options.scale = 0.3;
+  eval::Harness harness(options);
+  auto linker = harness.MakeLinker(harness.DefaultLinkerOptions());
+  EXPECT_TRUE(core::LinkTweetsParallel(&linker, {}, 4).empty());
+}
+
+// ------------------------------------------------- personalized search
+
+TEST_F(ExtensionsFixture, SearchReturnsFreshRelevantTweets) {
+  auto linker = harness_->MakeLinker(harness_->DefaultLinkerOptions());
+  core::PersonalizedSearch search(&linker, &harness_->ckb());
+
+  const auto& surface = harness_->world().kb_world.ambiguous_surfaces[0];
+  kb::UserId user = harness_->test_split().users[0];
+  kb::Timestamp now = 90 * kb::kSecondsPerDay;
+
+  core::SearchOptions options;
+  options.top_k_tweets = 5;
+  auto result = search.Query(surface, user, now, options);
+  ASSERT_EQ(result.interpretations.size(), 1u);
+  EXPECT_TRUE(result.interpretations[0].linked());
+  EXPECT_LE(result.hits.size(), 5u);
+  EXPECT_FALSE(result.hits.empty());
+  for (const auto& hit : result.hits) {
+    EXPECT_LE(hit.time, now);  // never from the future
+  }
+  // Sorted by relevance, ties by freshness.
+  for (size_t i = 0; i + 1 < result.hits.size(); ++i) {
+    EXPECT_GE(result.hits[i].relevance, result.hits[i + 1].relevance);
+  }
+}
+
+TEST_F(ExtensionsFixture, SearchFreshnessWindowFilters) {
+  auto linker = harness_->MakeLinker(harness_->DefaultLinkerOptions());
+  core::PersonalizedSearch search(&linker, &harness_->ckb());
+  const auto& surface = harness_->world().kb_world.ambiguous_surfaces[0];
+  kb::UserId user = harness_->test_split().users[0];
+  kb::Timestamp now = 90 * kb::kSecondsPerDay;
+
+  core::SearchOptions narrow;
+  narrow.freshness_window = 2 * kb::kSecondsPerDay;
+  auto result = search.Query(surface, user, now, narrow);
+  for (const auto& hit : result.hits) {
+    EXPECT_GE(hit.time, now - narrow.freshness_window);
+  }
+}
+
+TEST_F(ExtensionsFixture, SearchWithNoMentionsIsEmpty) {
+  auto linker = harness_->MakeLinker(harness_->DefaultLinkerOptions());
+  core::PersonalizedSearch search(&linker, &harness_->ckb());
+  auto result =
+      search.Query("zzz qqq completely unknown words", 0, 1000, {});
+  EXPECT_TRUE(result.interpretations.empty());
+  EXPECT_TRUE(result.hits.empty());
+}
+
+// ----------------------------------------------------- weight learning
+
+TEST_F(ExtensionsFixture, LearnedWeightsLieOnSimplexAndBeatCorners) {
+  auto [validation, held_out] = gen::SplitDataset(
+      harness_->world().corpus, harness_->test_split(), 0.5, 3);
+  auto learned = eval::LearnWeights(harness_, validation, 0.25);
+  EXPECT_NEAR(learned.alpha + learned.beta + learned.gamma, 1.0, 1e-9);
+  EXPECT_GE(learned.alpha, 0.0);
+  EXPECT_GE(learned.beta, 0.0);
+  EXPECT_GE(learned.gamma, 0.0);
+
+  // By construction the grid includes the three corners, so the learned
+  // validation accuracy dominates every single-feature configuration.
+  auto corner = [&](double a, double b, double g) {
+    core::LinkerOptions options = harness_->DefaultLinkerOptions();
+    options.alpha = a;
+    options.beta = b;
+    options.gamma = g;
+    auto linker = harness_->MakeLinker(options);
+    return eval::EvaluateOurs(linker, harness_->world(), validation)
+        .accuracy()
+        .MentionAccuracy();
+  };
+  EXPECT_GE(learned.validation_accuracy, corner(1, 0, 0));
+  EXPECT_GE(learned.validation_accuracy, corner(0, 1, 0));
+  EXPECT_GE(learned.validation_accuracy, corner(0, 0, 1));
+}
+
+TEST_F(ExtensionsFixture, SplitDatasetPartitionsUsers) {
+  auto [a, b] = gen::SplitDataset(harness_->world().corpus,
+                                  harness_->test_split(), 0.4, 5);
+  EXPECT_EQ(a.users.size() + b.users.size(),
+            harness_->test_split().users.size());
+  for (uint32_t u : a.users) {
+    EXPECT_FALSE(std::binary_search(b.users.begin(), b.users.end(), u));
+  }
+  EXPECT_EQ(a.tweet_indices.size() + b.tweet_indices.size(),
+            harness_->test_split().tweet_indices.size());
+}
+
+}  // namespace
+}  // namespace mel

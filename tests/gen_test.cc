@@ -1,0 +1,351 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "gen/kb_generator.h"
+#include "gen/social_graph_generator.h"
+#include "gen/tweet_generator.h"
+#include "gen/workload.h"
+#include "graph/stats.h"
+
+namespace mel::gen {
+namespace {
+
+KbGenOptions SmallKb() {
+  KbGenOptions opts;
+  opts.num_entities = 300;
+  opts.num_topics = 10;
+  opts.num_ambiguous_surfaces = 80;
+  opts.seed = 1;
+  return opts;
+}
+
+SocialGenOptions SmallSocial() {
+  SocialGenOptions opts;
+  opts.num_users = 400;
+  opts.num_topics = 10;
+  opts.avg_followees = 10;
+  opts.seed = 2;
+  return opts;
+}
+
+TweetGenOptions SmallTweets() {
+  TweetGenOptions opts;
+  opts.num_tweets = 3000;
+  opts.seed = 3;
+  return opts;
+}
+
+// ----------------------------------------------------------------- kb gen
+
+TEST(KbGeneratorTest, BasicShape) {
+  auto world = GenerateKnowledgebase(SmallKb());
+  const auto& kb = world.knowledgebase;
+  EXPECT_EQ(kb.num_entities(), 300u);
+  EXPECT_TRUE(kb.finalized());
+  EXPECT_EQ(world.entity_topic.size(), 300u);
+  EXPECT_EQ(world.canonical_surface.size(), 300u);
+  EXPECT_GT(world.ambiguous_surfaces.size(), 40u);
+}
+
+TEST(KbGeneratorTest, Deterministic) {
+  auto a = GenerateKnowledgebase(SmallKb());
+  auto b = GenerateKnowledgebase(SmallKb());
+  EXPECT_EQ(a.ambiguous_surfaces, b.ambiguous_surfaces);
+  EXPECT_EQ(a.entity_topic, b.entity_topic);
+  EXPECT_EQ(a.canonical_surface, b.canonical_surface);
+}
+
+TEST(KbGeneratorTest, AmbiguousSurfacesHaveMultipleCandidates) {
+  auto world = GenerateKnowledgebase(SmallKb());
+  for (size_t i = 0; i < world.ambiguous_surfaces.size(); ++i) {
+    auto cands = world.knowledgebase.Candidates(world.ambiguous_surfaces[i]);
+    EXPECT_GE(cands.size(), 2u) << world.ambiguous_surfaces[i];
+    EXPECT_EQ(cands.size(), world.surface_entities[i].size());
+  }
+}
+
+TEST(KbGeneratorTest, CanonicalSurfacesAreUnambiguous) {
+  auto world = GenerateKnowledgebase(SmallKb());
+  for (kb::EntityId e = 0; e < 300; ++e) {
+    auto cands = world.knowledgebase.Candidates(world.canonical_surface[e]);
+    ASSERT_EQ(cands.size(), 1u);
+    EXPECT_EQ(cands[0].entity, e);
+  }
+}
+
+TEST(KbGeneratorTest, EntityAmbiguousSurfacesBackReference) {
+  auto world = GenerateKnowledgebase(SmallKb());
+  for (kb::EntityId e = 0; e < 300; ++e) {
+    for (uint32_t sid : world.entity_ambiguous_surfaces[e]) {
+      const auto& entities = world.surface_entities[sid];
+      EXPECT_TRUE(std::find(entities.begin(), entities.end(), e) !=
+                  entities.end());
+    }
+  }
+}
+
+TEST(KbGeneratorTest, HyperlinksMostlyWithinTopic) {
+  auto world = GenerateKnowledgebase(SmallKb());
+  uint64_t within = 0, across = 0;
+  for (kb::EntityId e = 0; e < 300; ++e) {
+    for (kb::EntityId t : world.knowledgebase.Outlinks(e)) {
+      if (world.entity_topic[e] == world.entity_topic[t]) {
+        ++within;
+      } else {
+        ++across;
+      }
+    }
+  }
+  EXPECT_GT(within, across * 2);
+}
+
+TEST(KbGeneratorTest, TopicPartition) {
+  auto world = GenerateKnowledgebase(SmallKb());
+  size_t total = 0;
+  for (const auto& members : world.topic_entities) total += members.size();
+  EXPECT_EQ(total, 300u);
+}
+
+TEST(SyntheticNameTest, NonEmptyAndLowercase) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    std::string name = SyntheticName(&rng);
+    EXPECT_GE(name.size(), 4u);
+    for (char c : name) EXPECT_TRUE(c >= 'a' && c <= 'z');
+  }
+}
+
+// -------------------------------------------------------------- social gen
+
+TEST(SocialGeneratorTest, BasicShape) {
+  auto social = GenerateSocialGraph(SmallSocial());
+  EXPECT_EQ(social.graph.num_nodes(), 400u);
+  EXPECT_GT(social.graph.num_edges(), 400u * 3);
+  EXPECT_EQ(social.user_topics.size(), 400u);
+  for (const auto& topics : social.user_topics) {
+    EXPECT_GE(topics.size(), 1u);
+    EXPECT_LE(topics.size(), 3u);
+  }
+}
+
+TEST(SocialGeneratorTest, HubsAttractFollowers) {
+  auto social = GenerateSocialGraph(SmallSocial());
+  // Average in-degree of hubs must far exceed the global average.
+  double hub_in = 0;
+  uint32_t hub_count = 0;
+  for (const auto& hubs : social.topic_hubs) {
+    for (uint32_t h : hubs) {
+      hub_in += social.graph.InDegree(h);
+      ++hub_count;
+    }
+  }
+  ASSERT_GT(hub_count, 0u);
+  hub_in /= hub_count;
+  double avg_in =
+      static_cast<double>(social.graph.num_edges()) / social.graph.num_nodes();
+  EXPECT_GT(hub_in, 3 * avg_in);
+}
+
+TEST(SocialGeneratorTest, TopicHomophily) {
+  auto social = GenerateSocialGraph(SmallSocial());
+  // Most follow edges connect users sharing a topic.
+  uint64_t shared = 0, total = 0;
+  for (uint32_t u = 0; u < social.graph.num_nodes(); ++u) {
+    std::unordered_set<uint32_t> mine(social.user_topics[u].begin(),
+                                      social.user_topics[u].end());
+    for (uint32_t v : social.graph.OutNeighbors(u)) {
+      ++total;
+      for (uint32_t t : social.user_topics[v]) {
+        if (mine.contains(t)) {
+          ++shared;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(shared) / total, 0.5);
+}
+
+TEST(SocialGeneratorTest, Deterministic) {
+  auto a = GenerateSocialGraph(SmallSocial());
+  auto b = GenerateSocialGraph(SmallSocial());
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  EXPECT_EQ(a.user_topics, b.user_topics);
+}
+
+// --------------------------------------------------------------- tweet gen
+
+class TweetGenFixture : public ::testing::Test {
+ protected:
+  TweetGenFixture()
+      : kb_world_(GenerateKnowledgebase(SmallKb())),
+        social_(GenerateSocialGraph(SmallSocial())),
+        corpus_(GenerateTweets(kb_world_, social_, SmallTweets())) {}
+
+  GeneratedKb kb_world_;
+  GeneratedSocial social_;
+  Corpus corpus_;
+};
+
+TEST_F(TweetGenFixture, BasicShape) {
+  EXPECT_EQ(corpus_.tweets.size(), 3000u);
+  EXPECT_EQ(corpus_.tweets_by_user.size(), 400u);
+  EXPECT_EQ(corpus_.events.size(), SmallTweets().num_burst_events);
+}
+
+TEST_F(TweetGenFixture, SortedByTimeWithSequentialIds) {
+  for (size_t i = 0; i + 1 < corpus_.tweets.size(); ++i) {
+    EXPECT_LE(corpus_.tweets[i].tweet.time, corpus_.tweets[i + 1].tweet.time);
+    EXPECT_EQ(corpus_.tweets[i].tweet.id, i);
+  }
+}
+
+TEST_F(TweetGenFixture, EveryTweetHasAtLeastOneLabeledMention) {
+  for (const auto& lt : corpus_.tweets) {
+    EXPECT_GE(lt.mentions.size(), 1u);
+    EXPECT_LE(lt.mentions.size(), 4u);
+  }
+}
+
+TEST_F(TweetGenFixture, LabelsAreValidCandidates) {
+  // Every labeled surface must resolve to candidates containing the truth.
+  const auto& kb = kb_world_.knowledgebase;
+  for (const auto& lt : corpus_.tweets) {
+    for (const auto& m : lt.mentions) {
+      auto cands = kb.Candidates(m.surface);
+      ASSERT_FALSE(cands.empty()) << m.surface;
+      bool found = false;
+      for (const auto& c : cands) found = found || c.entity == m.truth;
+      EXPECT_TRUE(found) << m.surface;
+    }
+  }
+}
+
+TEST_F(TweetGenFixture, SurfacesAppearInText) {
+  for (size_t i = 0; i < 200; ++i) {
+    const auto& lt = corpus_.tweets[i];
+    for (const auto& m : lt.mentions) {
+      EXPECT_NE(lt.tweet.text.find(m.surface), std::string::npos)
+          << "surface '" << m.surface << "' missing from '" << lt.tweet.text
+          << "'";
+    }
+  }
+}
+
+TEST_F(TweetGenFixture, TweetsByUserGroupsCorrectly) {
+  size_t total = 0;
+  for (uint32_t u = 0; u < corpus_.tweets_by_user.size(); ++u) {
+    for (uint32_t ti : corpus_.tweets_by_user[u]) {
+      EXPECT_EQ(corpus_.tweets[ti].tweet.user, u);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, corpus_.tweets.size());
+}
+
+TEST_F(TweetGenFixture, BurstsConcentrateMentions) {
+  // During an event window, the bursting entity should be mentioned much
+  // more often than in an equally long window elsewhere.
+  const auto& event = corpus_.events[0];
+  uint32_t during = 0, before = 0;
+  for (const auto& lt : corpus_.tweets) {
+    for (const auto& m : lt.mentions) {
+      if (m.truth != event.entity) continue;
+      if (lt.tweet.time >= event.begin && lt.tweet.time < event.end) {
+        ++during;
+      }
+      kb::Timestamp shift = event.begin - 30 * kb::kSecondsPerDay;
+      if (lt.tweet.time >= shift &&
+          lt.tweet.time < shift + (event.end - event.begin)) {
+        ++before;
+      }
+    }
+  }
+  EXPECT_GT(during, before);
+}
+
+TEST_F(TweetGenFixture, ActivityIsSkewed) {
+  // Zipf activity: the most active user should have far more tweets than
+  // the median user.
+  std::vector<size_t> counts;
+  for (const auto& tweets : corpus_.tweets_by_user) {
+    counts.push_back(tweets.size());
+  }
+  std::sort(counts.begin(), counts.end());
+  EXPECT_GT(counts.back(), 20 * std::max<size_t>(1, counts[counts.size() / 2]));
+}
+
+// ---------------------------------------------------------------- workload
+
+TEST_F(TweetGenFixture, FilterActiveUsers) {
+  auto d5 = FilterActiveUsers(corpus_, 5);
+  EXPECT_EQ(d5.name, "D5");
+  for (uint32_t u : d5.users) {
+    EXPECT_GE(corpus_.tweets_by_user[u].size(), 5u);
+  }
+  auto d50 = FilterActiveUsers(corpus_, 50);
+  EXPECT_LT(d50.users.size(), d5.users.size());
+  EXPECT_LT(d50.tweet_indices.size(), d5.tweet_indices.size());
+}
+
+TEST_F(TweetGenFixture, SampleInactiveUsers) {
+  auto test_split = SampleInactiveUsers(corpus_, 5, 50, 7);
+  EXPECT_LE(test_split.users.size(), 50u);
+  EXPECT_GT(test_split.users.size(), 0u);
+  for (uint32_t u : test_split.users) {
+    EXPECT_LT(corpus_.tweets_by_user[u].size(), 5u);
+  }
+  // Deterministic.
+  auto again = SampleInactiveUsers(corpus_, 5, 50, 7);
+  EXPECT_EQ(test_split.users, again.users);
+}
+
+TEST_F(TweetGenFixture, OracleComplementationNoiseless) {
+  World world{std::move(kb_world_), std::move(social_), std::move(corpus_)};
+  auto split = FilterActiveUsers(world.corpus, 5);
+  kb::ComplementedKnowledgebase ckb(&world.kb());
+  ComplementWithOracle(world, split, 0.0, 1, &ckb);
+  // Total links = total labeled mentions in split.
+  auto stats = ComputeSplitStats(world.corpus, split);
+  EXPECT_EQ(ckb.TotalLinks(), stats.num_mentions);
+  // Every link points at the true entity: recheck one tweet.
+  uint32_t ti = split.tweet_indices[0];
+  const auto& lt = world.corpus.tweets[ti];
+  EXPECT_GE(ckb.LinkedTweetCount(lt.mentions[0].truth), 1u);
+}
+
+TEST_F(TweetGenFixture, OracleComplementationWithNoiseKeepsTotal) {
+  World world{std::move(kb_world_), std::move(social_), std::move(corpus_)};
+  auto split = FilterActiveUsers(world.corpus, 5);
+  kb::ComplementedKnowledgebase clean(&world.kb());
+  kb::ComplementedKnowledgebase noisy(&world.kb());
+  ComplementWithOracle(world, split, 0.0, 1, &clean);
+  ComplementWithOracle(world, split, 0.4, 1, &noisy);
+  EXPECT_EQ(clean.TotalLinks(), noisy.TotalLinks());
+}
+
+TEST_F(TweetGenFixture, SplitStats) {
+  auto split = FilterActiveUsers(corpus_, 1);
+  auto stats = ComputeSplitStats(corpus_, split);
+  EXPECT_EQ(stats.num_tweets, corpus_.tweets.size());
+  EXPECT_GE(stats.mentions_per_tweet, 1.0);
+}
+
+TEST(GenerateWorldTest, AlignsTopics) {
+  WorldOptions opts;
+  opts.kb = SmallKb();
+  opts.kb.num_topics = 7;
+  opts.social = SmallSocial();
+  opts.social.num_topics = 99;  // should be overridden
+  opts.tweets = SmallTweets();
+  opts.tweets.num_tweets = 500;
+  World world = GenerateWorld(opts);
+  for (const auto& topics : world.social.user_topics) {
+    for (uint32_t t : topics) EXPECT_LT(t, 7u);
+  }
+}
+
+}  // namespace
+}  // namespace mel::gen

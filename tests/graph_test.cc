@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/bfs.h"
+#include "graph/components.h"
+#include "graph/directed_graph.h"
+#include "graph/graph_builder.h"
+#include "graph/stats.h"
+#include "util/random.h"
+
+namespace mel::graph {
+namespace {
+
+DirectedGraph Diamond() {
+  // 0 -> 1 -> 3, 0 -> 2 -> 3
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  return std::move(b).Build();
+}
+
+DirectedGraph RandomGraph(uint32_t n, uint32_t edges, uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder b(n);
+  for (uint32_t i = 0; i < edges; ++i) {
+    b.AddEdge(static_cast<NodeId>(rng.Uniform(n)),
+              static_cast<NodeId>(rng.Uniform(n)));
+  }
+  return std::move(b).Build();
+}
+
+// ---------------------------------------------------------------- build
+
+TEST(GraphBuilderTest, BuildsAdjacency) {
+  DirectedGraph g = Diamond();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  auto out0 = g.OutNeighbors(0);
+  ASSERT_EQ(out0.size(), 2u);
+  EXPECT_EQ(out0[0], 1u);
+  EXPECT_EQ(out0[1], 2u);
+  auto in3 = g.InNeighbors(3);
+  ASSERT_EQ(in3.size(), 2u);
+  EXPECT_EQ(in3[0], 1u);
+  EXPECT_EQ(in3[1], 2u);
+}
+
+TEST(GraphBuilderTest, DropsSelfLoopsAndDuplicates) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 1);
+  b.AddEdge(1, 2);
+  DirectedGraph g = std::move(b).Build();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.OutDegree(0), 1u);
+  EXPECT_EQ(g.OutDegree(1), 1u);
+}
+
+TEST(GraphBuilderTest, EmptyGraph) {
+  GraphBuilder b(5);
+  DirectedGraph g = std::move(b).Build();
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (NodeId u = 0; u < 5; ++u) {
+    EXPECT_TRUE(g.OutNeighbors(u).empty());
+    EXPECT_TRUE(g.InNeighbors(u).empty());
+  }
+}
+
+TEST(DirectedGraphTest, HasEdge) {
+  DirectedGraph g = Diamond();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+}
+
+TEST(DirectedGraphTest, DegreeSymmetry) {
+  DirectedGraph g = RandomGraph(100, 500, 1);
+  uint64_t out_total = 0, in_total = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    out_total += g.OutDegree(u);
+    in_total += g.InDegree(u);
+  }
+  EXPECT_EQ(out_total, g.num_edges());
+  EXPECT_EQ(in_total, g.num_edges());
+}
+
+TEST(DirectedGraphTest, InOutConsistency) {
+  DirectedGraph g = RandomGraph(60, 300, 2);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      auto ins = g.InNeighbors(v);
+      EXPECT_TRUE(std::find(ins.begin(), ins.end(), u) != ins.end());
+    }
+  }
+}
+
+TEST(DirectedGraphTest, MemoryUsageIsPositive) {
+  DirectedGraph g = Diamond();
+  EXPECT_GT(g.MemoryUsageBytes(), 0u);
+}
+
+// ------------------------------------------------------------------ BFS
+
+TEST(BfsTest, DistancesOnDiamond) {
+  DirectedGraph g = Diamond();
+  BfsScratch scratch(4);
+  scratch.RunForward(g, 0, 10);
+  EXPECT_EQ(scratch.Distance(0), 0u);
+  EXPECT_EQ(scratch.Distance(1), 1u);
+  EXPECT_EQ(scratch.Distance(2), 1u);
+  EXPECT_EQ(scratch.Distance(3), 2u);
+}
+
+TEST(BfsTest, BackwardMatchesForwardOnReversedEdge) {
+  DirectedGraph g = Diamond();
+  BfsScratch scratch(4);
+  scratch.RunBackward(g, 3, 10);
+  EXPECT_EQ(scratch.Distance(3), 0u);
+  EXPECT_EQ(scratch.Distance(1), 1u);
+  EXPECT_EQ(scratch.Distance(2), 1u);
+  EXPECT_EQ(scratch.Distance(0), 2u);
+}
+
+TEST(BfsTest, HopBoundCutsSearch) {
+  // 0 -> 1 -> 2 -> 3 chain
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  DirectedGraph g = std::move(b).Build();
+  BfsScratch scratch(4);
+  scratch.RunForward(g, 0, 2);
+  EXPECT_EQ(scratch.Distance(2), 2u);
+  EXPECT_EQ(scratch.Distance(3), kUnreachable);
+}
+
+TEST(BfsTest, ScratchResetsBetweenRuns) {
+  DirectedGraph g = Diamond();
+  BfsScratch scratch(4);
+  scratch.RunForward(g, 0, 10);
+  scratch.RunForward(g, 3, 10);  // 3 has no out-edges
+  EXPECT_EQ(scratch.Distance(3), 0u);
+  EXPECT_EQ(scratch.Distance(0), kUnreachable);
+  EXPECT_EQ(scratch.Distance(1), kUnreachable);
+}
+
+TEST(BfsTest, ShortestPathDistanceHelper) {
+  DirectedGraph g = Diamond();
+  EXPECT_EQ(ShortestPathDistance(g, 0, 3, 10), 2u);
+  EXPECT_EQ(ShortestPathDistance(g, 3, 0, 10), kUnreachable);
+  EXPECT_EQ(ShortestPathDistance(g, 1, 1, 10), 0u);
+}
+
+// ----------------------------------------------------------- components
+
+TEST(ComponentsTest, WeaklyConnected) {
+  GraphBuilder b(6);
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 1);  // {0,1,2} weakly connected
+  b.AddEdge(3, 4);  // {3,4}
+  DirectedGraph g = std::move(b).Build();
+  auto wcc = WeaklyConnectedComponents(g);
+  EXPECT_EQ(wcc.num_components, 3u);  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(wcc.component[0], wcc.component[1]);
+  EXPECT_EQ(wcc.component[1], wcc.component[2]);
+  EXPECT_EQ(wcc.component[3], wcc.component[4]);
+  EXPECT_NE(wcc.component[0], wcc.component[3]);
+  EXPECT_NE(wcc.component[5], wcc.component[0]);
+  auto sizes = wcc.ComponentSizes();
+  std::multiset<uint32_t> size_set(sizes.begin(), sizes.end());
+  EXPECT_EQ(size_set, (std::multiset<uint32_t>{1, 2, 3}));
+}
+
+TEST(ComponentsTest, StronglyConnectedCycleVsChain) {
+  GraphBuilder b(5);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);  // cycle {0,1,2}
+  b.AddEdge(2, 3);  // chain onward
+  b.AddEdge(3, 4);
+  DirectedGraph g = std::move(b).Build();
+  auto scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 3u);
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[1], scc.component[2]);
+  EXPECT_NE(scc.component[3], scc.component[0]);
+  EXPECT_NE(scc.component[4], scc.component[3]);
+}
+
+TEST(ComponentsTest, SccOfDagIsAllSingletons) {
+  DirectedGraph g = Diamond();
+  auto scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 4u);
+}
+
+TEST(ComponentsTest, SccHandlesLongChainIteratively) {
+  // A 100k chain would overflow a recursive Tarjan.
+  const uint32_t n = 100000;
+  GraphBuilder b(n);
+  for (uint32_t i = 0; i + 1 < n; ++i) b.AddEdge(i, i + 1);
+  DirectedGraph g = std::move(b).Build();
+  auto scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, n);
+}
+
+// ----------------------------------------------------------------- stats
+
+TEST(StatsTest, ComputesBasicStats) {
+  DirectedGraph g = Diamond();
+  GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.num_nodes, 4u);
+  EXPECT_EQ(s.num_edges, 4u);
+  EXPECT_DOUBLE_EQ(s.avg_out_degree, 1.0);
+  EXPECT_EQ(s.max_out_degree, 2u);
+  EXPECT_EQ(s.max_in_degree, 2u);
+  EXPECT_FALSE(s.ToString().empty());
+}
+
+TEST(StatsTest, DegreeOrderIsDescending) {
+  DirectedGraph g = RandomGraph(50, 200, 3);
+  auto order = NodesByDegreeDescending(g);
+  ASSERT_EQ(order.size(), 50u);
+  for (size_t i = 0; i + 1 < order.size(); ++i) {
+    uint64_t a = g.OutDegree(order[i]) + g.InDegree(order[i]);
+    uint64_t b = g.OutDegree(order[i + 1]) + g.InDegree(order[i + 1]);
+    EXPECT_GE(a, b);
+  }
+}
+
+}  // namespace
+}  // namespace mel::graph

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/collective_linker.h"
+#include "baseline/on_the_fly_linker.h"
+#include "core/entity_linker.h"
+#include "eval/harness.h"
+#include "eval/runner.h"
+#include "gen/workload.h"
+#include "kb/wlm.h"
+#include "reach/transitive_closure.h"
+#include "reach/two_hop_index.h"
+
+namespace mel {
+namespace {
+
+// End-to-end world shared by the integration tests: the full offline
+// pipeline of Fig. 2 followed by online inference, using the standard
+// calibrated harness.
+class PipelineFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    harness_ = new eval::Harness(eval::HarnessOptions{});
+  }
+  static void TearDownTestSuite() {
+    delete harness_;
+    harness_ = nullptr;
+  }
+
+  static eval::Harness* harness_;
+};
+
+eval::Harness* PipelineFixture::harness_ = nullptr;
+
+TEST_F(PipelineFixture, ComplementationPopulatedTheKb) {
+  EXPECT_GT(harness_->ckb().TotalLinks(), 1000u);
+}
+
+TEST_F(PipelineFixture, TestSplitIsInactiveUsersOnly) {
+  EXPECT_GT(harness_->test_split().users.size(), 20u);
+  for (uint32_t u : harness_->test_split().users) {
+    EXPECT_LT(harness_->world().corpus.tweets_by_user[u].size(), 10u);
+  }
+}
+
+// The headline result (Fig. 4(a)): ours > collective > on-the-fly on
+// inactive users, on both mention and tweet accuracy.
+TEST_F(PipelineFixture, AccuracyOrderingMatchesPaper) {
+  auto ours_acc =
+      harness_->Evaluate(harness_->DefaultLinkerOptions()).accuracy();
+  baseline::OnTheFlyLinker on_the_fly(&harness_->kb(), &harness_->wlm(),
+                                      baseline::OnTheFlyOptions{});
+  auto otf_acc = eval::EvaluateOnTheFly(on_the_fly, harness_->world(),
+                                        harness_->test_split())
+                     .accuracy();
+  baseline::CollectiveLinker collective(&harness_->kb(), &harness_->wlm(),
+                                        baseline::CollectiveOptions{});
+  auto col_acc = eval::EvaluateCollective(collective, harness_->world(),
+                                          harness_->test_split())
+                     .accuracy();
+
+  EXPECT_GT(ours_acc.MentionAccuracy(), col_acc.MentionAccuracy());
+  EXPECT_GT(col_acc.MentionAccuracy(), otf_acc.MentionAccuracy());
+  EXPECT_GT(ours_acc.TweetAccuracy(), col_acc.TweetAccuracy());
+  EXPECT_GT(col_acc.TweetAccuracy(), otf_acc.TweetAccuracy());
+  EXPECT_GT(otf_acc.MentionAccuracy(), 0.3);
+}
+
+// Mention accuracy always dominates tweet accuracy (paper Sec. 5.2.1).
+TEST_F(PipelineFixture, MentionAccuracyDominatesTweetAccuracy) {
+  auto acc = harness_->Evaluate(harness_->DefaultLinkerOptions()).accuracy();
+  EXPECT_GE(acc.MentionAccuracy(), acc.TweetAccuracy());
+}
+
+// All-features beats every single feature, and interest is the strongest
+// single feature (Table 4 shape).
+TEST_F(PipelineFixture, CombinedFeaturesBeatSingleFeatures) {
+  auto run_with = [&](double alpha, double beta, double gamma) {
+    core::LinkerOptions options = harness_->DefaultLinkerOptions();
+    options.alpha = alpha;
+    options.beta = beta;
+    options.gamma = gamma;
+    return harness_->Evaluate(options).accuracy().MentionAccuracy();
+  };
+  double interest_only = run_with(1, 0, 0);
+  double recency_only = run_with(0, 1, 0);
+  double popularity_only = run_with(0, 0, 1);
+  double combined = run_with(0.6, 0.3, 0.1);
+  EXPECT_GT(combined, interest_only);
+  EXPECT_GT(combined, recency_only);
+  EXPECT_GT(combined, popularity_only);
+  EXPECT_GT(interest_only, recency_only);
+  EXPECT_GT(recency_only, popularity_only);
+}
+
+// Entropy-based influence beats tf-idf (Fig. 4(c) shape).
+TEST_F(PipelineFixture, EntropyInfluenceAtLeastTfIdf) {
+  core::LinkerOptions entropy = harness_->DefaultLinkerOptions();
+  entropy.influence_method = social::InfluenceMethod::kEntropy;
+  core::LinkerOptions tfidf = harness_->DefaultLinkerOptions();
+  tfidf.influence_method = social::InfluenceMethod::kTfIdf;
+  double entropy_acc =
+      harness_->Evaluate(entropy).accuracy().MentionAccuracy();
+  double tfidf_acc = harness_->Evaluate(tfidf).accuracy().MentionAccuracy();
+  EXPECT_GE(entropy_acc, tfidf_acc - 0.02);
+}
+
+// Recency propagation helps (Fig. 4(d) shape).
+TEST_F(PipelineFixture, RecencyPropagationDoesNotHurt) {
+  core::LinkerOptions with = harness_->DefaultLinkerOptions();
+  core::LinkerOptions without = harness_->DefaultLinkerOptions();
+  without.enable_recency_propagation = false;
+  double acc_with = harness_->Evaluate(with).accuracy().MentionAccuracy();
+  double acc_without =
+      harness_->Evaluate(without).accuracy().MentionAccuracy();
+  EXPECT_GE(acc_with, acc_without - 0.01);
+}
+
+// The reachability backend is interchangeable: TC and 2-hop give the same
+// linking decisions.
+TEST_F(PipelineFixture, BackendsGiveIdenticalDecisions) {
+  auto tc = reach::TransitiveClosureIndex::Build(
+      &harness_->world().social.graph, 5,
+      reach::TransitiveClosureIndex::Construction::kIncremental);
+  core::EntityLinker with_tc(&harness_->kb(), &harness_->ckb(), &tc,
+                             &harness_->network(),
+                             harness_->DefaultLinkerOptions());
+  core::EntityLinker with_2hop(&harness_->kb(), &harness_->ckb(),
+                               &harness_->reachability(),
+                               &harness_->network(),
+                               harness_->DefaultLinkerOptions());
+  uint32_t checked = 0;
+  for (uint32_t ti : harness_->test_split().tweet_indices) {
+    const auto& lt = harness_->world().corpus.tweets[ti];
+    for (const auto& m : lt.mentions) {
+      auto a = with_tc.LinkMention(m.surface, lt.tweet.user, lt.tweet.time);
+      auto b =
+          with_2hop.LinkMention(m.surface, lt.tweet.user, lt.tweet.time);
+      ASSERT_EQ(a.best(), b.best()) << m.surface;
+      if (++checked > 300) return;
+    }
+  }
+}
+
+// Online feedback: confirming links updates popularity counts and shifts
+// future decisions (the warm-up loop of Sec. 3.2.2 / Appendix D).
+TEST_F(PipelineFixture, OnlineFeedbackShiftsFutureLinks) {
+  kb::ComplementedKnowledgebase fresh(&harness_->kb());
+  core::LinkerOptions options = harness_->DefaultLinkerOptions();
+  options.alpha = 0;
+  options.beta = 0;
+  options.gamma = 1;  // popularity-only to make the effect deterministic
+  core::EntityLinker linker(&harness_->kb(), &fresh,
+                            &harness_->reachability(), &harness_->network(),
+                            options);
+
+  const auto& surface = harness_->world().kb_world.ambiguous_surfaces[0];
+  auto cands = harness_->kb().Candidates(surface);
+  ASSERT_GE(cands.size(), 2u);
+  kb::EntityId underdog = cands[1].entity;
+
+  for (int i = 0; i < 50; ++i) {
+    kb::Tweet t;
+    t.id = 1000000 + i;
+    t.user = 1;
+    t.time = 1000 + i;
+    linker.ConfirmLink(underdog, t);
+  }
+  auto r = linker.LinkMention(surface, 0, 2000);
+  ASSERT_TRUE(r.linked());
+  EXPECT_EQ(r.best(), underdog);
+}
+
+// A harness with collective complementation still produces a working
+// pipeline (slower, noisier — the trade-off documented in DESIGN.md).
+TEST(CollectiveComplementationTest, PipelineStillFunctions) {
+  eval::HarnessOptions options;
+  options.scale = 0.5;
+  options.complementation =
+      eval::HarnessOptions::Complementation::kCollective;
+  eval::Harness harness(options);
+  EXPECT_GT(harness.ckb().TotalLinks(), 100u);
+  auto acc = harness.Evaluate(harness.DefaultLinkerOptions()).accuracy();
+  EXPECT_GT(acc.MentionAccuracy(), 0.4);
+}
+
+// Oracle complementation is an upper bound on the simulated pre-linker.
+TEST(OracleComplementationTest, UpperBoundsSimulated) {
+  eval::HarnessOptions oracle_opts;
+  oracle_opts.scale = 0.5;
+  oracle_opts.complementation =
+      eval::HarnessOptions::Complementation::kOracle;
+  eval::Harness oracle(oracle_opts);
+  eval::HarnessOptions sim_opts;
+  sim_opts.scale = 0.5;
+  eval::Harness sim(sim_opts);
+  double oracle_acc =
+      oracle.Evaluate(oracle.DefaultLinkerOptions()).accuracy()
+          .MentionAccuracy();
+  double sim_acc =
+      sim.Evaluate(sim.DefaultLinkerOptions()).accuracy().MentionAccuracy();
+  EXPECT_GE(oracle_acc, sim_acc - 0.03);
+}
+
+}  // namespace
+}  // namespace mel

@@ -1,0 +1,210 @@
+// Model-based randomized tests: each component is driven with random
+// operation sequences and compared against a brute-force reference
+// implementation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "kb/complemented_kb.h"
+#include "kb/knowledgebase.h"
+#include "kb/wlm.h"
+#include "text/gazetteer.h"
+#include "util/random.h"
+
+namespace mel {
+namespace {
+
+// ------------------------------------------------ complemented KB model
+
+TEST(CkbModelTest, RandomOpsMatchBruteForce) {
+  kb::Knowledgebase kbase;
+  const uint32_t kEntities = 8;
+  for (uint32_t e = 0; e < kEntities; ++e) {
+    kbase.AddEntity("e" + std::to_string(e), kb::EntityCategory::kPerson,
+                    {});
+  }
+  kbase.Finalize();
+
+  for (uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    Rng rng(seed);
+    kb::ComplementedKnowledgebase ckb(&kbase);
+    // Reference: plain vector of (entity, posting).
+    std::vector<std::pair<kb::EntityId, kb::Posting>> model;
+
+    for (int op = 0; op < 2000; ++op) {
+      if (rng.UniformDouble() < 0.7 || model.empty()) {
+        kb::Posting p;
+        p.tweet = static_cast<kb::TweetId>(op);
+        p.user = static_cast<kb::UserId>(rng.Uniform(20));
+        p.time = static_cast<kb::Timestamp>(rng.Uniform(100000));
+        auto e = static_cast<kb::EntityId>(rng.Uniform(kEntities));
+        ckb.AddLink(e, p);
+        model.emplace_back(e, p);
+      } else {
+        // Random query, checked against the model.
+        auto e = static_cast<kb::EntityId>(rng.Uniform(kEntities));
+        auto u = static_cast<kb::UserId>(rng.Uniform(20));
+        kb::Timestamp now =
+            static_cast<kb::Timestamp>(rng.Uniform(120000));
+        kb::Timestamp tau =
+            1 + static_cast<kb::Timestamp>(rng.Uniform(50000));
+
+        uint32_t linked = 0, by_user = 0, recent = 0;
+        std::set<kb::UserId> community;
+        for (const auto& [me, mp] : model) {
+          if (me != e) continue;
+          ++linked;
+          community.insert(mp.user);
+          if (mp.user == u) ++by_user;
+          if (mp.time >= now - tau && mp.time <= now) ++recent;
+        }
+        ASSERT_EQ(ckb.LinkedTweetCount(e), linked) << "seed " << seed;
+        ASSERT_EQ(ckb.UserTweetCount(e, u), by_user) << "seed " << seed;
+        ASSERT_EQ(ckb.RecentTweetCount(e, now, tau), recent)
+            << "seed " << seed << " now=" << now << " tau=" << tau;
+        ASSERT_EQ(ckb.Community(e).size(), community.size());
+      }
+    }
+    ASSERT_EQ(ckb.TotalLinks(), model.size());
+  }
+}
+
+// ------------------------------------------------------ gazetteer model
+
+// Brute-force longest-cover: at each position try the longest dictionary
+// match.
+std::vector<std::string> ReferenceLongestCover(
+    const std::vector<std::string>& tokens,
+    const std::set<std::vector<std::string>>& dictionary,
+    size_t max_len) {
+  std::vector<std::string> matches;
+  size_t i = 0;
+  while (i < tokens.size()) {
+    size_t best = 0;
+    for (size_t len = std::min(max_len, tokens.size() - i); len >= 1;
+         --len) {
+      std::vector<std::string> span(tokens.begin() + i,
+                                    tokens.begin() + i + len);
+      if (dictionary.contains(span)) {
+        best = len;
+        break;
+      }
+    }
+    if (best > 0) {
+      std::string joined;
+      for (size_t k = 0; k < best; ++k) {
+        if (k) joined += ' ';
+        joined += tokens[i + k];
+      }
+      matches.push_back(joined);
+      i += best;
+    } else {
+      ++i;
+    }
+  }
+  return matches;
+}
+
+TEST(GazetteerModelTest, RandomDictionariesMatchBruteForce) {
+  const std::vector<std::string> vocab = {"aa", "bb", "cc", "dd", "ee"};
+  for (uint64_t seed : {11ULL, 12ULL, 13ULL, 14ULL}) {
+    Rng rng(seed);
+    text::Gazetteer gazetteer;
+    std::set<std::vector<std::string>> dictionary;
+    size_t max_len = 0;
+    for (int d = 0; d < 12; ++d) {
+      size_t len = 1 + rng.Uniform(3);
+      std::vector<std::string> form;
+      for (size_t k = 0; k < len; ++k) {
+        form.push_back(vocab[rng.Uniform(vocab.size())]);
+      }
+      if (dictionary.insert(form).second) {
+        std::string joined;
+        for (size_t k = 0; k < form.size(); ++k) {
+          if (k) joined += ' ';
+          joined += form[k];
+        }
+        gazetteer.AddSurfaceForm(joined, d);
+        max_len = std::max(max_len, len);
+      }
+    }
+    for (int trial = 0; trial < 200; ++trial) {
+      std::vector<std::string> tokens;
+      size_t n = rng.Uniform(15);
+      for (size_t k = 0; k < n; ++k) {
+        tokens.push_back(vocab[rng.Uniform(vocab.size())]);
+      }
+      std::string
+          joined;
+      for (size_t k = 0; k < tokens.size(); ++k) {
+        if (k) joined += ' ';
+        joined += tokens[k];
+      }
+      auto detected = gazetteer.Detect(joined);
+      auto expected = ReferenceLongestCover(tokens, dictionary, max_len);
+      ASSERT_EQ(detected.size(), expected.size())
+          << "seed " << seed << " text '" << joined << "'";
+      for (size_t k = 0; k < expected.size(); ++k) {
+        ASSERT_EQ(detected[k].surface, expected[k])
+            << "seed " << seed << " text '" << joined << "'";
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------ WLM model
+
+TEST(WlmModelTest, MatchesDirectFormula) {
+  for (uint64_t seed : {21ULL, 22ULL}) {
+    Rng rng(seed);
+    kb::Knowledgebase kbase;
+    const uint32_t n = 40;
+    for (uint32_t e = 0; e < n; ++e) {
+      kbase.AddEntity("e" + std::to_string(e),
+                      kb::EntityCategory::kPerson, {});
+    }
+    std::vector<std::set<kb::EntityId>> inlinks(n);
+    for (int i = 0; i < 400; ++i) {
+      auto from = static_cast<kb::EntityId>(rng.Uniform(n));
+      auto to = static_cast<kb::EntityId>(rng.Uniform(n));
+      if (from == to) continue;
+      kbase.AddHyperlink(from, to);
+      inlinks[to].insert(from);
+    }
+    kbase.Finalize();
+    kb::WlmRelatedness wlm(&kbase);
+
+    for (kb::EntityId a = 0; a < n; ++a) {
+      for (kb::EntityId b = a + 1; b < n; ++b) {
+        std::vector<kb::EntityId> common;
+        std::set_intersection(inlinks[a].begin(), inlinks[a].end(),
+                              inlinks[b].begin(), inlinks[b].end(),
+                              std::back_inserter(common));
+        double expected = 0;
+        double na = static_cast<double>(inlinks[a].size());
+        double nb = static_cast<double>(inlinks[b].size());
+        if (na > 0 && nb > 0 && !common.empty()) {
+          double denom = std::log(n) - std::log(std::min(na, nb));
+          double rel = denom <= 0
+                           ? 1.0
+                           : 1.0 - (std::log(std::max(na, nb)) -
+                                    std::log(common.size())) /
+                                       denom;
+          expected = std::clamp(rel, 0.0, 1.0);
+        }
+        ASSERT_NEAR(wlm.Relatedness(a, b), expected, 1e-12)
+            << "seed " << seed << " pair " << a << "," << b;
+        ASSERT_EQ(wlm.InlinkIntersection(a, b), common.size());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mel

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/entity_linker.h"
+#include "eval/runner.h"
+#include "gen/workload.h"
+#include "reach/naive_reachability.h"
+#include "reach/two_hop_index.h"
+#include "recency/propagation_network.h"
+#include "util/random.h"
+
+namespace mel {
+namespace {
+
+// Parameterized property sweeps over generated worlds: structural
+// invariants that must hold for any seed / size combination.
+
+struct WorldParam {
+  uint32_t entities;
+  uint32_t topics;
+  uint32_t users;
+  uint32_t tweets;
+  uint64_t seed;
+};
+
+class WorldPropertyTest : public ::testing::TestWithParam<WorldParam> {
+ protected:
+  gen::World MakeWorld() const {
+    const auto& p = GetParam();
+    gen::WorldOptions wopts;
+    wopts.kb.num_entities = p.entities;
+    wopts.kb.num_topics = p.topics;
+    wopts.kb.num_ambiguous_surfaces = p.entities / 4;
+    wopts.kb.seed = p.seed;
+    wopts.social.num_users = p.users;
+    wopts.social.seed = p.seed + 1;
+    wopts.tweets.num_tweets = p.tweets;
+    wopts.tweets.seed = p.seed + 2;
+    return gen::GenerateWorld(wopts);
+  }
+};
+
+TEST_P(WorldPropertyTest, TwoHopAgreesWithNaiveOnSocialGraph) {
+  gen::World world = MakeWorld();
+  const auto& g = world.social.graph;
+  reach::NaiveReachability naive(&g, 5);
+  auto index = reach::TwoHopIndex::Build(&g, 5);
+  Rng rng(GetParam().seed + 7);
+  for (int i = 0; i < 400; ++i) {
+    auto u = static_cast<graph::NodeId>(rng.Uniform(g.num_nodes()));
+    auto v = static_cast<graph::NodeId>(rng.Uniform(g.num_nodes()));
+    auto nq = naive.Query(u, v);
+    auto hq = index.Query(u, v);
+    ASSERT_EQ(nq.distance, hq.distance) << u << "->" << v;
+    ASSERT_EQ(nq.followees, hq.followees) << u << "->" << v;
+  }
+}
+
+TEST_P(WorldPropertyTest, LinkerScoresAlwaysInUnitRange) {
+  gen::World world = MakeWorld();
+  auto split = gen::FilterActiveUsers(world.corpus, 5);
+  kb::ComplementedKnowledgebase ckb(&world.kb());
+  gen::ComplementWithOracle(world, split, 0.1, 5, &ckb);
+  reach::NaiveReachability reach(&world.social.graph, 5);
+  auto network = recency::PropagationNetwork::Build(world.kb(), 0.6);
+  core::LinkerOptions options;
+  options.theta1 = 5;
+  core::EntityLinker linker(&world.kb(), &ckb, &reach, &network, options);
+
+  Rng rng(GetParam().seed + 9);
+  for (int i = 0; i < 200; ++i) {
+    const auto& lt =
+        world.corpus.tweets[rng.Uniform(world.corpus.tweets.size())];
+    for (const auto& m : lt.mentions) {
+      auto r = linker.LinkMention(m.surface, lt.tweet.user, lt.tweet.time);
+      for (const auto& s : r.ranked) {
+        ASSERT_GE(s.score, 0.0);
+        ASSERT_LE(s.score, 1.0 + 1e-9);
+        ASSERT_GE(s.interest, 0.0);
+        ASSERT_LE(s.interest, 1.0 + 1e-9);
+        ASSERT_GE(s.recency, 0.0);
+        ASSERT_LE(s.recency, 1.0 + 1e-9);
+        ASSERT_GE(s.popularity, 0.0);
+        ASSERT_LE(s.popularity, 1.0 + 1e-9);
+      }
+    }
+  }
+}
+
+TEST_P(WorldPropertyTest, LinkerIsDeterministic) {
+  gen::World world = MakeWorld();
+  auto split = gen::FilterActiveUsers(world.corpus, 5);
+  kb::ComplementedKnowledgebase ckb(&world.kb());
+  gen::ComplementWithOracle(world, split, 0.0, 5, &ckb);
+  reach::NaiveReachability reach(&world.social.graph, 5);
+  auto network = recency::PropagationNetwork::Build(world.kb(), 0.6);
+  core::EntityLinker linker(&world.kb(), &ckb, &reach, &network,
+                            core::LinkerOptions{});
+
+  const auto& lt = world.corpus.tweets[0];
+  auto a = linker.LinkMention(lt.mentions[0].surface, lt.tweet.user,
+                              lt.tweet.time);
+  auto b = linker.LinkMention(lt.mentions[0].surface, lt.tweet.user,
+                              lt.tweet.time);
+  ASSERT_EQ(a.ranked.size(), b.ranked.size());
+  for (size_t i = 0; i < a.ranked.size(); ++i) {
+    EXPECT_EQ(a.ranked[i].entity, b.ranked[i].entity);
+    EXPECT_DOUBLE_EQ(a.ranked[i].score, b.ranked[i].score);
+  }
+}
+
+TEST_P(WorldPropertyTest, PropagationNetworkInvariants) {
+  gen::World world = MakeWorld();
+  auto network = recency::PropagationNetwork::Build(world.kb(), 0.6);
+  // Neighbours stay within the cluster and probabilities are normalized.
+  for (kb::EntityId e = 0; e < world.kb().num_entities(); ++e) {
+    double total = 0;
+    for (const auto& edge : network.Neighbors(e)) {
+      EXPECT_EQ(network.Cluster(edge.target), network.Cluster(e));
+      EXPECT_GE(edge.weight, 0.6);
+      total += edge.probability;
+    }
+    if (!network.Neighbors(e).empty()) {
+      EXPECT_NEAR(total, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST_P(WorldPropertyTest, RecencyWindowMonotoneInTau) {
+  gen::World world = MakeWorld();
+  auto split = gen::FilterActiveUsers(world.corpus, 1);
+  kb::ComplementedKnowledgebase ckb(&world.kb());
+  gen::ComplementWithOracle(world, split, 0.0, 5, &ckb);
+  recency::SlidingWindowRecency narrow(&ckb, kb::kSecondsPerDay, 1);
+  recency::SlidingWindowRecency wide(&ckb, 30 * kb::kSecondsPerDay, 1);
+  kb::Timestamp now = 60 * kb::kSecondsPerDay;
+  for (kb::EntityId e = 0; e < world.kb().num_entities(); e += 3) {
+    EXPECT_LE(narrow.RecentCount(e, now), wide.RecentCount(e, now));
+  }
+}
+
+TEST_P(WorldPropertyTest, TweetAccuracyNeverExceedsMentionAccuracy) {
+  gen::World world = MakeWorld();
+  auto split = gen::FilterActiveUsers(world.corpus, 5);
+  kb::ComplementedKnowledgebase ckb(&world.kb());
+  gen::ComplementWithOracle(world, split, 0.05, 5, &ckb);
+  reach::NaiveReachability reach(&world.social.graph, 5);
+  auto network = recency::PropagationNetwork::Build(world.kb(), 0.6);
+  core::LinkerOptions options;
+  options.theta1 = 5;
+  core::EntityLinker linker(&world.kb(), &ckb, &reach, &network, options);
+  auto test_split = gen::SampleInactiveUsers(world.corpus, 5, 40, 11);
+  auto acc = eval::EvaluateOurs(linker, world, test_split).accuracy();
+  EXPECT_GE(acc.MentionAccuracy() + 1e-12, acc.TweetAccuracy());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Worlds, WorldPropertyTest,
+    ::testing::Values(WorldParam{200, 8, 300, 2500, 201},
+                      WorldParam{400, 15, 500, 5000, 202},
+                      WorldParam{150, 5, 200, 1500, 203},
+                      WorldParam{300, 25, 400, 3000, 204}));
+
+}  // namespace
+}  // namespace mel

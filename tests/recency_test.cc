@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "kb/complemented_kb.h"
+#include "kb/knowledgebase.h"
+#include "recency/propagation_network.h"
+#include "recency/recency_propagator.h"
+#include "recency/sliding_window.h"
+
+namespace mel::recency {
+namespace {
+
+// Fig. 3 style world: a basketball cluster {player, bulls, nba} and an ML
+// cluster {expert, icml}; "jordan" is ambiguous between player and expert
+// (so they must never be directly connected in the propagation network).
+class RecencyFixture : public ::testing::Test {
+ protected:
+  RecencyFixture() {
+    player_ = kb_.AddEntity("player", kb::EntityCategory::kPerson, {});
+    expert_ = kb_.AddEntity("expert", kb::EntityCategory::kPerson, {});
+    bulls_ = kb_.AddEntity("bulls", kb::EntityCategory::kCompany, {});
+    nba_ = kb_.AddEntity("nba", kb::EntityCategory::kCompany, {});
+    icml_ = kb_.AddEntity("icml", kb::EntityCategory::kCompany, {});
+    for (int i = 0; i < 5; ++i) {
+      // Five "article" entities co-citing the basketball cluster.
+      kb::EntityId a = kb_.AddEntity("art" + std::to_string(i),
+                                     kb::EntityCategory::kMovieMusic, {});
+      kb_.AddHyperlink(a, player_);
+      kb_.AddHyperlink(a, bulls_);
+      kb_.AddHyperlink(a, nba_);
+    }
+    for (int i = 0; i < 5; ++i) {
+      kb::EntityId a = kb_.AddEntity("ml" + std::to_string(i),
+                                     kb::EntityCategory::kMovieMusic, {});
+      kb_.AddHyperlink(a, expert_);
+      kb_.AddHyperlink(a, icml_);
+    }
+    kb_.AddSurfaceForm("jordan", player_, 10);
+    kb_.AddSurfaceForm("jordan", expert_, 5);
+    kb_.Finalize();
+    ckb_ = std::make_unique<kb::ComplementedKnowledgebase>(&kb_);
+  }
+
+  void Burst(kb::EntityId e, kb::Timestamp around, int count) {
+    for (int i = 0; i < count; ++i) {
+      ckb_->AddLink(e, kb::Posting{next_tweet_++, 1, around + i});
+    }
+  }
+
+  kb::Knowledgebase kb_;
+  std::unique_ptr<kb::ComplementedKnowledgebase> ckb_;
+  kb::EntityId player_, expert_, bulls_, nba_, icml_;
+  kb::TweetId next_tweet_ = 0;
+};
+
+// ---------------------------------------------------------------- window
+
+TEST_F(RecencyFixture, BurstMassRespectsThreshold) {
+  SlidingWindowRecency window(ckb_.get(), 100, 5);
+  Burst(player_, 1000, 4);  // below theta1 = 5
+  EXPECT_EQ(window.RecentCount(player_, 1050), 4u);
+  EXPECT_DOUBLE_EQ(window.BurstMass(player_, 1050), 0.0);
+  Burst(player_, 1010, 3);  // now 7 in window
+  EXPECT_DOUBLE_EQ(window.BurstMass(player_, 1050), 7.0);
+}
+
+TEST_F(RecencyFixture, WindowSlidesPastOldTweets) {
+  SlidingWindowRecency window(ckb_.get(), 100, 1);
+  Burst(player_, 0, 10);
+  EXPECT_EQ(window.RecentCount(player_, 50), 10u);
+  EXPECT_EQ(window.RecentCount(player_, 500), 0u);
+}
+
+TEST_F(RecencyFixture, ScoresNormalizedOverCandidates) {
+  SlidingWindowRecency window(ckb_.get(), 100, 2);
+  Burst(player_, 1000, 6);
+  Burst(expert_, 1000, 2);
+  std::vector<kb::EntityId> candidates = {player_, expert_};
+  auto scores = window.Scores(candidates, 1050);
+  ASSERT_EQ(scores.size(), 2u);
+  EXPECT_DOUBLE_EQ(scores[0], 6.0 / 8.0);
+  EXPECT_DOUBLE_EQ(scores[1], 2.0 / 8.0);
+}
+
+TEST_F(RecencyFixture, SubThresholdCandidateScoresZeroButFeedsDenominator) {
+  SlidingWindowRecency window(ckb_.get(), 100, 5);
+  Burst(player_, 1000, 6);
+  Burst(expert_, 1000, 2);  // below threshold
+  auto scores = window.Scores({{player_, expert_}}, 1050);
+  EXPECT_DOUBLE_EQ(scores[0], 6.0 / 8.0);
+  EXPECT_DOUBLE_EQ(scores[1], 0.0);
+}
+
+TEST_F(RecencyFixture, NoRecentTweetsAllZero) {
+  SlidingWindowRecency window(ckb_.get(), 100, 1);
+  auto scores = window.Scores({{player_, expert_}}, 123456);
+  EXPECT_DOUBLE_EQ(scores[0], 0.0);
+  EXPECT_DOUBLE_EQ(scores[1], 0.0);
+}
+
+// --------------------------------------------------------------- network
+
+TEST_F(RecencyFixture, ClustersFollowTopicStructure) {
+  auto net = PropagationNetwork::Build(kb_, 0.3);
+  // Basketball trio share a cluster; ML pair share another; the two
+  // differ.
+  EXPECT_EQ(net.Cluster(player_), net.Cluster(bulls_));
+  EXPECT_EQ(net.Cluster(bulls_), net.Cluster(nba_));
+  EXPECT_EQ(net.Cluster(expert_), net.Cluster(icml_));
+  EXPECT_NE(net.Cluster(player_), net.Cluster(expert_));
+  EXPECT_GT(net.num_edges(), 0u);
+  EXPECT_GE(net.MaxClusterSize(), 3u);
+}
+
+TEST_F(RecencyFixture, SameMentionCandidatesNeverConnected) {
+  // Even with threshold 0 (accept any positive relatedness), player_ and
+  // expert_ must not be adjacent: both are candidates of "jordan".
+  auto net = PropagationNetwork::Build(kb_, 0.01);
+  for (const auto& edge : net.Neighbors(player_)) {
+    EXPECT_NE(edge.target, expert_);
+  }
+  for (const auto& edge : net.Neighbors(expert_)) {
+    EXPECT_NE(edge.target, player_);
+  }
+}
+
+TEST_F(RecencyFixture, HighThresholdPrunesAllEdges) {
+  auto net = PropagationNetwork::Build(kb_, 1.01);
+  EXPECT_EQ(net.num_edges(), 0u);
+  EXPECT_EQ(net.num_clusters(), kb_.num_entities());
+  EXPECT_EQ(net.MaxClusterSize(), 1u);
+}
+
+TEST_F(RecencyFixture, ProbabilitiesRowNormalized) {
+  auto net = PropagationNetwork::Build(kb_, 0.3);
+  for (kb::EntityId e = 0; e < kb_.num_entities(); ++e) {
+    auto nbrs = net.Neighbors(e);
+    if (nbrs.empty()) continue;
+    double total = 0;
+    for (const auto& edge : nbrs) total += edge.probability;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST_F(RecencyFixture, ClusterMembersPartitionEntities) {
+  auto net = PropagationNetwork::Build(kb_, 0.3);
+  size_t total = 0;
+  for (uint32_t c = 0; c < net.num_clusters(); ++c) {
+    total += net.ClusterMembers(c).size();
+    for (kb::EntityId e : net.ClusterMembers(c)) {
+      EXPECT_EQ(net.Cluster(e), c);
+    }
+  }
+  EXPECT_EQ(total, kb_.num_entities());
+}
+
+// ------------------------------------------------------------ propagator
+
+TEST_F(RecencyFixture, BurstPropagatesWithinCluster) {
+  auto net = PropagationNetwork::Build(kb_, 0.3);
+  SlidingWindowRecency window(ckb_.get(), 100, 5);
+  RecencyPropagator propagator(&net, &window, PropagatorOptions{});
+
+  Burst(nba_, 1000, 20);  // NBA bursts; the player has no burst of his own
+  auto scores = propagator.CandidateScores({{player_, expert_}}, 1050,
+                                           /*enable_propagation=*/true);
+  // Propagation lifts the player above the (silent) expert.
+  EXPECT_GT(scores[0], scores[1]);
+  EXPECT_GT(scores[0], 0.0);
+  EXPECT_DOUBLE_EQ(scores[1], 0.0);
+
+  // Without propagation neither candidate has any burst of its own.
+  auto plain = propagator.CandidateScores({{player_, expert_}}, 1050,
+                                          /*enable_propagation=*/false);
+  EXPECT_DOUBLE_EQ(plain[0], 0.0);
+  EXPECT_DOUBLE_EQ(plain[1], 0.0);
+}
+
+TEST_F(RecencyFixture, IcmlBurstFavoursExpert) {
+  auto net = PropagationNetwork::Build(kb_, 0.3);
+  SlidingWindowRecency window(ckb_.get(), 100, 5);
+  RecencyPropagator propagator(&net, &window, PropagatorOptions{});
+  Burst(icml_, 2000, 15);
+  auto scores = propagator.CandidateScores({{player_, expert_}}, 2050, true);
+  EXPECT_GT(scores[1], scores[0]);
+}
+
+TEST_F(RecencyFixture, LambdaOnePreservesInitialVector) {
+  auto net = PropagationNetwork::Build(kb_, 0.3);
+  SlidingWindowRecency window(ckb_.get(), 100, 5);
+  PropagatorOptions opts;
+  opts.lambda = 1.0;  // no reinforcement at all
+  RecencyPropagator propagator(&net, &window, opts);
+  Burst(nba_, 1000, 20);
+  auto cluster_scores =
+      propagator.PropagateCluster(net.Cluster(nba_), 1050);
+  auto members = net.ClusterMembers(net.Cluster(nba_));
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (members[i] == nba_) {
+      EXPECT_NEAR(cluster_scores[i], 20.0, 1e-9);  // raw burst mass
+    } else {
+      EXPECT_NEAR(cluster_scores[i], 0.0, 1e-9);
+    }
+  }
+}
+
+TEST_F(RecencyFixture, PropagatedMassStaysFinite) {
+  auto net = PropagationNetwork::Build(kb_, 0.3);
+  SlidingWindowRecency window(ckb_.get(), 100, 1);
+  RecencyPropagator propagator(&net, &window, PropagatorOptions{});
+  Burst(player_, 1000, 10);
+  Burst(bulls_, 1000, 10);
+  Burst(nba_, 1000, 10);
+  auto scores = propagator.PropagateCluster(net.Cluster(nba_), 1050);
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 30.0);  // never exceeds the total injected burst mass
+  }
+}
+
+TEST_F(RecencyFixture, CandidateScoresNormalized) {
+  auto net = PropagationNetwork::Build(kb_, 0.3);
+  SlidingWindowRecency window(ckb_.get(), 100, 2);
+  RecencyPropagator propagator(&net, &window, PropagatorOptions{});
+  Burst(player_, 1000, 8);
+  Burst(expert_, 1000, 4);
+  auto scores = propagator.CandidateScores({{player_, expert_}}, 1050, true);
+  EXPECT_NEAR(scores[0] + scores[1], 1.0, 1e-9);
+  EXPECT_GT(scores[0], scores[1]);
+}
+
+}  // namespace
+}  // namespace mel::recency

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "graph/graph_builder.h"
+#include "kb/complemented_kb.h"
+#include "kb/knowledgebase.h"
+#include "reach/transitive_closure.h"
+#include "reach/two_hop_index.h"
+#include "util/random.h"
+#include "util/serialize.h"
+
+namespace mel {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+class TempFile {
+ public:
+  explicit TempFile(const char* name) : path_(TempPath(name)) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+graph::DirectedGraph RandomGraph(uint32_t n, uint32_t edges, uint64_t seed) {
+  Rng rng(seed);
+  graph::GraphBuilder b(n);
+  for (uint32_t i = 0; i < edges; ++i) {
+    b.AddEdge(static_cast<graph::NodeId>(rng.Uniform(n)),
+              static_cast<graph::NodeId>(rng.Uniform(n)));
+  }
+  return std::move(b).Build();
+}
+
+// ------------------------------------------------------- writer/reader
+
+TEST(BinaryIoTest, RoundTripScalarsAndVectors) {
+  TempFile file("mel_io_roundtrip.bin");
+  {
+    BinaryWriter writer(file.path());
+    writer.WriteU8(7);
+    writer.WriteU32(123456);
+    writer.WriteU64(1ull << 40);
+    writer.WriteFloat(2.5f);
+    writer.WriteDouble(3.25);
+    writer.WriteString("hello world");
+    writer.WriteVector(std::vector<uint32_t>{1, 2, 3});
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  BinaryReader reader(file.path());
+  EXPECT_EQ(reader.ReadU8(), 7);
+  EXPECT_EQ(reader.ReadU32(), 123456u);
+  EXPECT_EQ(reader.ReadU64(), 1ull << 40);
+  EXPECT_FLOAT_EQ(reader.ReadFloat(), 2.5f);
+  EXPECT_DOUBLE_EQ(reader.ReadDouble(), 3.25);
+  EXPECT_EQ(reader.ReadString(), "hello world");
+  EXPECT_EQ(reader.ReadVector<uint32_t>(),
+            (std::vector<uint32_t>{1, 2, 3}));
+  EXPECT_TRUE(reader.status().ok());
+}
+
+TEST(BinaryIoTest, MissingFileReportsNotFound) {
+  BinaryReader reader("/nonexistent/dir/file.bin");
+  EXPECT_EQ(reader.status().code(), StatusCode::kNotFound);
+  BinaryWriter writer("/nonexistent/dir/file.bin");
+  EXPECT_EQ(writer.Finish().code(), StatusCode::kNotFound);
+}
+
+TEST(BinaryIoTest, TruncatedFileReportsOutOfRange) {
+  TempFile file("mel_io_truncated.bin");
+  {
+    BinaryWriter writer(file.path());
+    writer.WriteU32(1);
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  BinaryReader reader(file.path());
+  reader.ReadU32();
+  EXPECT_TRUE(reader.status().ok());
+  reader.ReadU64();  // past the end
+  EXPECT_EQ(reader.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BinaryIoTest, CorruptVectorLengthRejected) {
+  TempFile file("mel_io_badlen.bin");
+  {
+    BinaryWriter writer(file.path());
+    writer.WriteU64(~0ull);  // absurd element count
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  BinaryReader reader(file.path());
+  auto v = reader.ReadVector<uint32_t>();
+  EXPECT_TRUE(v.empty());
+  EXPECT_FALSE(reader.status().ok());
+}
+
+// ---------------------------------------------------- index round trips
+
+TEST(IndexSerializationTest, TransitiveClosureRoundTrip) {
+  auto g = RandomGraph(50, 200, 3);
+  auto original = reach::TransitiveClosureIndex::Build(
+      &g, 5, reach::TransitiveClosureIndex::Construction::kIncremental);
+  ASSERT_TRUE(original.InsertEdge(0, 49) || true);  // exercise overlay
+
+  TempFile file("mel_tc_index.bin");
+  ASSERT_TRUE(original.Save(file.path()).ok());
+  auto loaded = reach::TransitiveClosureIndex::Load(file.path(), &g);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_EQ(original.Distance(u, v), loaded.value().Distance(u, v));
+      ASSERT_FLOAT_EQ(original.Score(u, v), loaded.value().Score(u, v));
+    }
+  }
+  // Overlay survives: inserting the same edge again is rejected.
+  if (!g.HasEdge(0, 49)) {
+    EXPECT_FALSE(loaded.value().InsertEdge(0, 49));
+  }
+}
+
+TEST(IndexSerializationTest, TwoHopRoundTrip) {
+  auto g = RandomGraph(60, 240, 4);
+  auto original = reach::TwoHopIndex::Build(&g, 5);
+  TempFile file("mel_2hop_index.bin");
+  ASSERT_TRUE(original.Save(file.path()).ok());
+  auto loaded = reach::TwoHopIndex::Load(file.path(), &g);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(original.TotalLabelEntries(),
+            loaded.value().TotalLabelEntries());
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      auto a = original.Query(u, v);
+      auto b = loaded.value().Query(u, v);
+      ASSERT_EQ(a.distance, b.distance);
+      ASSERT_EQ(a.followees, b.followees);
+    }
+  }
+}
+
+TEST(IndexSerializationTest, WrongMagicRejected) {
+  TempFile file("mel_wrong_magic.bin");
+  {
+    BinaryWriter writer(file.path());
+    writer.WriteU32(0xdeadbeef);
+    writer.WriteU32(1);
+    writer.WriteU32(10);
+    writer.WriteU32(5);
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  auto g = RandomGraph(10, 20, 5);
+  auto tc = reach::TransitiveClosureIndex::Load(file.path(), &g);
+  EXPECT_FALSE(tc.ok());
+  EXPECT_EQ(tc.status().code(), StatusCode::kInvalidArgument);
+  auto hop = reach::TwoHopIndex::Load(file.path(), &g);
+  EXPECT_FALSE(hop.ok());
+}
+
+TEST(IndexSerializationTest, NodeCountMismatchRejected) {
+  auto g = RandomGraph(30, 100, 6);
+  auto index = reach::TwoHopIndex::Build(&g, 5);
+  TempFile file("mel_mismatch.bin");
+  ASSERT_TRUE(index.Save(file.path()).ok());
+  auto other = RandomGraph(31, 100, 7);
+  auto loaded = reach::TwoHopIndex::Load(file.path(), &other);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// ------------------------------------------------- knowledgebase files
+
+kb::Knowledgebase MakeSmallKb() {
+  kb::Knowledgebase kbase;
+  auto player = kbase.AddEntity("Michael Jordan",
+                                kb::EntityCategory::kPerson,
+                                {"basketball", "bulls"});
+  auto country = kbase.AddEntity("Jordan", kb::EntityCategory::kLocation,
+                                 {"country", "amman"});
+  auto bulls = kbase.AddEntity("Chicago Bulls",
+                               kb::EntityCategory::kCompany,
+                               {"basketball", "chicago"});
+  kbase.AddSurfaceForm("jordan", player, 10);
+  kbase.AddSurfaceForm("jordan", country, 4);
+  kbase.AddSurfaceForm("bulls", bulls, 6);
+  kbase.AddHyperlink(bulls, player);
+  kbase.AddHyperlink(player, bulls);
+  kbase.Finalize();
+  return kbase;
+}
+
+TEST(KbSerializationTest, RoundTrip) {
+  kb::Knowledgebase original = MakeSmallKb();
+  TempFile file("mel_kb.bin");
+  ASSERT_TRUE(original.Save(file.path()).ok());
+  auto loaded = kb::Knowledgebase::Load(file.path());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const kb::Knowledgebase& kb2 = loaded.value();
+
+  EXPECT_EQ(kb2.num_entities(), original.num_entities());
+  EXPECT_EQ(kb2.num_surface_forms(), original.num_surface_forms());
+  EXPECT_TRUE(kb2.finalized());
+  auto cands = kb2.Candidates("jordan");
+  ASSERT_EQ(cands.size(), 2u);
+  EXPECT_EQ(cands[0].anchor_count, 10u);
+  EXPECT_EQ(kb2.entity(0).name, "Michael Jordan");
+  EXPECT_EQ(kb2.entity(1).category, kb::EntityCategory::kLocation);
+  // Descriptions share the interned vocabulary ("basketball").
+  EXPECT_EQ(kb2.entity(0).description[0], kb2.entity(2).description[0]);
+  // Hyperlinks survive.
+  ASSERT_EQ(kb2.Inlinks(0).size(), 1u);
+  EXPECT_EQ(kb2.Inlinks(0)[0], 2u);
+}
+
+TEST(KbSerializationTest, UnfinalizedRejected) {
+  kb::Knowledgebase kbase;
+  kbase.AddEntity("x", kb::EntityCategory::kPerson, {});
+  TempFile file("mel_kb_unfinalized.bin");
+  EXPECT_EQ(kbase.Save(file.path()).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(CkbSerializationTest, RoundTrip) {
+  kb::Knowledgebase kbase = MakeSmallKb();
+  kb::ComplementedKnowledgebase original(&kbase);
+  original.AddLink(0, kb::Posting{1, 10, 500});
+  original.AddLink(0, kb::Posting{2, 11, 100});
+  original.AddLink(2, kb::Posting{3, 10, 300});
+
+  TempFile file("mel_ckb.bin");
+  ASSERT_TRUE(original.Save(file.path()).ok());
+  auto loaded = kb::ComplementedKnowledgebase::Load(file.path(), &kbase);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().TotalLinks(), 3u);
+  EXPECT_EQ(loaded.value().LinkedTweetCount(0), 2u);
+  EXPECT_EQ(loaded.value().UserTweetCount(0, 10), 1u);
+  auto postings = loaded.value().Postings(0);
+  ASSERT_EQ(postings.size(), 2u);
+  EXPECT_EQ(postings[0].time, 100);  // stored sorted
+}
+
+TEST(CkbSerializationTest, EntityCountMismatchRejected) {
+  kb::Knowledgebase kbase = MakeSmallKb();
+  kb::ComplementedKnowledgebase original(&kbase);
+  TempFile file("mel_ckb_mismatch.bin");
+  ASSERT_TRUE(original.Save(file.path()).ok());
+  kb::Knowledgebase other;
+  other.AddEntity("only one", kb::EntityCategory::kPerson, {});
+  other.Finalize();
+  auto loaded = kb::ComplementedKnowledgebase::Load(file.path(), &other);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(IndexSerializationTest, TruncatedIndexRejected) {
+  auto g = RandomGraph(30, 100, 8);
+  auto index = reach::TransitiveClosureIndex::Build(
+      &g, 5, reach::TransitiveClosureIndex::Construction::kIncremental);
+  TempFile file("mel_truncated_index.bin");
+  ASSERT_TRUE(index.Save(file.path()).ok());
+  // Chop the file in half.
+  auto size = std::filesystem::file_size(file.path());
+  std::filesystem::resize_file(file.path(), size / 2);
+  auto loaded = reach::TransitiveClosureIndex::Load(file.path(), &g);
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace mel

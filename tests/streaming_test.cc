@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "kb/complemented_kb.h"
+#include "kb/knowledgebase.h"
+#include "recency/burst_tracker.h"
+#include "recency/propagation_network.h"
+#include "recency/recency_propagator.h"
+#include "recency/sliding_window.h"
+#include "util/random.h"
+
+namespace mel::recency {
+namespace {
+
+TEST(BurstTrackerTest, CountsWithinWindow) {
+  BurstTracker tracker(3, /*tau=*/100, /*num_buckets=*/10, /*theta1=*/2);
+  tracker.Observe(0, 10);
+  tracker.Observe(0, 20);
+  tracker.Observe(0, 95);
+  EXPECT_EQ(tracker.ApproxRecentCount(0, 100), 3u);
+  EXPECT_EQ(tracker.ApproxRecentCount(1, 100), 0u);
+}
+
+TEST(BurstTrackerTest, OldObservationsExpire) {
+  BurstTracker tracker(1, 100, 10, 1);
+  tracker.Observe(0, 10);
+  tracker.Observe(0, 500);  // advances the ring far past bucket of t=10
+  EXPECT_EQ(tracker.ApproxRecentCount(0, 510), 1u);
+}
+
+TEST(BurstTrackerTest, LateArrivalsWithinWindowStillCount) {
+  BurstTracker tracker(1, 100, 10, 1);
+  tracker.Observe(0, 200);
+  tracker.Observe(0, 150);  // late but inside the retained window
+  EXPECT_EQ(tracker.ApproxRecentCount(0, 210), 2u);
+  // Far-too-late arrival is dropped.
+  tracker.Observe(0, 10);
+  EXPECT_EQ(tracker.ApproxRecentCount(0, 210), 2u);
+}
+
+TEST(BurstTrackerTest, BurstMassThreshold) {
+  BurstTracker tracker(1, 100, 10, 3);
+  tracker.Observe(0, 50);
+  tracker.Observe(0, 55);
+  EXPECT_DOUBLE_EQ(tracker.BurstMass(0, 60), 0.0);  // below theta1
+  tracker.Observe(0, 58);
+  EXPECT_DOUBLE_EQ(tracker.BurstMass(0, 60), 3.0);
+}
+
+TEST(BurstTrackerTest, MemoryIsConstantPerEntity) {
+  BurstTracker small(10, 1000, 16, 1);
+  BurstTracker large(10, 1000, 16, 1);
+  for (int i = 0; i < 10000; ++i) {
+    large.Observe(0, i);
+  }
+  EXPECT_EQ(small.MemoryUsageBytes(), large.MemoryUsageBytes());
+}
+
+// Model-based check: on an in-order stream, the tracker's approximate
+// count must match the exact posting-list count up to one bucket of
+// slack at the trailing window edge.
+TEST(BurstTrackerTest, TracksExactWindowWithinBucketSlack) {
+  kb::Knowledgebase kbase;
+  kbase.AddEntity("e", kb::EntityCategory::kPerson, {});
+  kbase.Finalize();
+  kb::ComplementedKnowledgebase ckb(&kbase);
+
+  const kb::Timestamp tau = 1000;
+  const uint32_t buckets = 20;
+  const kb::Timestamp bucket_width = tau / buckets;
+  BurstTracker tracker(1, tau, buckets, 1);
+  SlidingWindowRecency exact(&ckb, tau, 1);
+
+  Rng rng(7);
+  kb::Timestamp t = 0;
+  for (int i = 0; i < 3000; ++i) {
+    t += static_cast<kb::Timestamp>(rng.Uniform(30));
+    tracker.Observe(0, t);
+    ckb.AddLink(0, kb::Posting{static_cast<kb::TweetId>(i), 1, t});
+
+    if (i % 50 == 0) {
+      kb::Timestamp now = t + static_cast<kb::Timestamp>(rng.Uniform(50));
+      uint32_t approx = tracker.ApproxRecentCount(0, now);
+      // The bucketed window can only differ at the trailing edge: it may
+      // include extra tweets from the partially-expired oldest bucket.
+      uint32_t lower = exact.RecentCount(0, now);
+      uint32_t upper =
+          ckb.RecentTweetCount(0, now, tau + bucket_width);
+      EXPECT_GE(approx, lower) << "i=" << i << " now=" << now;
+      EXPECT_LE(approx, upper) << "i=" << i << " now=" << now;
+    }
+  }
+}
+
+// The tracker plugs into the propagation model through RecencySource —
+// the full streaming recency pipeline without posting lists.
+TEST(BurstTrackerTest, DrivesRecencyPropagator) {
+  kb::Knowledgebase kbase;
+  auto player = kbase.AddEntity("player", kb::EntityCategory::kPerson, {});
+  auto expert = kbase.AddEntity("expert", kb::EntityCategory::kPerson, {});
+  auto nba = kbase.AddEntity("nba", kb::EntityCategory::kCompany, {});
+  for (int i = 0; i < 4; ++i) {
+    auto a = kbase.AddEntity("a" + std::to_string(i),
+                             kb::EntityCategory::kMovieMusic, {});
+    kbase.AddHyperlink(a, player);
+    kbase.AddHyperlink(a, nba);
+  }
+  kbase.AddSurfaceForm("jordan", player, 5);
+  kbase.AddSurfaceForm("jordan", expert, 5);
+  kbase.Finalize();
+  auto network = recency::PropagationNetwork::Build(kbase, 0.3);
+
+  BurstTracker tracker(kbase.num_entities(), 1000, 10, 3);
+  RecencyPropagator propagator(&network, &tracker, PropagatorOptions{});
+
+  // Stream an NBA burst through the tracker: propagation lifts the
+  // player over the expert even though the player itself never bursts.
+  for (int i = 0; i < 12; ++i) tracker.Observe(nba, 5000 + i);
+  auto scores = propagator.CandidateScores({{player, expert}}, 5050, true);
+  EXPECT_GT(scores[0], scores[1]);
+  EXPECT_DOUBLE_EQ(scores[1], 0.0);
+}
+
+TEST(BurstTrackerTest, ManyEntitiesIndependent) {
+  BurstTracker tracker(100, 100, 10, 1);
+  Rng rng(9);
+  std::vector<uint32_t> expected(100, 0);
+  for (int i = 0; i < 2000; ++i) {
+    auto e = static_cast<kb::EntityId>(rng.Uniform(100));
+    tracker.Observe(e, 500 + static_cast<kb::Timestamp>(rng.Uniform(90)));
+    ++expected[e];
+  }
+  for (kb::EntityId e = 0; e < 100; ++e) {
+    EXPECT_EQ(tracker.ApproxRecentCount(e, 600), expected[e]);
+  }
+}
+
+}  // namespace
+}  // namespace mel::recency

@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "text/edit_distance.h"
+#include "text/gazetteer.h"
+#include "text/qgram_index.h"
+#include "text/tokenizer.h"
+#include "util/random.h"
+
+namespace mel::text {
+namespace {
+
+// ------------------------------------------------------------- tokenizer
+
+TEST(TokenizerTest, BasicWords) {
+  auto tokens = TokenizeToStrings("Michael Jordan plays basketball");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "michael");
+  EXPECT_EQ(tokens[1], "jordan");
+  EXPECT_EQ(tokens[3], "basketball");
+}
+
+TEST(TokenizerTest, StripsPunctuationAndHandles) {
+  auto tokens = TokenizeToStrings("@NBAOfficial: #Jordan wins!!!");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "nbaofficial");
+  EXPECT_EQ(tokens[1], "jordan");
+  EXPECT_EQ(tokens[2], "wins");
+}
+
+TEST(TokenizerTest, KeepsIntraWordApostrophe) {
+  auto tokens = TokenizeToStrings("O'Neal's game");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "o'neal's");
+  EXPECT_EQ(tokens[1], "game");
+}
+
+TEST(TokenizerTest, ByteSpansPointIntoOriginal) {
+  std::string input = "Hi, Bob!";
+  auto tokens = Tokenize(input);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(input.substr(tokens[1].begin, tokens[1].end - tokens[1].begin),
+            "Bob");
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("... !!! ???").empty());
+}
+
+TEST(TokenizerTest, Numbers) {
+  auto tokens = TokenizeToStrings("win 23 points");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1], "23");
+}
+
+// ---------------------------------------------------------- edit distance
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("", "xyz"), 3u);
+  EXPECT_EQ(EditDistance("same", "same"), 0u);
+  EXPECT_EQ(EditDistance("jordan", "jorden"), 1u);
+}
+
+TEST(EditDistanceTest, Symmetric) {
+  EXPECT_EQ(EditDistance("abcdef", "azced"), EditDistance("azced", "abcdef"));
+}
+
+TEST(EditDistanceTest, BoundedAgreesWithinThreshold) {
+  Rng rng(7);
+  const std::string alphabet = "abcd";
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string a, b;
+    size_t la = rng.Uniform(12), lb = rng.Uniform(12);
+    for (size_t i = 0; i < la; ++i) a += alphabet[rng.Uniform(4)];
+    for (size_t i = 0; i < lb; ++i) b += alphabet[rng.Uniform(4)];
+    uint32_t exact = EditDistance(a, b);
+    for (uint32_t bound = 0; bound <= 4; ++bound) {
+      uint32_t bounded = BoundedEditDistance(a, b, bound);
+      if (exact <= bound) {
+        EXPECT_EQ(bounded, exact) << a << " vs " << b << " bound " << bound;
+      } else {
+        EXPECT_GT(bounded, bound) << a << " vs " << b << " bound " << bound;
+      }
+    }
+  }
+}
+
+TEST(EditSimilarityTest, Range) {
+  EXPECT_DOUBLE_EQ(EditSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "xyz"), 0.0);
+  EXPECT_NEAR(EditSimilarity("jordan", "jorden"), 1.0 - 1.0 / 6, 1e-9);
+}
+
+// ------------------------------------------------------------ fuzzy index
+
+TEST(SegmentFuzzyIndexTest, ExactLookup) {
+  SegmentFuzzyIndex index(2);
+  index.Add("jordan", 1);
+  index.Add("jackson", 2);
+  auto hits = index.Lookup("jordan", 0);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 1u);
+}
+
+TEST(SegmentFuzzyIndexTest, OneEditAway) {
+  SegmentFuzzyIndex index(2);
+  index.Add("jordan", 1);
+  index.Add("gordon", 2);
+  auto hits = index.Lookup("jorden", 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 1u);
+}
+
+TEST(SegmentFuzzyIndexTest, InsertionsAndDeletions) {
+  SegmentFuzzyIndex index(2);
+  index.Add("chicago bulls", 9);
+  EXPECT_EQ(index.Lookup("chicago bull", 1).size(), 1u);   // deletion
+  EXPECT_EQ(index.Lookup("chicagoo bulls", 1).size(), 1u);  // insertion
+  EXPECT_TRUE(index.Lookup("chicago", 2).empty());          // too far
+}
+
+TEST(SegmentFuzzyIndexTest, DuplicatePayloadsDeduplicated) {
+  SegmentFuzzyIndex index(1);
+  index.Add("alpha", 5);
+  index.Add("alphb", 5);
+  auto hits = index.Lookup("alpha", 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 5u);
+}
+
+TEST(SegmentFuzzyIndexTest, RandomizedCompleteness) {
+  // The pigeonhole filter must never miss a true near-match.
+  Rng rng(13);
+  const std::string alphabet = "abcde";
+  SegmentFuzzyIndex index(2);
+  std::vector<std::string> dict;
+  for (uint32_t i = 0; i < 200; ++i) {
+    std::string s;
+    size_t len = 3 + rng.Uniform(10);
+    for (size_t k = 0; k < len; ++k) s += alphabet[rng.Uniform(5)];
+    dict.push_back(s);
+    index.Add(s, i);
+  }
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string q;
+    size_t len = 3 + rng.Uniform(10);
+    for (size_t k = 0; k < len; ++k) q += alphabet[rng.Uniform(5)];
+    uint32_t threshold = 1 + static_cast<uint32_t>(rng.Uniform(2));
+    auto hits = index.Lookup(q, threshold);
+    for (uint32_t i = 0; i < dict.size(); ++i) {
+      bool expected = EditDistance(q, dict[i]) <= threshold;
+      bool found = std::find(hits.begin(), hits.end(), i) != hits.end();
+      EXPECT_EQ(found, expected)
+          << "query=" << q << " dict=" << dict[i] << " t=" << threshold;
+    }
+  }
+}
+
+TEST(SegmentFuzzyIndexTest, MemoryAccounting) {
+  SegmentFuzzyIndex index(1);
+  uint64_t empty = index.MemoryUsageBytes();
+  index.Add("something", 1);
+  EXPECT_GT(index.MemoryUsageBytes(), empty);
+}
+
+// -------------------------------------------------------------- gazetteer
+
+TEST(GazetteerTest, SingleTokenMatch) {
+  Gazetteer gaz;
+  gaz.AddSurfaceForm("jordan", 1);
+  auto mentions = gaz.Detect("I love jordan so much");
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].surface, "jordan");
+  EXPECT_EQ(mentions[0].surface_id, 1u);
+  EXPECT_EQ(mentions[0].token_begin, 2u);
+  EXPECT_EQ(mentions[0].token_end, 3u);
+}
+
+TEST(GazetteerTest, LongestCoverWins) {
+  Gazetteer gaz;
+  gaz.AddSurfaceForm("michael", 1);
+  gaz.AddSurfaceForm("michael jordan", 2);
+  auto mentions = gaz.Detect("michael jordan dunks");
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].surface_id, 2u);
+  EXPECT_EQ(mentions[0].surface, "michael jordan");
+}
+
+TEST(GazetteerTest, NonOverlappingMatches) {
+  Gazetteer gaz;
+  gaz.AddSurfaceForm("new york", 1);
+  gaz.AddSurfaceForm("york city", 2);
+  auto mentions = gaz.Detect("new york city");
+  // Longest-cover from the left: "new york" consumes tokens 0-1; token 2
+  // ("city") alone matches nothing.
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].surface_id, 1u);
+}
+
+TEST(GazetteerTest, CaseInsensitive) {
+  Gazetteer gaz;
+  gaz.AddSurfaceForm("Chicago Bulls", 7);
+  auto mentions = gaz.Detect("the CHICAGO bulls won");
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].surface_id, 7u);
+}
+
+TEST(GazetteerTest, MultipleMentions) {
+  Gazetteer gaz;
+  gaz.AddSurfaceForm("jordan", 1);
+  gaz.AddSurfaceForm("nba", 2);
+  auto mentions = gaz.Detect("jordan rules the nba and jordan smiles");
+  ASSERT_EQ(mentions.size(), 3u);
+  EXPECT_EQ(mentions[0].surface_id, 1u);
+  EXPECT_EQ(mentions[1].surface_id, 2u);
+  EXPECT_EQ(mentions[2].surface_id, 1u);
+}
+
+TEST(GazetteerTest, PrefixWithoutFullMatchDoesNotFire) {
+  Gazetteer gaz;
+  gaz.AddSurfaceForm("new york city", 1);
+  auto mentions = gaz.Detect("new york is big");
+  EXPECT_TRUE(mentions.empty());
+}
+
+TEST(GazetteerTest, EmptyTextAndEmptyDictionary) {
+  Gazetteer gaz;
+  EXPECT_TRUE(gaz.Detect("anything at all").empty());
+  gaz.AddSurfaceForm("x", 1);
+  EXPECT_TRUE(gaz.Detect("").empty());
+}
+
+TEST(GazetteerTest, LastSurfaceIdWinsOnDuplicateRegistration) {
+  Gazetteer gaz;
+  gaz.AddSurfaceForm("jordan", 1);
+  gaz.AddSurfaceForm("jordan", 2);
+  auto mentions = gaz.Detect("jordan");
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].surface_id, 2u);
+}
+
+// ---------------------------------------------------------------- fuzzing
+
+TEST(TokenizerFuzzTest, RandomBytesNeverCrashAndSpansAreValid) {
+  mel::Rng rng(97);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string input;
+    size_t len = rng.Uniform(64);
+    for (size_t i = 0; i < len; ++i) {
+      input.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    auto tokens = Tokenize(input);
+    size_t previous_end = 0;
+    for (const auto& token : tokens) {
+      ASSERT_FALSE(token.text.empty());
+      ASSERT_LE(token.begin, token.end);
+      ASSERT_LE(token.end, input.size());
+      ASSERT_GE(token.begin, previous_end);  // non-overlapping, ordered
+      previous_end = token.end;
+      for (char c : token.text) {
+        // Tokens are lowercase alnum plus intra-word apostrophes.
+        ASSERT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '\'')
+            << "byte " << static_cast<int>(c);
+      }
+    }
+  }
+}
+
+TEST(GazetteerFuzzTest, RandomTextNeverCrashes) {
+  Gazetteer gaz;
+  gaz.AddSurfaceForm("abc def", 1);
+  gaz.AddSurfaceForm("xyz", 2);
+  mel::Rng rng(98);
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::string input;
+    size_t len = rng.Uniform(48);
+    for (size_t i = 0; i < len; ++i) {
+      input.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    auto mentions = gaz.Detect(input);  // must not crash
+    for (const auto& m : mentions) {
+      ASSERT_LE(m.token_begin, m.token_end);
+    }
+  }
+}
+
+TEST(SegmentFuzzyIndexFuzzTest, RandomQueriesNeverCrash) {
+  SegmentFuzzyIndex index(2);
+  index.Add("hello", 1);
+  index.Add("world wide", 2);
+  mel::Rng rng(99);
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::string query;
+    size_t len = rng.Uniform(24);
+    for (size_t i = 0; i < len; ++i) {
+      query.push_back(static_cast<char>('a' + rng.Uniform(26)));
+    }
+    auto hits =
+        index.Lookup(query, 1 + static_cast<uint32_t>(rng.Uniform(2)));
+    for (uint32_t payload : hits) {
+      ASSERT_TRUE(payload == 1 || payload == 2);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mel::text
