@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_accuracy_datasets.dir/bench_accuracy_datasets.cc.o"
+  "CMakeFiles/bench_accuracy_datasets.dir/bench_accuracy_datasets.cc.o.d"
+  "bench_accuracy_datasets"
+  "bench_accuracy_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_accuracy_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

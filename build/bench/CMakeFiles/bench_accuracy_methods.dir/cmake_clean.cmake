@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_accuracy_methods.dir/bench_accuracy_methods.cc.o"
+  "CMakeFiles/bench_accuracy_methods.dir/bench_accuracy_methods.cc.o.d"
+  "bench_accuracy_methods"
+  "bench_accuracy_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_accuracy_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

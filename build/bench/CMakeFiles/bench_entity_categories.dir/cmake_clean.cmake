@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_entity_categories.dir/bench_entity_categories.cc.o"
+  "CMakeFiles/bench_entity_categories.dir/bench_entity_categories.cc.o.d"
+  "bench_entity_categories"
+  "bench_entity_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_entity_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

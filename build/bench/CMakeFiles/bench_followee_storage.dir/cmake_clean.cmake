@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_followee_storage.dir/bench_followee_storage.cc.o"
+  "CMakeFiles/bench_followee_storage.dir/bench_followee_storage.cc.o.d"
+  "bench_followee_storage"
+  "bench_followee_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_followee_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_influence_methods.dir/bench_influence_methods.cc.o"
+  "CMakeFiles/bench_influence_methods.dir/bench_influence_methods.cc.o.d"
+  "bench_influence_methods"
+  "bench_influence_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_influence_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_influential_users.dir/bench_influential_users.cc.o"
+  "CMakeFiles/bench_influential_users.dir/bench_influential_users.cc.o.d"
+  "bench_influential_users"
+  "bench_influential_users.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_influential_users.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_linking_time.dir/bench_linking_time.cc.o"
+  "CMakeFiles/bench_linking_time.dir/bench_linking_time.cc.o.d"
+  "bench_linking_time"
+  "bench_linking_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_linking_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_new_entity.dir/bench_new_entity.cc.o"
+  "CMakeFiles/bench_new_entity.dir/bench_new_entity.cc.o.d"
+  "bench_new_entity"
+  "bench_new_entity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_new_entity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recency_backends.dir/bench_recency_backends.cc.o"
+  "CMakeFiles/bench_recency_backends.dir/bench_recency_backends.cc.o.d"
+  "bench_recency_backends"
+  "bench_recency_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recency_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recency_propagation.dir/bench_recency_propagation.cc.o"
+  "CMakeFiles/bench_recency_propagation.dir/bench_recency_propagation.cc.o.d"
+  "bench_recency_propagation"
+  "bench_recency_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recency_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_search_quality.dir/bench_search_quality.cc.o"
+  "CMakeFiles/bench_search_quality.dir/bench_search_quality.cc.o.d"
+  "bench_search_quality"
+  "bench_search_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_search_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tc_construction.dir/bench_tc_construction.cc.o"
+  "CMakeFiles/bench_tc_construction.dir/bench_tc_construction.cc.o.d"
+  "bench_tc_construction"
+  "bench_tc_construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tc_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tweet_length.dir/bench_tweet_length.cc.o"
+  "CMakeFiles/bench_tweet_length.dir/bench_tweet_length.cc.o.d"
+  "bench_tweet_length"
+  "bench_tweet_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tweet_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_weibo.dir/bench_weibo.cc.o"
+  "CMakeFiles/bench_weibo.dir/bench_weibo.cc.o.d"
+  "bench_weibo"
+  "bench_weibo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_weibo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_weight_learning.dir/bench_weight_learning.cc.o"
+  "CMakeFiles/bench_weight_learning.dir/bench_weight_learning.cc.o.d"
+  "bench_weight_learning"
+  "bench_weight_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_weight_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mel_shell.dir/mel_shell.cpp.o"
+  "CMakeFiles/mel_shell.dir/mel_shell.cpp.o.d"
+  "mel_shell"
+  "mel_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mel_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/new_entity_detection.dir/new_entity_detection.cpp.o"
+  "CMakeFiles/new_entity_detection.dir/new_entity_detection.cpp.o.d"
+  "new_entity_detection"
+  "new_entity_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/new_entity_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/personalized_search.dir/personalized_search.cpp.o"
+  "CMakeFiles/personalized_search.dir/personalized_search.cpp.o.d"
+  "personalized_search"
+  "personalized_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/personalized_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_linker.dir/streaming_linker.cpp.o"
+  "CMakeFiles/streaming_linker.dir/streaming_linker.cpp.o.d"
+  "streaming_linker"
+  "streaming_linker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_linker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mel_baseline.dir/baseline/collective_linker.cc.o"
+  "CMakeFiles/mel_baseline.dir/baseline/collective_linker.cc.o.d"
+  "CMakeFiles/mel_baseline.dir/baseline/on_the_fly_linker.cc.o"
+  "CMakeFiles/mel_baseline.dir/baseline/on_the_fly_linker.cc.o.d"
+  "libmel_baseline.a"
+  "libmel_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mel_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/candidate_generator.cc" "src/CMakeFiles/mel_core.dir/core/candidate_generator.cc.o" "gcc" "src/CMakeFiles/mel_core.dir/core/candidate_generator.cc.o.d"
+  "/root/repo/src/core/entity_linker.cc" "src/CMakeFiles/mel_core.dir/core/entity_linker.cc.o" "gcc" "src/CMakeFiles/mel_core.dir/core/entity_linker.cc.o.d"
+  "/root/repo/src/core/parallel_linker.cc" "src/CMakeFiles/mel_core.dir/core/parallel_linker.cc.o" "gcc" "src/CMakeFiles/mel_core.dir/core/parallel_linker.cc.o.d"
+  "/root/repo/src/core/personalized_search.cc" "src/CMakeFiles/mel_core.dir/core/personalized_search.cc.o" "gcc" "src/CMakeFiles/mel_core.dir/core/personalized_search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mel_social.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mel_recency.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mel_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mel_reach.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mel_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mel_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mel_core.dir/core/candidate_generator.cc.o"
+  "CMakeFiles/mel_core.dir/core/candidate_generator.cc.o.d"
+  "CMakeFiles/mel_core.dir/core/entity_linker.cc.o"
+  "CMakeFiles/mel_core.dir/core/entity_linker.cc.o.d"
+  "CMakeFiles/mel_core.dir/core/parallel_linker.cc.o"
+  "CMakeFiles/mel_core.dir/core/parallel_linker.cc.o.d"
+  "CMakeFiles/mel_core.dir/core/personalized_search.cc.o"
+  "CMakeFiles/mel_core.dir/core/personalized_search.cc.o.d"
+  "libmel_core.a"
+  "libmel_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mel_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

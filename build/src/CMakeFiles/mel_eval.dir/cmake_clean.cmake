@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mel_eval.dir/eval/harness.cc.o"
+  "CMakeFiles/mel_eval.dir/eval/harness.cc.o.d"
+  "CMakeFiles/mel_eval.dir/eval/metrics.cc.o"
+  "CMakeFiles/mel_eval.dir/eval/metrics.cc.o.d"
+  "CMakeFiles/mel_eval.dir/eval/runner.cc.o"
+  "CMakeFiles/mel_eval.dir/eval/runner.cc.o.d"
+  "CMakeFiles/mel_eval.dir/eval/weight_learner.cc.o"
+  "CMakeFiles/mel_eval.dir/eval/weight_learner.cc.o.d"
+  "libmel_eval.a"
+  "libmel_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mel_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/kb_generator.cc" "src/CMakeFiles/mel_gen.dir/gen/kb_generator.cc.o" "gcc" "src/CMakeFiles/mel_gen.dir/gen/kb_generator.cc.o.d"
+  "/root/repo/src/gen/social_graph_generator.cc" "src/CMakeFiles/mel_gen.dir/gen/social_graph_generator.cc.o" "gcc" "src/CMakeFiles/mel_gen.dir/gen/social_graph_generator.cc.o.d"
+  "/root/repo/src/gen/tweet_generator.cc" "src/CMakeFiles/mel_gen.dir/gen/tweet_generator.cc.o" "gcc" "src/CMakeFiles/mel_gen.dir/gen/tweet_generator.cc.o.d"
+  "/root/repo/src/gen/workload.cc" "src/CMakeFiles/mel_gen.dir/gen/workload.cc.o" "gcc" "src/CMakeFiles/mel_gen.dir/gen/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mel_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mel_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mel_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mel_gen.dir/gen/kb_generator.cc.o"
+  "CMakeFiles/mel_gen.dir/gen/kb_generator.cc.o.d"
+  "CMakeFiles/mel_gen.dir/gen/social_graph_generator.cc.o"
+  "CMakeFiles/mel_gen.dir/gen/social_graph_generator.cc.o.d"
+  "CMakeFiles/mel_gen.dir/gen/tweet_generator.cc.o"
+  "CMakeFiles/mel_gen.dir/gen/tweet_generator.cc.o.d"
+  "CMakeFiles/mel_gen.dir/gen/workload.cc.o"
+  "CMakeFiles/mel_gen.dir/gen/workload.cc.o.d"
+  "libmel_gen.a"
+  "libmel_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mel_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mel_graph.dir/graph/bfs.cc.o"
+  "CMakeFiles/mel_graph.dir/graph/bfs.cc.o.d"
+  "CMakeFiles/mel_graph.dir/graph/components.cc.o"
+  "CMakeFiles/mel_graph.dir/graph/components.cc.o.d"
+  "CMakeFiles/mel_graph.dir/graph/directed_graph.cc.o"
+  "CMakeFiles/mel_graph.dir/graph/directed_graph.cc.o.d"
+  "CMakeFiles/mel_graph.dir/graph/graph_builder.cc.o"
+  "CMakeFiles/mel_graph.dir/graph/graph_builder.cc.o.d"
+  "CMakeFiles/mel_graph.dir/graph/stats.cc.o"
+  "CMakeFiles/mel_graph.dir/graph/stats.cc.o.d"
+  "libmel_graph.a"
+  "libmel_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mel_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

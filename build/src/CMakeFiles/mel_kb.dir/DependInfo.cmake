@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kb/complemented_kb.cc" "src/CMakeFiles/mel_kb.dir/kb/complemented_kb.cc.o" "gcc" "src/CMakeFiles/mel_kb.dir/kb/complemented_kb.cc.o.d"
+  "/root/repo/src/kb/knowledgebase.cc" "src/CMakeFiles/mel_kb.dir/kb/knowledgebase.cc.o" "gcc" "src/CMakeFiles/mel_kb.dir/kb/knowledgebase.cc.o.d"
+  "/root/repo/src/kb/wlm.cc" "src/CMakeFiles/mel_kb.dir/kb/wlm.cc.o" "gcc" "src/CMakeFiles/mel_kb.dir/kb/wlm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mel_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mel_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

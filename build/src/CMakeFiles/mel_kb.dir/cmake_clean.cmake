@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mel_kb.dir/kb/complemented_kb.cc.o"
+  "CMakeFiles/mel_kb.dir/kb/complemented_kb.cc.o.d"
+  "CMakeFiles/mel_kb.dir/kb/knowledgebase.cc.o"
+  "CMakeFiles/mel_kb.dir/kb/knowledgebase.cc.o.d"
+  "CMakeFiles/mel_kb.dir/kb/wlm.cc.o"
+  "CMakeFiles/mel_kb.dir/kb/wlm.cc.o.d"
+  "libmel_kb.a"
+  "libmel_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mel_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reach/distance_label_index.cc" "src/CMakeFiles/mel_reach.dir/reach/distance_label_index.cc.o" "gcc" "src/CMakeFiles/mel_reach.dir/reach/distance_label_index.cc.o.d"
+  "/root/repo/src/reach/naive_reachability.cc" "src/CMakeFiles/mel_reach.dir/reach/naive_reachability.cc.o" "gcc" "src/CMakeFiles/mel_reach.dir/reach/naive_reachability.cc.o.d"
+  "/root/repo/src/reach/pruned_online_search.cc" "src/CMakeFiles/mel_reach.dir/reach/pruned_online_search.cc.o" "gcc" "src/CMakeFiles/mel_reach.dir/reach/pruned_online_search.cc.o.d"
+  "/root/repo/src/reach/transitive_closure.cc" "src/CMakeFiles/mel_reach.dir/reach/transitive_closure.cc.o" "gcc" "src/CMakeFiles/mel_reach.dir/reach/transitive_closure.cc.o.d"
+  "/root/repo/src/reach/two_hop_index.cc" "src/CMakeFiles/mel_reach.dir/reach/two_hop_index.cc.o" "gcc" "src/CMakeFiles/mel_reach.dir/reach/two_hop_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mel_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mel_reach.dir/reach/distance_label_index.cc.o"
+  "CMakeFiles/mel_reach.dir/reach/distance_label_index.cc.o.d"
+  "CMakeFiles/mel_reach.dir/reach/naive_reachability.cc.o"
+  "CMakeFiles/mel_reach.dir/reach/naive_reachability.cc.o.d"
+  "CMakeFiles/mel_reach.dir/reach/pruned_online_search.cc.o"
+  "CMakeFiles/mel_reach.dir/reach/pruned_online_search.cc.o.d"
+  "CMakeFiles/mel_reach.dir/reach/transitive_closure.cc.o"
+  "CMakeFiles/mel_reach.dir/reach/transitive_closure.cc.o.d"
+  "CMakeFiles/mel_reach.dir/reach/two_hop_index.cc.o"
+  "CMakeFiles/mel_reach.dir/reach/two_hop_index.cc.o.d"
+  "libmel_reach.a"
+  "libmel_reach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mel_reach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

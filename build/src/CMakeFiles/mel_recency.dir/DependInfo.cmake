@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/recency/burst_tracker.cc" "src/CMakeFiles/mel_recency.dir/recency/burst_tracker.cc.o" "gcc" "src/CMakeFiles/mel_recency.dir/recency/burst_tracker.cc.o.d"
+  "/root/repo/src/recency/propagation_network.cc" "src/CMakeFiles/mel_recency.dir/recency/propagation_network.cc.o" "gcc" "src/CMakeFiles/mel_recency.dir/recency/propagation_network.cc.o.d"
+  "/root/repo/src/recency/recency_propagator.cc" "src/CMakeFiles/mel_recency.dir/recency/recency_propagator.cc.o" "gcc" "src/CMakeFiles/mel_recency.dir/recency/recency_propagator.cc.o.d"
+  "/root/repo/src/recency/sliding_window.cc" "src/CMakeFiles/mel_recency.dir/recency/sliding_window.cc.o" "gcc" "src/CMakeFiles/mel_recency.dir/recency/sliding_window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mel_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mel_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mel_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

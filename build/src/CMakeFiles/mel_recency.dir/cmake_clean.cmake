@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mel_recency.dir/recency/burst_tracker.cc.o"
+  "CMakeFiles/mel_recency.dir/recency/burst_tracker.cc.o.d"
+  "CMakeFiles/mel_recency.dir/recency/propagation_network.cc.o"
+  "CMakeFiles/mel_recency.dir/recency/propagation_network.cc.o.d"
+  "CMakeFiles/mel_recency.dir/recency/recency_propagator.cc.o"
+  "CMakeFiles/mel_recency.dir/recency/recency_propagator.cc.o.d"
+  "CMakeFiles/mel_recency.dir/recency/sliding_window.cc.o"
+  "CMakeFiles/mel_recency.dir/recency/sliding_window.cc.o.d"
+  "libmel_recency.a"
+  "libmel_recency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mel_recency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mel_social.dir/social/influence.cc.o"
+  "CMakeFiles/mel_social.dir/social/influence.cc.o.d"
+  "CMakeFiles/mel_social.dir/social/influential_index.cc.o"
+  "CMakeFiles/mel_social.dir/social/influential_index.cc.o.d"
+  "CMakeFiles/mel_social.dir/social/user_interest.cc.o"
+  "CMakeFiles/mel_social.dir/social/user_interest.cc.o.d"
+  "libmel_social.a"
+  "libmel_social.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mel_social.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

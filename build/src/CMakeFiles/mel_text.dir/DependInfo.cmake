@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/edit_distance.cc" "src/CMakeFiles/mel_text.dir/text/edit_distance.cc.o" "gcc" "src/CMakeFiles/mel_text.dir/text/edit_distance.cc.o.d"
+  "/root/repo/src/text/gazetteer.cc" "src/CMakeFiles/mel_text.dir/text/gazetteer.cc.o" "gcc" "src/CMakeFiles/mel_text.dir/text/gazetteer.cc.o.d"
+  "/root/repo/src/text/qgram_index.cc" "src/CMakeFiles/mel_text.dir/text/qgram_index.cc.o" "gcc" "src/CMakeFiles/mel_text.dir/text/qgram_index.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/mel_text.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/mel_text.dir/text/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mel_text.dir/text/edit_distance.cc.o"
+  "CMakeFiles/mel_text.dir/text/edit_distance.cc.o.d"
+  "CMakeFiles/mel_text.dir/text/gazetteer.cc.o"
+  "CMakeFiles/mel_text.dir/text/gazetteer.cc.o.d"
+  "CMakeFiles/mel_text.dir/text/qgram_index.cc.o"
+  "CMakeFiles/mel_text.dir/text/qgram_index.cc.o.d"
+  "CMakeFiles/mel_text.dir/text/tokenizer.cc.o"
+  "CMakeFiles/mel_text.dir/text/tokenizer.cc.o.d"
+  "libmel_text.a"
+  "libmel_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mel_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

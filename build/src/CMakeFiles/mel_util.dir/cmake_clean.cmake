@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mel_util.dir/util/random.cc.o"
+  "CMakeFiles/mel_util.dir/util/random.cc.o.d"
+  "CMakeFiles/mel_util.dir/util/serialize.cc.o"
+  "CMakeFiles/mel_util.dir/util/serialize.cc.o.d"
+  "CMakeFiles/mel_util.dir/util/string_util.cc.o"
+  "CMakeFiles/mel_util.dir/util/string_util.cc.o.d"
+  "CMakeFiles/mel_util.dir/util/timer.cc.o"
+  "CMakeFiles/mel_util.dir/util/timer.cc.o.d"
+  "libmel_util.a"
+  "libmel_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mel_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recency_test.dir/recency_test.cc.o"
+  "CMakeFiles/recency_test.dir/recency_test.cc.o.d"
+  "recency_test"
+  "recency_test.pdb"
+  "recency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_test.dir/social_test.cc.o"
+  "CMakeFiles/social_test.dir/social_test.cc.o.d"
+  "social_test"
+  "social_test.pdb"
+  "social_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
