@@ -1,5 +1,11 @@
 // Reproduces Fig. 5(a): average time to link a single mention and a whole
 // tweet for the on-the-fly method, the collective method, and ours.
+//
+// Also the reference producer of the observability export: the metrics
+// registry is reset after world construction, so the sidecar JSON
+// (bench_linking_time.metrics.json) holds exactly the per-stage counters
+// and latency histograms of the measured evaluation runs. docs/METRICS.md
+// walks through this file's output.
 
 #include <cstdio>
 
@@ -7,7 +13,20 @@
 #include "baseline/on_the_fly_linker.h"
 #include "eval/harness.h"
 #include "eval/runner.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
+
+namespace {
+
+void PrintStage(const char* name, const mel::metrics::Histogram::Snapshot& h) {
+  std::printf("%-32s %10llu %12s %12s %12s\n", name,
+              static_cast<unsigned long long>(h.count),
+              mel::HumanNanos(h.Percentile(50)).c_str(),
+              mel::HumanNanos(h.Percentile(95)).c_str(),
+              mel::HumanNanos(h.Percentile(99)).c_str());
+}
+
+}  // namespace
 
 int main() {
   using namespace mel;
@@ -18,6 +37,10 @@ int main() {
                                       baseline::OnTheFlyOptions{});
   baseline::CollectiveLinker collective(&harness.kb(), &harness.wlm(),
                                         baseline::CollectiveOptions{});
+
+  // Drop the counts accumulated during world construction and baseline
+  // warm-up: the export should describe the measured runs only.
+  metrics::Registry().Reset();
 
   auto otf = eval::EvaluateOnTheFly(on_the_fly, harness.world(),
                                     harness.test_split());
@@ -35,6 +58,31 @@ int main() {
   std::printf("%-14s %14s %14s\n", "Ours",
               HumanNanos(ours.NanosPerMention()).c_str(),
               HumanNanos(ours.NanosPerTweet()).c_str());
+
+  // Per-stage breakdown of "Ours" from the observability layer. Only
+  // *_ns histograms are durations; the rest (fan-outs, iteration counts)
+  // are plain magnitudes.
+  auto snapshot = metrics::Registry().Snapshot();
+  std::printf("\n=== per-stage latency (ours) ===\n");
+  std::printf("%-32s %10s %12s %12s %12s\n", "stage", "count", "p50", "p95",
+              "p99");
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (h.count > 0 && name.ends_with("_ns")) PrintStage(name.c_str(), h);
+  }
+  std::printf("\n=== per-stage magnitudes (ours) ===\n");
+  std::printf("%-32s %10s %12s %12s %12s\n", "distribution", "count", "p50",
+              "p95", "p99");
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (h.count == 0 || name.ends_with("_ns")) continue;
+    std::printf("%-32s %10llu %12.0f %12.0f %12.0f\n", name.c_str(),
+                static_cast<unsigned long long>(h.count), h.Percentile(50),
+                h.Percentile(95), h.Percentile(99));
+  }
+
+  const char* metrics_path = "bench_linking_time.metrics.json";
+  if (eval::ExportMetricsJson(metrics_path)) {
+    std::printf("\nmetrics JSON written to %s\n", metrics_path);
+  }
 
   std::printf(
       "\nPaper shape check (Fig. 5a): ours is slower than the intra-tweet "

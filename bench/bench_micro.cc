@@ -2,9 +2,14 @@
 // weighted reachability queries per backend, candidate generation (exact
 // and fuzzy), influence ranking, recency scoring, and end-to-end mention
 // linking.
+//
+// BM_LinkMention vs BM_LinkMentionNoMetrics quantifies the observability
+// overhead (the acceptance budget is 5%); on exit the accumulated
+// registry is exported to bench_micro.metrics.json.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
 
 #include "eval/harness.h"
@@ -15,6 +20,7 @@
 #include "reach/two_hop_index.h"
 #include "recency/burst_tracker.h"
 #include "social/influence.h"
+#include "util/metrics.h"
 #include "util/random.h"
 
 namespace {
@@ -181,6 +187,27 @@ void BM_LinkMention(benchmark::State& state) {
 }
 BENCHMARK(BM_LinkMention);
 
+// Identical workload with the observability layer disabled — the pair
+// bounds the instrumentation overhead of EntityLinker::LinkMention.
+void BM_LinkMentionNoMetrics(benchmark::State& state) {
+  auto& harness = SharedHarness();
+  auto linker = harness.MakeLinker(harness.DefaultLinkerOptions());
+  const auto& corpus = harness.world().corpus;
+  const auto& split = harness.test_split();
+  Rng rng(5);
+  metrics::SetEnabled(false);
+  for (auto _ : state) {
+    const auto& lt =
+        corpus.tweets[split.tweet_indices[rng.Uniform(
+            split.tweet_indices.size())]];
+    const auto& m = lt.mentions[rng.Uniform(lt.mentions.size())];
+    benchmark::DoNotOptimize(
+        linker.LinkMention(m.surface, lt.tweet.user, lt.tweet.time));
+  }
+  metrics::SetEnabled(true);
+}
+BENCHMARK(BM_LinkMentionNoMetrics);
+
 void BM_LinkTweet(benchmark::State& state) {
   auto& harness = SharedHarness();
   auto linker = harness.MakeLinker(harness.DefaultLinkerOptions());
@@ -198,4 +225,16 @@ BENCHMARK(BM_LinkTweet);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus a metrics sidecar: everything the benchmarks drove
+// through the pipeline is exported for offline inspection.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const char* metrics_path = "bench_micro.metrics.json";
+  if (mel::metrics::WriteJsonFile(metrics_path).ok()) {
+    std::printf("metrics JSON written to %s\n", metrics_path);
+  }
+  return 0;
+}

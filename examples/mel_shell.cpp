@@ -11,6 +11,9 @@
 //                                       about this entity (now = latest)
 //   entity <entity_id>                  show entity details
 //   surfaces                            list a few ambiguous surfaces
+//   stats [path]                        dump the metrics registry as JSON
+//                                       (to stdout, or to a file)
+//   stats-reset                         zero all pipeline metrics
 //   quit                                exit
 // EOF exits, so the binary is safe to run non-interactively.
 
@@ -21,6 +24,7 @@
 
 #include "core/personalized_search.h"
 #include "eval/harness.h"
+#include "util/metrics.h"
 
 namespace {
 
@@ -66,6 +70,29 @@ int main() {
     if (!(in >> command)) continue;
 
     if (command == "quit" || command == "exit") break;
+
+    if (command == "stats") {
+      // Every command so far has flowed through the instrumented pipeline;
+      // this is the live per-stage accounting (see docs/METRICS.md).
+      std::string path;
+      if (in >> path) {
+        if (metrics::WriteJsonFile(path).ok()) {
+          std::printf("  metrics written to %s\n", path.c_str());
+        } else {
+          std::printf("  cannot write %s\n", path.c_str());
+        }
+      } else {
+        std::printf("%s\n",
+                    metrics::Registry().Snapshot().ToJson().c_str());
+      }
+      continue;
+    }
+
+    if (command == "stats-reset") {
+      metrics::Registry().Reset();
+      std::printf("  metrics reset\n");
+      continue;
+    }
 
     if (command == "surfaces") {
       const auto& surfaces = harness.world().kb_world.ambiguous_surfaces;

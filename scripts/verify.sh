@@ -1,0 +1,8 @@
+#!/usr/bin/env sh
+# Tier-1 verification: the exact command from ROADMAP.md.
+# Configures, builds, and runs the full test suite; fails on the first error.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j

@@ -3,8 +3,49 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace mel::core {
+
+namespace {
+
+// Per-stage accounting of the Eq.-1 pipeline. Pointers are resolved once
+// (registry lookups take a mutex) and stay valid forever.
+struct LinkerMetrics {
+  metrics::Counter* mentions;
+  metrics::Counter* unlinked;
+  metrics::Counter* probable_new;
+  metrics::Counter* candidates;
+  metrics::Histogram* candidate_fanout;
+  metrics::Histogram* candidate_gen_ns;
+  metrics::Histogram* popularity_ns;
+  metrics::Histogram* recency_ns;
+  metrics::Histogram* interest_ns;
+  metrics::Histogram* scoring_ns;
+  metrics::Histogram* total_ns;
+};
+
+const LinkerMetrics& GetLinkerMetrics() {
+  static const LinkerMetrics m = [] {
+    auto& reg = metrics::Registry();
+    LinkerMetrics lm;
+    lm.mentions = reg.GetCounter("linker.mentions_total");
+    lm.unlinked = reg.GetCounter("linker.mentions_unlinked_total");
+    lm.probable_new = reg.GetCounter("linker.probable_new_entity_total");
+    lm.candidates = reg.GetCounter("linker.candidates_total");
+    lm.candidate_fanout = reg.GetHistogram("linker.candidate_fanout");
+    lm.candidate_gen_ns = reg.GetHistogram("linker.stage.candidate_gen_ns");
+    lm.popularity_ns = reg.GetHistogram("linker.stage.popularity_ns");
+    lm.recency_ns = reg.GetHistogram("linker.stage.recency_ns");
+    lm.interest_ns = reg.GetHistogram("linker.stage.interest_ns");
+    lm.scoring_ns = reg.GetHistogram("linker.stage.scoring_ns");
+    lm.total_ns = reg.GetHistogram("linker.link_mention_ns");
+    return lm;
+  }();
+  return m;
+}
+
+}  // namespace
 
 EntityLinker::EntityLinker(
     const kb::Knowledgebase* kb, kb::ComplementedKnowledgebase* ckb,
@@ -31,12 +72,23 @@ EntityLinker::EntityLinker(
 MentionLinkResult EntityLinker::LinkMention(std::string_view mention,
                                             kb::UserId user,
                                             kb::Timestamp now) const {
+  const LinkerMetrics& lm = GetLinkerMetrics();
+  metrics::ScopedStageTimer total_timer(lm.total_ns);
+  metrics::StageClock clock;
+  lm.mentions->Increment();
+
   MentionLinkResult result;
   result.surface = std::string(mention);
 
   std::vector<kb::Candidate> candidates =
       candidate_generator_.Generate(mention);
-  if (candidates.empty()) return result;
+  clock.Lap(lm.candidate_gen_ns);
+  lm.candidates->Increment(candidates.size());
+  if (clock.on()) lm.candidate_fanout->Record(candidates.size());
+  if (candidates.empty()) {
+    lm.unlinked->Increment();
+    return result;
+  }
 
   std::vector<kb::EntityId> entities;
   entities.reserve(candidates.size());
@@ -54,10 +106,12 @@ MentionLinkResult EntityLinker::LinkMention(std::string_view mention,
       for (double& p : popularity) p /= total;
     }
   }
+  clock.Lap(lm.popularity_ns);
 
   // S_r (Eq. 9 + Eq. 11): burst recency with optional propagation.
   std::vector<double> recency_scores = propagator_.CandidateScores(
       entities, now, options_.enable_recency_propagation);
+  clock.Lap(lm.recency_ns);
 
   // S_in (Eq. 8): average weighted reachability to the most influential
   // users of each candidate's community. Like S_p and S_r, the vector is
@@ -89,6 +143,7 @@ MentionLinkResult EntityLinker::LinkMention(std::string_view mention,
       for (double& v : interest) v /= total;
     }
   }
+  clock.Lap(lm.interest_ns);
 
   std::vector<ScoredEntity> scored(entities.size());
   for (size_t i = 0; i < entities.size(); ++i) {
@@ -122,6 +177,9 @@ MentionLinkResult EntityLinker::LinkMention(std::string_view mention,
     scored.resize(options_.top_k_results);
   }
   result.ranked = std::move(scored);
+  clock.Lap(lm.scoring_ns);
+  if (result.probable_new_entity) lm.probable_new->Increment();
+  if (!result.linked()) lm.unlinked->Increment();
   return result;
 }
 

@@ -4,9 +4,35 @@
 #include <atomic>
 #include <thread>
 
+#include "util/metrics.h"
+
 namespace mel::core {
 
 namespace {
+
+struct ParallelMetrics {
+  metrics::Counter* batches;
+  metrics::Counter* items;
+  metrics::Gauge* queue_depth;
+  metrics::Gauge* active_workers;
+  metrics::Histogram* worker_items;
+  metrics::Histogram* batch_ns;
+};
+
+const ParallelMetrics& GetParallelMetrics() {
+  static const ParallelMetrics m = [] {
+    auto& reg = metrics::Registry();
+    ParallelMetrics pm;
+    pm.batches = reg.GetCounter("parallel.batches_total");
+    pm.items = reg.GetCounter("parallel.items_total");
+    pm.queue_depth = reg.GetGauge("parallel.queue_depth");
+    pm.active_workers = reg.GetGauge("parallel.active_workers");
+    pm.worker_items = reg.GetHistogram("parallel.worker_items");
+    pm.batch_ns = reg.GetHistogram("parallel.batch_ns");
+    return pm;
+  }();
+  return m;
+}
 
 uint32_t ResolveThreads(uint32_t requested) {
   if (requested != 0) return requested;
@@ -17,13 +43,29 @@ uint32_t ResolveThreads(uint32_t requested) {
 // Runs fn(i) for every i in [0, count) across the given worker count,
 // pulling indices from a shared atomic counter (good load balance when
 // per-item cost varies, as it does with community sizes).
+//
+// The shared counter doubles as the queue-depth signal: the
+// "parallel.queue_depth" gauge tracks count - dispatched, and each
+// worker's pulled-item count lands in "parallel.worker_items" (the
+// spread between workers is the load-balance picture).
 template <typename Fn>
 void ParallelFor(size_t count, uint32_t num_threads, Fn fn) {
   if (count == 0) return;
+  const ParallelMetrics& pm = GetParallelMetrics();
+  metrics::ScopedStageTimer batch_timer(pm.batch_ns);
+  pm.batches->Increment();
+  pm.items->Increment(count);
   num_threads = std::min<uint32_t>(num_threads,
                                    static_cast<uint32_t>(count));
+  pm.active_workers->Set(num_threads <= 1 ? 1 : num_threads);
+  pm.queue_depth->Set(static_cast<int64_t>(count));
   if (num_threads <= 1) {
-    for (size_t i = 0; i < count; ++i) fn(i);
+    for (size_t i = 0; i < count; ++i) {
+      fn(i);
+      pm.queue_depth->Add(-1);
+    }
+    if (metrics::Enabled()) pm.worker_items->Record(count);
+    pm.active_workers->Set(0);
     return;
   }
   std::atomic<size_t> next{0};
@@ -31,14 +73,20 @@ void ParallelFor(size_t count, uint32_t num_threads, Fn fn) {
   workers.reserve(num_threads);
   for (uint32_t t = 0; t < num_threads; ++t) {
     workers.emplace_back([&] {
+      uint64_t pulled = 0;
       for (;;) {
         size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= count) return;
+        if (i >= count) break;
         fn(i);
+        ++pulled;
+        pm.queue_depth->Add(-1);
       }
+      if (metrics::Enabled()) pm.worker_items->Record(pulled);
     });
   }
   for (auto& worker : workers) worker.join();
+  pm.queue_depth->Set(0);
+  pm.active_workers->Set(0);
 }
 
 }  // namespace

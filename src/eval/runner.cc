@@ -1,7 +1,9 @@
 #include "eval/runner.h"
 
+#include <cstdio>
 #include <unordered_map>
 
+#include "util/metrics.h"
 #include "util/timer.h"
 
 namespace mel::eval {
@@ -50,17 +52,25 @@ std::vector<kb::EntityId> AlignPredictions(
 EvalRun EvaluateOurs(const core::EntityLinker& linker,
                      const gen::World& world,
                      const gen::DatasetSplit& split) {
+  // Per-tweet latency of the evaluated pipeline; the per-stage breakdown
+  // inside each LinkMention lands in the linker.* metrics.
+  static metrics::Histogram* tweet_ns =
+      metrics::Registry().GetHistogram("eval.ours.tweet_ns");
+  static metrics::Counter* mentions_evaluated =
+      metrics::Registry().GetCounter("eval.ours.mentions_total");
   EvalRun run;
   WallTimer timer;
   for (uint32_t ti : split.tweet_indices) {
     const gen::LabeledTweet& lt = world.corpus.tweets[ti];
     if (lt.mentions.empty()) continue;
     ++run.num_tweets;
+    metrics::ScopedStageTimer tweet_timer(tweet_ns);
     for (const auto& label : lt.mentions) {
       auto result =
           linker.LinkMention(label.surface, lt.tweet.user, lt.tweet.time);
       run.outcomes.push_back(
           MentionOutcome{ti, label.truth, result.best()});
+      mentions_evaluated->Increment();
     }
   }
   run.total_nanos = static_cast<double>(timer.ElapsedNanos());
@@ -119,6 +129,16 @@ EvalRun EvaluateCollective(const baseline::CollectiveLinker& linker,
   }
   run.total_nanos = static_cast<double>(timer.ElapsedNanos());
   return run;
+}
+
+bool ExportMetricsJson(const std::string& path) {
+  Status status = metrics::WriteJsonFile(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "metrics export to %s failed: %s\n", path.c_str(),
+                 status.ToString().c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace mel::eval

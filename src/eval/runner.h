@@ -1,6 +1,7 @@
 #ifndef MEL_EVAL_RUNNER_H_
 #define MEL_EVAL_RUNNER_H_
 
+#include <string>
 #include <vector>
 
 #include "baseline/collective_linker.h"
@@ -46,6 +47,13 @@ EvalRun EvaluateCollective(const baseline::CollectiveLinker& linker,
 std::vector<kb::EntityId> AlignPredictions(
     const core::TweetLinkResult& prediction,
     const std::vector<gen::LabeledMention>& labels);
+
+/// Snapshots the global metrics registry (per-stage counters and latency
+/// histograms accumulated by the pipeline, see docs/METRICS.md) and
+/// writes the JSON export to `path`. Returns false and logs to stderr on
+/// I/O failure. Benchmarks call metrics::Registry().Reset() before the
+/// measured section so the export covers only that section.
+bool ExportMetricsJson(const std::string& path);
 
 }  // namespace mel::eval
 

@@ -5,9 +5,34 @@
 
 #include "graph/bfs.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/serialize.h"
 
 namespace mel::reach {
+
+namespace {
+
+struct TcMetrics {
+  metrics::Counter* lookups;
+  metrics::Counter* unreachable;
+  metrics::Counter* edge_inserts;
+  metrics::Histogram* repair_pairs;
+};
+
+const TcMetrics& GetTcMetrics() {
+  static const TcMetrics m = [] {
+    auto& reg = metrics::Registry();
+    TcMetrics tm;
+    tm.lookups = reg.GetCounter("reach.tc.lookups_total");
+    tm.unreachable = reg.GetCounter("reach.tc.unreachable_total");
+    tm.edge_inserts = reg.GetCounter("reach.tc.edge_inserts_total");
+    tm.repair_pairs = reg.GetHistogram("reach.tc.repair_pairs");
+    return tm;
+  }();
+  return m;
+}
+
+}  // namespace
 
 TransitiveClosureIndex::TransitiveClosureIndex(const graph::DirectedGraph* g,
                                                uint32_t max_hops)
@@ -125,8 +150,12 @@ void TransitiveClosureIndex::BuildIncremental() {
 }
 
 double TransitiveClosureIndex::Score(NodeId u, NodeId v) const {
+  const TcMetrics& tm = GetTcMetrics();
+  tm.lookups->Increment();
   if (u == v) return 1.0;
-  return score_[Cell(u, v)];
+  float score = score_[Cell(u, v)];
+  if (score == 0.0f) tm.unreachable->Increment();
+  return score;
 }
 
 uint32_t TransitiveClosureIndex::Distance(NodeId u, NodeId v) const {
@@ -136,9 +165,12 @@ uint32_t TransitiveClosureIndex::Distance(NodeId u, NodeId v) const {
 }
 
 ReachQueryResult TransitiveClosureIndex::Query(NodeId u, NodeId v) const {
+  const TcMetrics& tm = GetTcMetrics();
+  tm.lookups->Increment();
   ReachQueryResult result;
   uint32_t duv = Distance(u, v);
   if (duv == kUnreachableDistance || u == v) {
+    if (duv == kUnreachableDistance) tm.unreachable->Increment();
     result.distance = duv;
     return result;
   }
@@ -236,6 +268,9 @@ bool TransitiveClosureIndex::InsertEdge(NodeId u, NodeId v) {
     RecomputeScore(static_cast<NodeId>(key >> 32),
                    static_cast<NodeId>(key & 0xffffffffu));
   }
+  const TcMetrics& tm = GetTcMetrics();
+  tm.edge_inserts->Increment();
+  if (metrics::Enabled()) tm.repair_pairs->Record(repair.size());
   return true;
 }
 

@@ -4,6 +4,7 @@
 
 #include "graph/stats.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/serialize.h"
 
 namespace mel::reach {
@@ -14,6 +15,24 @@ constexpr uint32_t kInf = kUnreachableDistance;
 
 bool Contains(const std::vector<NodeId>& vec, NodeId x) {
   return std::find(vec.begin(), vec.end(), x) != vec.end();
+}
+
+struct TwoHopMetrics {
+  metrics::Counter* lookups;
+  metrics::Counter* unreachable;
+  metrics::Histogram* labels_scanned;
+};
+
+const TwoHopMetrics& GetTwoHopMetrics() {
+  static const TwoHopMetrics m = [] {
+    auto& reg = metrics::Registry();
+    TwoHopMetrics hm;
+    hm.lookups = reg.GetCounter("reach.twohop.lookups_total");
+    hm.unreachable = reg.GetCounter("reach.twohop.unreachable_total");
+    hm.labels_scanned = reg.GetHistogram("reach.twohop.labels_scanned");
+    return hm;
+  }();
+  return m;
 }
 
 }  // namespace
@@ -174,6 +193,8 @@ void TwoHopIndex::ProcessLandmarkForward(NodeId landmark) {
 }
 
 ReachQueryResult TwoHopIndex::Query(NodeId u, NodeId v) const {
+  const TwoHopMetrics& hm = GetTwoHopMetrics();
+  hm.lookups->Increment();
   ReachQueryResult result;
   if (u == v) {
     result.distance = 0;
@@ -181,6 +202,9 @@ ReachQueryResult TwoHopIndex::Query(NodeId u, NodeId v) const {
   }
   const auto& outs = out_labels_[u];
   const auto& ins = in_labels_[v];
+  if (metrics::Enabled()) {
+    hm.labels_scanned->Record(outs.size() + ins.size());
+  }
 
   // Pass 1: minimum distance over all meeting hubs, including the two
   // degenerate hubs w = v (entry of L_out(u)) and w = u (entry of L_in(v)).
@@ -205,7 +229,10 @@ ReachQueryResult TwoHopIndex::Query(NodeId u, NodeId v) const {
   for (const InLabel& il : ins) {
     if (il.node == u) dmin = std::min(dmin, il.dist);
   }
-  if (dmin == kInf || dmin > max_hops_) return result;
+  if (dmin == kInf || dmin > max_hops_) {
+    hm.unreachable->Increment();
+    return result;
+  }
   result.distance = dmin;
 
   // Pass 2 (Theorem 2): union the followee sets of every hub achieving

@@ -3,8 +3,29 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace mel::recency {
+
+namespace {
+
+struct BurstMetrics {
+  metrics::Counter* observes;
+  metrics::Counter* expired_drops;
+};
+
+const BurstMetrics& GetBurstMetrics() {
+  static const BurstMetrics m = [] {
+    auto& reg = metrics::Registry();
+    BurstMetrics bm;
+    bm.observes = reg.GetCounter("recency.burst.observes_total");
+    bm.expired_drops = reg.GetCounter("recency.burst.expired_drops_total");
+    return bm;
+  }();
+  return m;
+}
+
+}  // namespace
 
 BurstTracker::BurstTracker(uint32_t num_entities, kb::Timestamp tau,
                            uint32_t num_buckets, uint32_t theta1)
@@ -22,6 +43,8 @@ BurstTracker::BurstTracker(uint32_t num_entities, kb::Timestamp tau,
 
 void BurstTracker::Observe(kb::EntityId e, kb::Timestamp t) {
   MEL_CHECK(e < rings_.size());
+  const BurstMetrics& bm = GetBurstMetrics();
+  bm.observes->Increment();
   Ring& ring = rings_[e];
   int64_t bucket = BucketOf(t);
   if (ring.head_bucket < 0) {
@@ -36,6 +59,7 @@ void BurstTracker::Observe(kb::EntityId e, kb::Timestamp t) {
     }
     ring.head_bucket = bucket;
   } else if (ring.head_bucket - bucket >= slots_) {
+    bm.expired_drops->Increment();
     return;  // older than the retained window: already expired
   }
   ring.counts[bucket % slots_] += 1;

@@ -4,8 +4,31 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace mel::recency {
+
+namespace {
+
+struct PropagatorMetrics {
+  metrics::Counter* runs;
+  metrics::Histogram* iterations;
+  metrics::Histogram* cluster_size;
+};
+
+const PropagatorMetrics& GetPropagatorMetrics() {
+  static const PropagatorMetrics m = [] {
+    auto& reg = metrics::Registry();
+    PropagatorMetrics pm;
+    pm.runs = reg.GetCounter("recency.propagation.runs_total");
+    pm.iterations = reg.GetHistogram("recency.propagation.iterations");
+    pm.cluster_size = reg.GetHistogram("recency.propagation.cluster_size");
+    return pm;
+  }();
+  return m;
+}
+
+}  // namespace
 
 RecencyPropagator::RecencyPropagator(const PropagationNetwork* network,
                                      const RecencySource* source,
@@ -19,6 +42,9 @@ std::vector<double> RecencyPropagator::PropagateCluster(
     uint32_t cluster, kb::Timestamp now) const {
   auto members = network_->ClusterMembers(cluster);
   const size_t m = members.size();
+  const PropagatorMetrics& pm = GetPropagatorMetrics();
+  pm.runs->Increment();
+  if (metrics::Enabled()) pm.cluster_size->Record(m);
 
   // Initial vector S_r^0: raw thresholded burst mass. The vector is NOT
   // normalized here — the iteration of Eq. 11 is linear, and keeping raw
@@ -40,6 +66,7 @@ std::vector<double> RecencyPropagator::PropagateCluster(
   std::vector<double> current = initial;
   std::vector<double> next(m);
   const double lambda = options_.lambda;
+  uint32_t iterations_used = 0;
   for (uint32_t iter = 0; iter < options_.max_iterations; ++iter) {
     double delta = 0;
     for (size_t i = 0; i < m; ++i) {
@@ -54,8 +81,10 @@ std::vector<double> RecencyPropagator::PropagateCluster(
       delta += std::abs(next[i] - current[i]);
     }
     current.swap(next);
+    ++iterations_used;
     if (delta < options_.convergence_epsilon) break;
   }
+  if (metrics::Enabled()) pm.iterations->Record(iterations_used);
   return current;
 }
 

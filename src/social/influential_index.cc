@@ -1,8 +1,32 @@
 #include "social/influential_index.h"
 
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace mel::social {
+
+namespace {
+
+struct IndexMetrics {
+  metrics::Counter* hits;
+  metrics::Counter* misses;
+  metrics::Counter* invalidations;
+};
+
+const IndexMetrics& GetIndexMetrics() {
+  static const IndexMetrics m = [] {
+    auto& reg = metrics::Registry();
+    IndexMetrics im;
+    im.hits = reg.GetCounter("social.influential_index.hits_total");
+    im.misses = reg.GetCounter("social.influential_index.misses_total");
+    im.invalidations =
+        reg.GetCounter("social.influential_index.invalidations_total");
+    return im;
+  }();
+  return m;
+}
+
+}  // namespace
 
 InfluentialUserIndex::InfluentialUserIndex(
     const kb::ComplementedKnowledgebase* ckb, InfluenceMethod method,
@@ -41,7 +65,13 @@ void InfluentialUserIndex::PrecomputeAll() {
 const std::vector<InfluentialUser>& InfluentialUserIndex::Get(
     uint32_t surface_id, kb::EntityId entity) {
   MEL_CHECK(surface_id < cache_.size());
-  if (!cache_[surface_id].valid) FillSurface(surface_id);
+  const IndexMetrics& im = GetIndexMetrics();
+  if (!cache_[surface_id].valid) {
+    im.misses->Increment();
+    FillSurface(surface_id);
+  } else {
+    im.hits->Increment();
+  }
   auto candidates = ckb_->base().CandidatesBySurfaceId(surface_id);
   for (size_t i = 0; i < candidates.size(); ++i) {
     if (candidates[i].entity == entity) {
@@ -56,6 +86,7 @@ const std::vector<InfluentialUser>& InfluentialUserIndex::Get(
 void InfluentialUserIndex::Invalidate(kb::EntityId entity) {
   auto it = entity_surfaces_.find(entity);
   if (it == entity_surfaces_.end()) return;
+  GetIndexMetrics().invalidations->Increment();
   for (uint32_t sid : it->second) {
     cache_[sid].valid = false;
     cache_[sid].per_candidate.clear();

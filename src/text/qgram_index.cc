@@ -4,8 +4,31 @@
 
 #include "text/edit_distance.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace mel::text {
+
+namespace {
+
+struct FuzzyMetrics {
+  metrics::Counter* lookups;
+  metrics::Counter* matches;
+  metrics::Histogram* candidate_fanout;
+};
+
+const FuzzyMetrics& GetFuzzyMetrics() {
+  static const FuzzyMetrics m = [] {
+    auto& reg = metrics::Registry();
+    FuzzyMetrics fm;
+    fm.lookups = reg.GetCounter("text.fuzzy.lookups_total");
+    fm.matches = reg.GetCounter("text.fuzzy.matches_total");
+    fm.candidate_fanout = reg.GetHistogram("text.fuzzy.candidate_fanout");
+    return fm;
+  }();
+  return m;
+}
+
+}  // namespace
 
 SegmentFuzzyIndex::SegmentFuzzyIndex(uint32_t max_distance)
     : max_distance_(max_distance) {}
@@ -81,6 +104,13 @@ std::vector<uint32_t> SegmentFuzzyIndex::Lookup(
   candidate_entries.erase(
       std::unique(candidate_entries.begin(), candidate_entries.end()),
       candidate_entries.end());
+  const FuzzyMetrics& fm = GetFuzzyMetrics();
+  fm.lookups->Increment();
+  // Fan-out = distinct strings surviving the pigeonhole filter, i.e. how
+  // many banded edit-distance verifications this lookup pays for.
+  if (metrics::Enabled()) {
+    fm.candidate_fanout->Record(candidate_entries.size());
+  }
 
   std::vector<uint32_t> payloads;
   for (uint32_t id : candidate_entries) {
@@ -92,6 +122,7 @@ std::vector<uint32_t> SegmentFuzzyIndex::Lookup(
   std::sort(payloads.begin(), payloads.end());
   payloads.erase(std::unique(payloads.begin(), payloads.end()),
                  payloads.end());
+  fm.matches->Increment(payloads.size());
   return payloads;
 }
 

@@ -1,0 +1,222 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/serialize.h"
+
+namespace mel::metrics {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+// Bucket i holds values with bit width i: [2^(i-1), 2^i). Value 0 has
+// bit width 0 and gets bucket 0.
+uint32_t BucketIndex(uint64_t value) {
+  return static_cast<uint32_t>(std::bit_width(value));
+}
+
+uint64_t BucketLowerBound(uint32_t index) {
+  return index == 0 ? 0 : uint64_t{1} << (index - 1);
+}
+
+uint64_t BucketUpperBound(uint32_t index) {
+  if (index == 0) return 0;
+  if (index >= 64) return UINT64_MAX;
+  return (uint64_t{1} << index) - 1;
+}
+
+void AtomicStoreMin(std::atomic<uint64_t>* slot, uint64_t value) {
+  uint64_t cur = slot->load(std::memory_order_relaxed);
+  while (value < cur && !slot->compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicStoreMax(std::atomic<uint64_t>* slot, uint64_t value) {
+  uint64_t cur = slot->load(std::memory_order_relaxed);
+  while (value > cur && !slot->compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void Histogram::Record(uint64_t value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  AtomicStoreMin(&min_, value);
+  AtomicStoreMax(&max_, value);
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::GetSnapshot() const {
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  uint64_t min = min_.load(std::memory_order_relaxed);
+  snap.min = min == UINT64_MAX ? 0 : min;
+  snap.max = max_.load(std::memory_order_relaxed);
+  for (uint32_t i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+double Histogram::Snapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  if (p <= 0) return static_cast<double>(min);
+  if (p >= 100) return static_cast<double>(max);
+  // 1-based target rank of the percentile sample.
+  const double rank = p / 100.0 * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (uint32_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const uint64_t before = cumulative;
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    // Interpolate the rank's position inside this bucket.
+    const double lo = static_cast<double>(BucketLowerBound(i));
+    const double hi = static_cast<double>(BucketUpperBound(i));
+    const double frac =
+        (rank - static_cast<double>(before)) / static_cast<double>(buckets[i]);
+    double value = lo + (hi - lo) * frac;
+    // Clamp to observed extremes so degenerate distributions (single
+    // sample, single bucket) report exact values.
+    value = std::max(value, static_cast<double>(min));
+    value = std::min(value, static_cast<double>(max));
+    return value;
+  }
+  return static_cast<double>(max);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    MEL_CHECK_MSG(gauges_.find(name) == gauges_.end() &&
+                      histograms_.find(name) == histograms_.end(),
+                  "metric name registered with a different kind");
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    MEL_CHECK_MSG(counters_.find(name) == counters_.end() &&
+                      histograms_.find(name) == histograms_.end(),
+                  "metric name registered with a different kind");
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    MEL_CHECK_MSG(counters_.find(name) == counters_.end() &&
+                      gauges_.find(name) == gauges_.end(),
+                  "metric name registered with a different kind");
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->Value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->Value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.emplace_back(name, histogram->GetSnapshot());
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::string RegistrySnapshot::ToJson() const {
+  std::ostringstream out;
+  JsonWriter json(&out);
+  json.BeginObject();
+  json.Key("counters");
+  json.BeginObject();
+  for (const auto& [name, value] : counters) json.KeyValue(name, value);
+  json.EndObject();
+  json.Key("gauges");
+  json.BeginObject();
+  for (const auto& [name, value] : gauges) json.KeyValue(name, value);
+  json.EndObject();
+  json.Key("histograms");
+  json.BeginObject();
+  for (const auto& [name, h] : histograms) {
+    json.Key(name);
+    json.BeginObject();
+    json.KeyValue("count", h.count);
+    json.KeyValue("sum", h.sum);
+    json.KeyValue("min", h.min);
+    json.KeyValue("max", h.max);
+    json.KeyValue("mean", h.Mean());
+    json.KeyValue("p50", h.Percentile(50));
+    json.KeyValue("p95", h.Percentile(95));
+    json.KeyValue("p99", h.Percentile(99));
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+  return out.str();
+}
+
+Status WriteJsonFile(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::NotFound("cannot open for writing: " + path);
+  }
+  out << Registry().Snapshot().ToJson() << '\n';
+  out.flush();
+  if (!out.good()) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace mel::metrics

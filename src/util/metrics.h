@@ -1,0 +1,205 @@
+#ifndef MEL_UTIL_METRICS_H_
+#define MEL_UTIL_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mel::metrics {
+
+/// Global kill switch for the observability layer. Metric objects keep
+/// their registration when disabled; ScopedStageTimer skips the clock
+/// reads and Record becomes a no-op at the call sites that gate on it.
+/// Enabled by default.
+bool Enabled();
+void SetEnabled(bool enabled);
+
+/// \brief Monotonically increasing event count (lock-free).
+///
+/// Safe for concurrent use from any number of threads; increments are
+/// relaxed atomics, so counters cost ~1 ns on the hot path.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Last-written instantaneous value (queue depth, worker count).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Fixed-bucket histogram for latencies (nanoseconds) and other
+/// non-negative magnitudes.
+///
+/// Buckets are powers of two: bucket i holds values whose bit width is i,
+/// i.e. [2^(i-1), 2^i). That covers the full uint64 range with 65 slots —
+/// ~1.4 significant digits of resolution, plenty for p50/p95/p99 of
+/// latency distributions spanning nanoseconds to minutes. Recording is a
+/// handful of relaxed atomic operations; no locks, no allocation.
+class Histogram {
+ public:
+  static constexpr uint32_t kNumBuckets = 65;
+
+  void Record(uint64_t value);
+
+  /// \brief A consistent-enough copy of the histogram state. (Individual
+  /// loads are relaxed; concurrent recorders can skew count vs sum by a
+  /// few in-flight samples, which is irrelevant for reporting.)
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t min = 0;
+    uint64_t max = 0;
+    std::array<uint64_t, kNumBuckets> buckets{};
+
+    double Mean() const {
+      return count == 0 ? 0.0 : static_cast<double>(sum) / count;
+    }
+    /// Estimated value at percentile p in [0, 100]: linear interpolation
+    /// inside the bucket holding the target rank, clamped to the observed
+    /// [min, max] (so a single-sample histogram reports the sample
+    /// exactly). Returns 0 when empty.
+    double Percentile(double p) const;
+  };
+
+  Snapshot GetSnapshot() const;
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+};
+
+/// \brief A named metric snapshot set, ordered by name.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+
+  /// Renders the snapshot as a JSON document (see docs/METRICS.md for the
+  /// schema). Histograms export count/sum/min/max/mean/p50/p95/p99.
+  std::string ToJson() const;
+};
+
+/// \brief Process-wide registry of named metrics.
+///
+/// Metrics are created on first lookup and live forever (pointers remain
+/// valid across Reset, which zeroes values but never unregisters).
+/// Lookup takes a mutex — call sites on hot paths cache the returned
+/// pointer in a function-local static.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// Finds or creates the metric. A name must be used with only one
+  /// metric kind; reusing it with another kind is a programming error.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  /// Copies every registered metric's current value, sorted by name.
+  RegistrySnapshot Snapshot() const;
+
+  /// Zeroes all registered metrics (registration is kept, pointers stay
+  /// valid). Benchmarks call this after warm-up so exports cover only the
+  /// measured section.
+  void Reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Shorthand for MetricsRegistry::Global().
+inline MetricsRegistry& Registry() { return MetricsRegistry::Global(); }
+
+/// Snapshots the global registry and writes its JSON to `path`.
+Status WriteJsonFile(const std::string& path);
+
+/// \brief RAII stage timer: records elapsed nanoseconds into a histogram
+/// on destruction. No-op (no clock reads) when metrics are disabled or
+/// the histogram is null.
+class ScopedStageTimer {
+ public:
+  explicit ScopedStageTimer(Histogram* histogram)
+      : histogram_(Enabled() ? histogram : nullptr) {
+    if (histogram_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedStageTimer() {
+    if (histogram_ == nullptr) return;
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    histogram_->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+  }
+
+  ScopedStageTimer(const ScopedStageTimer&) = delete;
+  ScopedStageTimer& operator=(const ScopedStageTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// \brief Lap clock for instrumenting consecutive stages of one function
+/// with a single chain of clock reads (each boundary ends one stage and
+/// starts the next). Constructed disabled when metrics are off, in which
+/// case Lap does nothing.
+class StageClock {
+ public:
+  StageClock() : on_(Enabled()) {
+    if (on_) last_ = std::chrono::steady_clock::now();
+  }
+
+  /// Records time since construction / the previous Lap into `histogram`.
+  void Lap(Histogram* histogram) {
+    if (!on_) return;
+    auto now = std::chrono::steady_clock::now();
+    histogram->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - last_)
+            .count()));
+    last_ = now;
+  }
+
+  bool on() const { return on_; }
+
+ private:
+  bool on_;
+  std::chrono::steady_clock::time_point last_;
+};
+
+}  // namespace mel::metrics
+
+#endif  // MEL_UTIL_METRICS_H_

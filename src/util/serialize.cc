@@ -1,5 +1,8 @@
 #include "util/serialize.h"
 
+#include <cmath>
+#include <cstdio>
+
 namespace mel {
 
 BinaryWriter::BinaryWriter(const std::string& path)
@@ -87,6 +90,112 @@ std::string BinaryReader::ReadString() {
   if (size > 0) ReadRaw(s.data(), size);
   if (!status_.ok()) s.clear();
   return s;
+}
+
+void JsonWriter::Separate() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already emitted the separator
+  }
+  if (!first_in_scope_.empty()) {
+    if (!first_in_scope_.back()) *out_ << ',';
+    first_in_scope_.back() = false;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  Separate();
+  *out_ << '{';
+  first_in_scope_.push_back(true);
+}
+
+void JsonWriter::EndObject() {
+  first_in_scope_.pop_back();
+  *out_ << '}';
+}
+
+void JsonWriter::BeginArray() {
+  Separate();
+  *out_ << '[';
+  first_in_scope_.push_back(true);
+}
+
+void JsonWriter::EndArray() {
+  first_in_scope_.pop_back();
+  *out_ << ']';
+}
+
+void JsonWriter::Key(std::string_view key) {
+  Separate();
+  *out_ << '"';
+  WriteEscaped(key);
+  *out_ << "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::Value(uint64_t v) {
+  Separate();
+  *out_ << v;
+}
+
+void JsonWriter::Value(int64_t v) {
+  Separate();
+  *out_ << v;
+}
+
+void JsonWriter::Value(double v) {
+  Separate();
+  if (!std::isfinite(v)) {
+    *out_ << "null";
+    return;
+  }
+  // %.17g round-trips doubles but is noisy; metrics exports are read by
+  // humans and plotting scripts, so 6 significant digits suffice.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  *out_ << buf;
+}
+
+void JsonWriter::Value(std::string_view v) {
+  Separate();
+  *out_ << '"';
+  WriteEscaped(v);
+  *out_ << '"';
+}
+
+void JsonWriter::Value(bool v) {
+  Separate();
+  *out_ << (v ? "true" : "false");
+}
+
+void JsonWriter::WriteEscaped(std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out_ << "\\\"";
+        break;
+      case '\\':
+        *out_ << "\\\\";
+        break;
+      case '\n':
+        *out_ << "\\n";
+        break;
+      case '\t':
+        *out_ << "\\t";
+        break;
+      case '\r':
+        *out_ << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out_ << buf;
+        } else {
+          *out_ << c;
+        }
+    }
+  }
 }
 
 }  // namespace mel

@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <fstream>
+#include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/status.h"
@@ -87,6 +89,49 @@ class BinaryReader {
 
   std::ifstream in_;
   Status status_;
+};
+
+/// \brief Minimal streaming JSON writer for exported reports (metrics
+/// snapshots, benchmark sidecar files).
+///
+/// Commas and nesting are managed automatically; keys are escaped. Only
+/// the subset needed by the library is supported: objects, string /
+/// integer / double / bool values. Arrays of scalars go through
+/// BeginArray/EndArray.
+class JsonWriter {
+ public:
+  /// The stream must outlive the writer.
+  explicit JsonWriter(std::ostream* out) : out_(out) {}
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits the key of the next value inside an object.
+  void Key(std::string_view key);
+
+  void Value(uint64_t v);
+  void Value(int64_t v);
+  void Value(double v);  // non-finite values are emitted as null
+  void Value(std::string_view v);
+  void Value(bool v);
+
+  /// Convenience: Key(key) followed by Value(v).
+  template <typename T>
+  void KeyValue(std::string_view key, T v) {
+    Key(key);
+    Value(v);
+  }
+
+ private:
+  void Separate();  // emits "," between siblings
+  void WriteEscaped(std::string_view s);
+
+  std::ostream* out_;
+  // One flag per open container: true until the first child is written.
+  std::vector<bool> first_in_scope_;
+  bool pending_key_ = false;
 };
 
 }  // namespace mel

@@ -1,0 +1,262 @@
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mel::metrics {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(GaugeTest, SetAddAndReset) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 7);
+  g.Add(-10);
+  EXPECT_EQ(g.Value(), -3);  // gauges may go negative transiently
+  g.Reset();
+  EXPECT_EQ(g.Value(), 0);
+}
+
+TEST(HistogramTest, EmptyPercentilesAreZero) {
+  Histogram h;
+  auto snap = h.GetSnapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 0u);
+  EXPECT_DOUBLE_EQ(snap.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(99), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleSampleIsExactAtEveryPercentile) {
+  Histogram h;
+  h.Record(12345);
+  auto snap = h.GetSnapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.sum, 12345u);
+  EXPECT_EQ(snap.min, 12345u);
+  EXPECT_EQ(snap.max, 12345u);
+  // min/max clamping makes a degenerate distribution exact.
+  EXPECT_DOUBLE_EQ(snap.Percentile(0), 12345.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(50), 12345.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(100), 12345.0);
+}
+
+TEST(HistogramTest, ZeroValuesLandInBucketZero) {
+  Histogram h;
+  h.Record(0);
+  h.Record(0);
+  auto snap = h.GetSnapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.buckets[0], 2u);
+  EXPECT_DOUBLE_EQ(snap.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, PercentilesRespectBucketOrdering) {
+  Histogram h;
+  // 90 small values and 10 large ones: p50 must sit near the small mass,
+  // p99 inside the large mass. Buckets are power-of-two, so use values in
+  // clearly distinct buckets.
+  for (int i = 0; i < 90; ++i) h.Record(100);     // bucket of 100
+  for (int i = 0; i < 10; ++i) h.Record(100000);  // bucket of 100000
+  auto snap = h.GetSnapshot();
+  EXPECT_EQ(snap.count, 100u);
+  double p50 = snap.Percentile(50);
+  double p99 = snap.Percentile(99);
+  EXPECT_GE(p50, 64.0);    // inside 100's bucket [64, 128)
+  EXPECT_LT(p50, 128.0);
+  EXPECT_GE(p99, 65536.0);  // inside 100000's bucket [65536, 131072)
+  EXPECT_LE(p99, 100000.0);  // clamped to observed max
+  EXPECT_LE(p50, p99);
+}
+
+TEST(HistogramTest, PercentileIsMonotoneInP) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v * 17);
+  auto snap = h.GetSnapshot();
+  double prev = 0;
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0}) {
+    double value = snap.Percentile(p);
+    EXPECT_GE(value, prev) << "p=" << p;
+    prev = value;
+  }
+  EXPECT_DOUBLE_EQ(snap.Percentile(100), static_cast<double>(snap.max));
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h;
+  h.Record(7);
+  h.Record(1 << 20);
+  h.Reset();
+  auto snap = h.GetSnapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 0u);
+  for (uint64_t b : snap.buckets) EXPECT_EQ(b, 0u);
+}
+
+TEST(RegistryTest, SameNameReturnsSameMetric) {
+  auto& reg = Registry();
+  Counter* a = reg.GetCounter("test.registry.same_name");
+  Counter* b = reg.GetCounter("test.registry.same_name");
+  EXPECT_EQ(a, b);
+  Histogram* h1 = reg.GetHistogram("test.registry.same_hist");
+  Histogram* h2 = reg.GetHistogram("test.registry.same_hist");
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(RegistryTest, SnapshotIsDetachedFromLaterUpdates) {
+  auto& reg = Registry();
+  Counter* c = reg.GetCounter("test.registry.snapshot_detached");
+  c->Reset();
+  c->Increment(5);
+  RegistrySnapshot before = reg.Snapshot();
+  c->Increment(100);
+
+  auto find = [](const RegistrySnapshot& snap, const std::string& name) {
+    for (const auto& [n, v] : snap.counters) {
+      if (n == name) return v;
+    }
+    return uint64_t{0};
+  };
+  // The earlier snapshot still reports the value at snapshot time.
+  EXPECT_EQ(find(before, "test.registry.snapshot_detached"), 5u);
+  EXPECT_EQ(find(reg.Snapshot(), "test.registry.snapshot_detached"), 105u);
+}
+
+TEST(RegistryTest, ResetZeroesButKeepsRegistration) {
+  auto& reg = Registry();
+  Counter* c = reg.GetCounter("test.registry.reset_keeps");
+  Histogram* h = reg.GetHistogram("test.registry.reset_keeps_hist");
+  c->Increment(9);
+  h->Record(9);
+  reg.Reset();
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(h->GetSnapshot().count, 0u);
+  // Pointers stay valid and re-registered lookups agree.
+  EXPECT_EQ(reg.GetCounter("test.registry.reset_keeps"), c);
+  c->Increment();
+  EXPECT_EQ(c->Value(), 1u);
+}
+
+TEST(RegistryTest, SnapshotIsSortedByName) {
+  auto& reg = Registry();
+  reg.GetCounter("test.sort.zz");
+  reg.GetCounter("test.sort.aa");
+  RegistrySnapshot snap = reg.Snapshot();
+  for (size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].first, snap.counters[i].first);
+  }
+}
+
+TEST(RegistryTest, JsonExportContainsRegisteredMetrics) {
+  auto& reg = Registry();
+  Counter* c = reg.GetCounter("test.json.counter");
+  c->Reset();
+  c->Increment(3);
+  Histogram* h = reg.GetHistogram("test.json.hist");
+  h->Reset();
+  h->Record(1000);
+  std::string json = reg.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"test.json.counter\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test.json.hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(ConcurrencyTest, CountersAreExactUnderContention) {
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  Counter c;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncrements; ++i) c.Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(ConcurrencyTest, HistogramCountSumMinMaxAreExact) {
+  constexpr int kThreads = 8;
+  constexpr uint64_t kSamples = 10000;
+  Histogram h;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      // Thread t records t*kSamples+1 .. t*kSamples+kSamples.
+      for (uint64_t i = 1; i <= kSamples; ++i) {
+        h.Record(static_cast<uint64_t>(t) * kSamples + i);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  auto snap = h.GetSnapshot();
+  const uint64_t n = kThreads * kSamples;
+  EXPECT_EQ(snap.count, n);
+  EXPECT_EQ(snap.sum, n * (n + 1) / 2);
+  EXPECT_EQ(snap.min, 1u);
+  EXPECT_EQ(snap.max, n);
+}
+
+TEST(ConcurrencyTest, RegistryLookupsAreSafeFromManyThreads) {
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&seen, t] {
+      seen[t] = Registry().GetCounter("test.concurrent.lookup");
+      seen[t]->Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_GE(seen[0]->Value(), static_cast<uint64_t>(kThreads));
+}
+
+TEST(ScopedStageTimerTest, RecordsOneSampleWhenEnabled) {
+  SetEnabled(true);
+  Histogram h;
+  { ScopedStageTimer timer(&h); }
+  EXPECT_EQ(h.GetSnapshot().count, 1u);
+}
+
+TEST(ScopedStageTimerTest, DisabledTimerRecordsNothing) {
+  SetEnabled(false);
+  Histogram h;
+  { ScopedStageTimer timer(&h); }
+  EXPECT_EQ(h.GetSnapshot().count, 0u);
+  SetEnabled(true);
+}
+
+TEST(StageClockTest, LapsRecordConsecutiveStages) {
+  SetEnabled(true);
+  Histogram a, b;
+  StageClock clock;
+  clock.Lap(&a);
+  clock.Lap(&b);
+  EXPECT_EQ(a.GetSnapshot().count, 1u);
+  EXPECT_EQ(b.GetSnapshot().count, 1u);
+}
+
+}  // namespace
+}  // namespace mel::metrics
