@@ -4,16 +4,28 @@
 // over a random query workload. The TC columns are dropped beyond the
 // size where its quadratic memory stops being sensible, exactly as the
 // paper omits TC for its two largest graphs.
+//
+// Extras beyond the paper's table: builds run on a shared thread pool
+// (--threads N, default hardware concurrency) with a serial-vs-parallel
+// scaling section, and a CachedReachability demo shows what the sharded
+// read-through cache buys a BFS-priced backend on a repeat-heavy
+// workload (the S_in access pattern of Eq. 4).
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 
 #include "gen/social_graph_generator.h"
 #include "graph/stats.h"
+#include "reach/pruned_online_search.h"
+#include "reach/reach_cache.h"
 #include "reach/transitive_closure.h"
 #include "reach/two_hop_index.h"
+#include "util/metrics.h"
 #include "util/random.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace {
@@ -38,6 +50,23 @@ QueryWorkload MakeWorkload(uint32_t num_nodes, size_t count,
   return w;
 }
 
+// Repeat-heavy variant: queries are drawn from a small pool of distinct
+// pairs, like S_in re-querying the influential users of hot candidates.
+QueryWorkload MakeRepeatWorkload(uint32_t num_nodes, size_t count,
+                                 size_t distinct_pairs, uint64_t seed) {
+  auto pool = MakeWorkload(num_nodes, distinct_pairs, seed);
+  mel::Rng rng(seed + 1);
+  QueryWorkload w;
+  w.sources.reserve(count);
+  w.targets.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    size_t p = rng.Uniform(distinct_pairs);
+    w.sources.push_back(pool.sources[p]);
+    w.targets.push_back(pool.targets[p]);
+  }
+  return w;
+}
+
 double MeasureQueryNanos(const mel::reach::WeightedReachability& index,
                          const QueryWorkload& w) {
   mel::WallTimer timer;
@@ -53,10 +82,24 @@ double MeasureQueryNanos(const mel::reach::WeightedReachability& index,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mel;
+  uint32_t threads = 0;  // 0 = hardware concurrency
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
+      return 1;
+    }
+  }
+  util::ThreadPool pool(threads);
+  util::ThreadPool serial_pool(1);
+
   std::printf(
       "=== Table 5: extended transitive closure vs extended 2-hop ===\n");
+  std::printf("index builds use %u threads (--threads)\n\n",
+              pool.num_threads());
   std::printf("%-8s | %8s %8s %7s %7s | %10s %9s %9s | %10s %9s %9s\n",
               "dataset", "#node", "#edge", "avgdeg", "maxdeg",
               "TC-build", "TC-size", "TC-query",
@@ -89,7 +132,8 @@ int main() {
       WallTimer timer;
       auto tc = reach::TransitiveClosureIndex::Build(
           &social.graph, 5,
-          reach::TransitiveClosureIndex::Construction::kIncremental);
+          reach::TransitiveClosureIndex::Construction::kIncremental,
+          &pool);
       std::snprintf(tc_build, sizeof(tc_build), "%s",
                     HumanNanos(timer.ElapsedNanos()).c_str());
       std::snprintf(tc_size, sizeof(tc_size), "%s",
@@ -99,7 +143,7 @@ int main() {
     }
 
     WallTimer timer;
-    auto two_hop = reach::TwoHopIndex::Build(&social.graph, 5);
+    auto two_hop = reach::TwoHopIndex::Build(&social.graph, 5, &pool);
     double hop_build = static_cast<double>(timer.ElapsedNanos());
     double hop_query = MeasureQueryNanos(two_hop, workload);
 
@@ -119,5 +163,78 @@ int main() {
       "quadratic memory and longer builds; the 2-hop cover shrinks the "
       "index by an order of magnitude, stays query-efficient, and is the "
       "only option for the largest graphs (TC rows '-').\n");
+
+  // --- Build thread scaling: serial vs parallel on one mid-size graph.
+  {
+    gen::SocialGenOptions sopts;
+    sopts.num_users = 2500;
+    sopts.num_topics = 15;
+    sopts.seed = 5;
+    auto social = gen::GenerateSocialGraph(sopts);
+
+    WallTimer tc_serial_timer;
+    auto tc_serial = reach::TransitiveClosureIndex::Build(
+        &social.graph, 5,
+        reach::TransitiveClosureIndex::Construction::kIncremental,
+        &serial_pool);
+    double tc_serial_ms = tc_serial_timer.ElapsedMillis();
+    WallTimer tc_par_timer;
+    auto tc_par = reach::TransitiveClosureIndex::Build(
+        &social.graph, 5,
+        reach::TransitiveClosureIndex::Construction::kIncremental, &pool);
+    double tc_par_ms = tc_par_timer.ElapsedMillis();
+
+    WallTimer hop_serial_timer;
+    auto hop_serial =
+        reach::TwoHopIndex::Build(&social.graph, 5, &serial_pool);
+    double hop_serial_ms = hop_serial_timer.ElapsedMillis();
+    WallTimer hop_par_timer;
+    auto hop_par = reach::TwoHopIndex::Build(&social.graph, 5, &pool);
+    double hop_par_ms = hop_par_timer.ElapsedMillis();
+
+    std::printf(
+        "\n=== Build thread scaling (2500 users, 1 vs %u threads) ===\n",
+        pool.num_threads());
+    std::printf("TC incremental : %s -> %s  (%.1fx)\n",
+                HumanNanos(tc_serial_ms * 1e6).c_str(),
+                HumanNanos(tc_par_ms * 1e6).c_str(),
+                tc_serial_ms / tc_par_ms);
+    std::printf("2-hop cover    : %s -> %s  (%.1fx)\n",
+                HumanNanos(hop_serial_ms * 1e6).c_str(),
+                HumanNanos(hop_par_ms * 1e6).c_str(),
+                hop_serial_ms / hop_par_ms);
+  }
+
+  // --- CachedReachability: what the read-through cache buys a BFS-priced
+  // backend once queries repeat (the Eq. 4 S_in access pattern).
+  {
+    gen::SocialGenOptions sopts;
+    sopts.num_users = 1500;
+    sopts.num_topics = 15;
+    sopts.seed = 5;
+    auto social = gen::GenerateSocialGraph(sopts);
+    auto base = reach::PrunedOnlineSearch::Build(&social.graph, 5,
+                                                 /*num_intervals=*/4,
+                                                 /*seed=*/7);
+    reach::CachedReachability cached(&base, &social.graph);
+    auto repeat = MakeRepeatWorkload(sopts.num_users, kQueries,
+                                     /*distinct_pairs=*/2000, 42);
+    double base_ns = MeasureQueryNanos(base, repeat);
+    double cached_ns = MeasureQueryNanos(cached, repeat);
+    std::printf(
+        "\n=== CachedReachability over %s (1500 users, %zu queries, "
+        "2000 distinct pairs) ===\n",
+        base.Name(), kQueries);
+    std::printf(
+        "uncached %s/query -> cached %s/query (%.1fx); %zu entries "
+        "cached, hit/miss counts in reach.cache.* metrics\n",
+        HumanNanos(base_ns).c_str(), HumanNanos(cached_ns).c_str(),
+        base_ns / cached_ns, cached.ApproxEntries());
+  }
+
+  const char* metrics_path = "bench_reachability_index.metrics.json";
+  if (mel::metrics::WriteJsonFile(metrics_path).ok()) {
+    std::printf("metrics JSON written to %s\n", metrics_path);
+  }
   return 0;
 }

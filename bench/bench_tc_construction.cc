@@ -2,24 +2,63 @@
 // (Algorithm 1) transitive-closure constructions, on growing social
 // graphs. The naive method is dropped beyond the size where it would blow
 // the time budget, just as the paper omits runs exceeding one day.
+//
+// On top of the paper's algorithm comparison this bench measures the
+// thread-pool scaling of each build: every construction runs once on a
+// single thread and once on --threads (default: hardware concurrency),
+// and the two incremental indexes are saved and byte-compared to prove
+// the parallel build is bit-identical to the serial one.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "eval/harness.h"
 #include "gen/social_graph_generator.h"
 #include "graph/stats.h"
 #include "reach/transitive_closure.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
-int main() {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace mel;
+  uint32_t threads = 0;  // 0 = hardware concurrency
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
+      return 1;
+    }
+  }
+  util::ThreadPool pool(threads);
+  util::ThreadPool serial_pool(1);
+
   std::printf("=== Fig. 5(b): naive vs incremental TC construction ===\n");
-  std::printf("%-8s %10s %14s %14s %10s\n", "users", "edges", "naive",
-              "incremental", "speedup");
+  std::printf("parallel builds use %u threads (--threads)\n\n",
+              pool.num_threads());
+  std::printf("%-8s %10s %12s %12s %12s %12s %8s %8s\n", "users", "edges",
+              "naive-1t", "naive-par", "inc-1t", "inc-par", "alg-spd",
+              "thr-spd");
 
   // The naive method is O(|V|^2 |E|); keep it within budget.
   constexpr uint32_t kNaiveLimit = 600;
+  bool all_identical = true;
+  double largest_thread_speedup = 0;
   for (uint32_t users : {100u, 200u, 400u, 800u, 1600u, 3200u}) {
     gen::SocialGenOptions sopts;
     sopts.num_users = users;
@@ -27,36 +66,73 @@ int main() {
     sopts.seed = 5;
     auto social = gen::GenerateSocialGraph(sopts);
 
-    double naive_ms = -1;
+    double naive_serial_ms = -1;
+    double naive_par_ms = -1;
     if (users <= kNaiveLimit) {
-      WallTimer timer;
-      auto tc = reach::TransitiveClosureIndex::Build(
-          &social.graph, 5,
-          reach::TransitiveClosureIndex::Construction::kNaive);
-      naive_ms = timer.ElapsedMillis();
+      {
+        WallTimer timer;
+        auto tc = reach::TransitiveClosureIndex::Build(
+            &social.graph, 5,
+            reach::TransitiveClosureIndex::Construction::kNaive,
+            &serial_pool);
+        naive_serial_ms = timer.ElapsedMillis();
+      }
+      {
+        WallTimer timer;
+        auto tc = reach::TransitiveClosureIndex::Build(
+            &social.graph, 5,
+            reach::TransitiveClosureIndex::Construction::kNaive, &pool);
+        naive_par_ms = timer.ElapsedMillis();
+      }
     }
-    WallTimer timer;
-    auto tc = reach::TransitiveClosureIndex::Build(
+    WallTimer serial_timer;
+    auto tc_serial = reach::TransitiveClosureIndex::Build(
         &social.graph, 5,
-        reach::TransitiveClosureIndex::Construction::kIncremental);
-    double inc_ms = timer.ElapsedMillis();
+        reach::TransitiveClosureIndex::Construction::kIncremental,
+        &serial_pool);
+    double inc_serial_ms = serial_timer.ElapsedMillis();
+    WallTimer par_timer;
+    auto tc_par = reach::TransitiveClosureIndex::Build(
+        &social.graph, 5,
+        reach::TransitiveClosureIndex::Construction::kIncremental, &pool);
+    double inc_par_ms = par_timer.ElapsedMillis();
+    largest_thread_speedup = inc_serial_ms / inc_par_ms;
 
-    char naive_buf[32];
-    if (naive_ms >= 0) {
-      std::snprintf(naive_buf, sizeof(naive_buf), "%s",
-                    HumanNanos(naive_ms * 1e6).c_str());
-    } else {
-      std::snprintf(naive_buf, sizeof(naive_buf), "-");
+    // Acceptance check: the parallel build must be bit-identical to the
+    // serial one under Save.
+    const std::string serial_path = "bench_tc_serial.idx";
+    const std::string par_path = "bench_tc_parallel.idx";
+    bool identical = false;
+    if (tc_serial.Save(serial_path).ok() && tc_par.Save(par_path).ok()) {
+      auto a = ReadAll(serial_path);
+      identical = !a.empty() && a == ReadAll(par_path);
     }
-    char speedup[32];
-    if (naive_ms >= 0 && inc_ms > 0) {
-      std::snprintf(speedup, sizeof(speedup), "%.0fx", naive_ms / inc_ms);
+    all_identical = all_identical && identical;
+    std::remove(serial_path.c_str());
+    std::remove(par_path.c_str());
+
+    auto fmt_ms = [](double ms, char* buf, size_t len) {
+      if (ms >= 0) {
+        std::snprintf(buf, len, "%s", HumanNanos(ms * 1e6).c_str());
+      } else {
+        std::snprintf(buf, len, "-");
+      }
+    };
+    char naive1[32], naivep[32], alg_spd[32];
+    fmt_ms(naive_serial_ms, naive1, sizeof(naive1));
+    fmt_ms(naive_par_ms, naivep, sizeof(naivep));
+    if (naive_par_ms >= 0 && inc_par_ms > 0) {
+      std::snprintf(alg_spd, sizeof(alg_spd), "%.0fx",
+                    naive_par_ms / inc_par_ms);
     } else {
-      std::snprintf(speedup, sizeof(speedup), "-");
+      std::snprintf(alg_spd, sizeof(alg_spd), "-");
     }
-    std::printf("%-8u %10llu %14s %14s %10s\n", users,
+    std::printf("%-8u %10llu %12s %12s %12s %12s %8s %7.1fx%s\n", users,
                 static_cast<unsigned long long>(social.graph.num_edges()),
-                naive_buf, HumanNanos(inc_ms * 1e6).c_str(), speedup);
+                naive1, naivep, HumanNanos(inc_serial_ms * 1e6).c_str(),
+                HumanNanos(inc_par_ms * 1e6).c_str(), alg_spd,
+                inc_serial_ms / inc_par_ms, identical ? "" : "  MISMATCH");
+    std::fflush(stdout);
   }
   std::printf(
       "\nPaper shape check (Fig. 5b): the incremental Algorithm 1 is "
@@ -64,5 +140,15 @@ int main() {
       "naive runs beyond %u users are omitted (the paper's "
       "'cannot finish within one day').\n",
       kNaiveLimit);
-  return 0;
+  std::printf("serial/parallel Save byte-comparison: %s\n",
+              all_identical ? "identical" : "MISMATCH");
+  std::printf("incremental thread speedup at largest size: %.1fx on %u "
+              "threads\n",
+              largest_thread_speedup, pool.num_threads());
+
+  const char* metrics_path = "bench_tc_construction.metrics.json";
+  if (mel::metrics::WriteJsonFile(metrics_path).ok()) {
+    std::printf("metrics JSON written to %s\n", metrics_path);
+  }
+  return all_identical ? 0 : 1;
 }

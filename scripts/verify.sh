@@ -1,8 +1,21 @@
 #!/usr/bin/env sh
 # Tier-1 verification: the exact command from ROADMAP.md.
 # Configures, builds, and runs the full test suite; fails on the first error.
+#
+# A second stage rebuilds the threaded code under ThreadSanitizer and
+# runs the suites that exercise the thread pool, the parallel index
+# constructions, the reach-score cache, and the batch linker. Skip it
+# (e.g. on machines without TSan runtime support) with MEL_SKIP_TSAN=1.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
+cmake -B build -S . && cmake --build build -j && (cd build && ctest --output-on-failure -j)
+
+if [ "${MEL_SKIP_TSAN:-0}" != "1" ]; then
+  echo "=== TSan stage: thread pool + parallel builds + batch linker ==="
+  cmake -B build-tsan -S . -DMEL_SANITIZE=thread
+  cmake --build build-tsan -j --target util_test reach_test core_test extensions_test
+  (cd build-tsan && ctest --output-on-failure \
+    -R 'ThreadPool|Parallel|CachedReachability' -j)
+fi

@@ -1,10 +1,9 @@
 #include "core/parallel_linker.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 
 #include "util/metrics.h"
+#include "util/thread_pool.h"
 
 namespace mel::core {
 
@@ -15,7 +14,6 @@ struct ParallelMetrics {
   metrics::Counter* items;
   metrics::Gauge* queue_depth;
   metrics::Gauge* active_workers;
-  metrics::Histogram* worker_items;
   metrics::Histogram* batch_ns;
 };
 
@@ -27,64 +25,40 @@ const ParallelMetrics& GetParallelMetrics() {
     pm.items = reg.GetCounter("parallel.items_total");
     pm.queue_depth = reg.GetGauge("parallel.queue_depth");
     pm.active_workers = reg.GetGauge("parallel.active_workers");
-    pm.worker_items = reg.GetHistogram("parallel.worker_items");
     pm.batch_ns = reg.GetHistogram("parallel.batch_ns");
     return pm;
   }();
   return m;
 }
 
-uint32_t ResolveThreads(uint32_t requested) {
-  if (requested != 0) return requested;
-  uint32_t hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 4 : hw;
-}
-
-// Runs fn(i) for every i in [0, count) across the given worker count,
-// pulling indices from a shared atomic counter (good load balance when
-// per-item cost varies, as it does with community sizes).
+// Runs fn(i) for every i in [0, count) on the shared pool, capped at
+// num_threads participants (0 = whole pool). Grain 1 keeps the dynamic
+// load balance the old ad-hoc striping had: per-item cost varies with
+// community sizes, so workers pull one tweet/mention at a time.
 //
-// The shared counter doubles as the queue-depth signal: the
-// "parallel.queue_depth" gauge tracks count - dispatched, and each
-// worker's pulled-item count lands in "parallel.worker_items" (the
-// spread between workers is the load-balance picture).
+// The "parallel.queue_depth" gauge tracks count - completed, and the
+// per-participant pull counts land in "util.pool.worker_items".
 template <typename Fn>
-void ParallelFor(size_t count, uint32_t num_threads, Fn fn) {
+void RunBatch(size_t count, uint32_t num_threads, Fn fn) {
   if (count == 0) return;
   const ParallelMetrics& pm = GetParallelMetrics();
   metrics::ScopedStageTimer batch_timer(pm.batch_ns);
   pm.batches->Increment();
   pm.items->Increment(count);
-  num_threads = std::min<uint32_t>(num_threads,
-                                   static_cast<uint32_t>(count));
-  pm.active_workers->Set(num_threads <= 1 ? 1 : num_threads);
+  auto& pool = util::ThreadPool::Shared();
+  uint32_t participants =
+      num_threads == 0 ? pool.num_threads() : num_threads;
+  participants = std::min<uint32_t>(participants,
+                                    static_cast<uint32_t>(count));
+  pm.active_workers->Set(participants);
   pm.queue_depth->Set(static_cast<int64_t>(count));
-  if (num_threads <= 1) {
-    for (size_t i = 0; i < count; ++i) {
-      fn(i);
-      pm.queue_depth->Add(-1);
-    }
-    if (metrics::Enabled()) pm.worker_items->Record(count);
-    pm.active_workers->Set(0);
-    return;
-  }
-  std::atomic<size_t> next{0};
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
-  for (uint32_t t = 0; t < num_threads; ++t) {
-    workers.emplace_back([&] {
-      uint64_t pulled = 0;
-      for (;;) {
-        size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= count) break;
+  pool.ParallelFor(
+      0, count, /*grain=*/1,
+      [&](size_t i) {
         fn(i);
-        ++pulled;
         pm.queue_depth->Add(-1);
-      }
-      if (metrics::Enabled()) pm.worker_items->Record(pulled);
-    });
-  }
-  for (auto& worker : workers) worker.join();
+      },
+      num_threads);
   pm.queue_depth->Set(0);
   pm.active_workers->Set(0);
 }
@@ -97,8 +71,8 @@ std::vector<TweetLinkResult> LinkTweetsParallel(
   linker->WarmUp();
   const EntityLinker& shared = *linker;
   std::vector<TweetLinkResult> results(tweets.size());
-  ParallelFor(tweets.size(), ResolveThreads(num_threads),
-              [&](size_t i) { results[i] = shared.LinkTweet(tweets[i]); });
+  RunBatch(tweets.size(), num_threads,
+           [&](size_t i) { results[i] = shared.LinkTweet(tweets[i]); });
   return results;
 }
 
@@ -108,7 +82,7 @@ std::vector<MentionLinkResult> LinkMentionsParallel(
   linker->WarmUp();
   const EntityLinker& shared = *linker;
   std::vector<MentionLinkResult> results(requests.size());
-  ParallelFor(requests.size(), ResolveThreads(num_threads), [&](size_t i) {
+  RunBatch(requests.size(), num_threads, [&](size_t i) {
     results[i] = shared.LinkMention(requests[i].surface, requests[i].user,
                                     requests[i].time);
   });

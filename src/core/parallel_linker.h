@@ -15,16 +15,14 @@ namespace mel::core {
 /// The framework links mentions independently — no intra- or inter-tweet
 /// coupling — so a batch parallelizes trivially (Sec. 5.2.2: "our
 /// framework can be easily parallelized"). The linker is warmed up first
-/// (WarmUp), after which LinkTweet is a pure read and the batch is
-/// striped across threads.
-///
-/// The reachability backend must be safe for concurrent reads: the
-/// transitive closure and the 2-hop cover are; NaiveReachability is NOT
-/// (it reuses per-object BFS scratch).
+/// (WarmUp), after which LinkTweet is a pure read and the batch runs on
+/// the shared util::ThreadPool. Every reachability backend is safe for
+/// concurrent reads (BFS scratch is per-thread).
 ///
 /// \param linker the linker; mutated only by the WarmUp call
 /// \param tweets the batch; result i corresponds to tweets[i]
-/// \param num_threads 0 = hardware concurrency
+/// \param num_threads cap on participating threads; 0 = whole pool
+///        (hardware concurrency)
 std::vector<TweetLinkResult> LinkTweetsParallel(
     EntityLinker* linker, std::span<const kb::Tweet> tweets,
     uint32_t num_threads);

@@ -1,11 +1,23 @@
 #include "graph/bfs.h"
 
+#include <memory>
+
 #include "util/logging.h"
 
 namespace mel::graph {
 
 BfsScratch::BfsScratch(uint32_t num_nodes)
     : dist_(num_nodes, kUnreachable) {}
+
+BfsScratch& BfsScratch::ThreadLocal(uint32_t num_nodes) {
+  // Reuse across graphs of the same size is safe: Run resets exactly the
+  // entries touched by the previous run before traversing.
+  thread_local std::unique_ptr<BfsScratch> scratch;
+  if (scratch == nullptr || scratch->dist_.size() != num_nodes) {
+    scratch = std::make_unique<BfsScratch>(num_nodes);
+  }
+  return *scratch;
+}
 
 template <bool kForward>
 void BfsScratch::Run(const DirectedGraph& g, NodeId source,

@@ -22,6 +22,11 @@ class BfsScratch {
  public:
   explicit BfsScratch(uint32_t num_nodes);
 
+  /// A per-thread scratch sized for num_nodes, recreated when the size
+  /// changes. Lets query objects stay stateless (and therefore safe for
+  /// concurrent reads) without paying an O(|V|) allocation per call.
+  static BfsScratch& ThreadLocal(uint32_t num_nodes);
+
   /// Runs a forward (out-edge) BFS from source up to max_hops levels.
   /// Afterwards Distance(v) is valid for every touched node.
   void RunForward(const DirectedGraph& g, NodeId source, uint32_t max_hops);

@@ -30,13 +30,24 @@ GraphStats ComputeStats(const DirectedGraph& g) {
   return s;
 }
 
+std::vector<uint64_t> TotalDegrees(const DirectedGraph& g) {
+  std::vector<uint64_t> degree(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    degree[u] = static_cast<uint64_t>(g.OutDegree(u)) + g.InDegree(u);
+  }
+  return degree;
+}
+
 std::vector<NodeId> NodesByDegreeDescending(const DirectedGraph& g) {
+  return NodesByDegreeDescending(g, TotalDegrees(g));
+}
+
+std::vector<NodeId> NodesByDegreeDescending(
+    const DirectedGraph& g, const std::vector<uint64_t>& total_degree) {
   std::vector<NodeId> order(g.num_nodes());
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
-    uint64_t da = static_cast<uint64_t>(g.OutDegree(a)) + g.InDegree(a);
-    uint64_t db = static_cast<uint64_t>(g.OutDegree(b)) + g.InDegree(b);
-    return da > db;
+    return total_degree[a] > total_degree[b];
   });
   return order;
 }

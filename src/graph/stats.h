@@ -23,9 +23,19 @@ struct GraphStats {
 
 GraphStats ComputeStats(const DirectedGraph& g);
 
+/// Total degree (in + out) of every node, computed in one O(|V|) pass.
+std::vector<uint64_t> TotalDegrees(const DirectedGraph& g);
+
 /// Nodes sorted by total degree (in + out) descending — the landmark order
 /// used by the pruned-labeling construction (Algorithm 2, line 1).
 std::vector<NodeId> NodesByDegreeDescending(const DirectedGraph& g);
+
+/// Overload taking degrees precomputed by TotalDegrees, so the sort
+/// comparator reads a flat array instead of re-deriving both CSR degrees
+/// on every comparison. Callers that already hold the degree vector (the
+/// label-index constructions) use this form.
+std::vector<NodeId> NodesByDegreeDescending(
+    const DirectedGraph& g, const std::vector<uint64_t>& total_degree);
 
 }  // namespace mel::graph
 

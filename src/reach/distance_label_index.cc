@@ -23,7 +23,8 @@ DistanceLabelIndex::DistanceLabelIndex(const graph::DirectedGraph* g,
 DistanceLabelIndex DistanceLabelIndex::Build(const graph::DirectedGraph* g,
                                              uint32_t max_hops) {
   DistanceLabelIndex index(g, max_hops);
-  for (NodeId landmark : graph::NodesByDegreeDescending(*g)) {
+  const auto degrees = graph::TotalDegrees(*g);
+  for (NodeId landmark : graph::NodesByDegreeDescending(*g, degrees)) {
     index.ProcessLandmark(landmark, /*forward=*/false);
     index.ProcessLandmark(landmark, /*forward=*/true);
   }

@@ -4,7 +4,7 @@ namespace mel::reach {
 
 NaiveReachability::NaiveReachability(const graph::DirectedGraph* g,
                                      uint32_t max_hops)
-    : g_(g), max_hops_(max_hops), scratch_(g->num_nodes()) {}
+    : g_(g), max_hops_(max_hops) {}
 
 ReachQueryResult NaiveReachability::Query(NodeId u, NodeId v) const {
   ReachQueryResult result;
@@ -13,14 +13,15 @@ ReachQueryResult NaiveReachability::Query(NodeId u, NodeId v) const {
     return result;
   }
   // Backward BFS from v: Distance(x) is then d_xv for every touched x.
-  scratch_.RunBackward(*g_, v, max_hops_);
-  uint32_t duv = scratch_.Distance(u);
+  auto& scratch = graph::BfsScratch::ThreadLocal(g_->num_nodes());
+  scratch.RunBackward(*g_, v, max_hops_);
+  uint32_t duv = scratch.Distance(u);
   if (duv == graph::kUnreachable) return result;
   result.distance = duv;
   for (NodeId t : g_->OutNeighbors(u)) {
     // Theorem 1: t participates in a duv-hop shortest path from u to v
     // iff d_tv = duv - 1 (v itself qualifies when it is a direct followee).
-    if (t == v || scratch_.Distance(t) == duv - 1) {
+    if (t == v || scratch.Distance(t) == duv - 1) {
       result.followees.push_back(t);
     }
   }

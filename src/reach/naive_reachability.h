@@ -17,6 +17,10 @@ namespace mel::reach {
 ///   F_uv = { t in F_u : d_tv = d_uv - 1 }   (Theorem 1).
 ///
 /// O(|E|) per query — the cost the paper's indexes exist to avoid.
+///
+/// Queries are safe from any number of threads concurrently: BFS scratch
+/// is per-thread (BfsScratch::ThreadLocal), the object itself is
+/// stateless.
 class NaiveReachability : public WeightedReachability {
  public:
   /// The graph must outlive this object.
@@ -30,7 +34,6 @@ class NaiveReachability : public WeightedReachability {
  private:
   const graph::DirectedGraph* g_;
   uint32_t max_hops_;
-  mutable graph::BfsScratch scratch_;
 };
 
 }  // namespace mel::reach

@@ -11,10 +11,7 @@ namespace mel::reach {
 PrunedOnlineSearch::PrunedOnlineSearch(const graph::DirectedGraph* g,
                                        uint32_t max_hops,
                                        uint32_t num_intervals)
-    : g_(g),
-      max_hops_(max_hops),
-      num_intervals_(num_intervals),
-      scratch_(g->num_nodes()) {}
+    : g_(g), max_hops_(max_hops), num_intervals_(num_intervals) {}
 
 PrunedOnlineSearch PrunedOnlineSearch::Build(const graph::DirectedGraph* g,
                                              uint32_t max_hops,
@@ -137,12 +134,13 @@ ReachQueryResult PrunedOnlineSearch::Query(NodeId u, NodeId v) const {
   }
   if (DefinitelyUnreachable(u, v)) return result;
 
-  scratch_.RunBackward(*g_, v, max_hops_);
-  uint32_t duv = scratch_.Distance(u);
+  auto& scratch = graph::BfsScratch::ThreadLocal(g_->num_nodes());
+  scratch.RunBackward(*g_, v, max_hops_);
+  uint32_t duv = scratch.Distance(u);
   if (duv == graph::kUnreachable) return result;
   result.distance = duv;
   for (NodeId t : g_->OutNeighbors(u)) {
-    if (t == v || scratch_.Distance(t) == duv - 1) {
+    if (t == v || scratch.Distance(t) == duv - 1) {
       result.followees.push_back(t);
     }
   }

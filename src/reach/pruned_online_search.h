@@ -71,7 +71,6 @@ class PrunedOnlineSearch : public WeightedReachability {
   std::vector<Interval> intervals_;
   // Condensed DAG adjacency (component -> out components).
   std::vector<std::vector<uint32_t>> dag_out_;
-  mutable graph::BfsScratch scratch_;
 };
 
 }  // namespace mel::reach

@@ -1,0 +1,112 @@
+#include "reach/reach_cache.h"
+
+#include "util/logging.h"
+#include "util/metrics.h"
+
+namespace mel::reach {
+
+namespace {
+
+struct CacheMetrics {
+  metrics::Counter* hits;
+  metrics::Counter* misses;
+  metrics::Counter* evictions;
+};
+
+const CacheMetrics& GetCacheMetrics() {
+  static const CacheMetrics m = [] {
+    auto& reg = metrics::Registry();
+    CacheMetrics cm;
+    cm.hits = reg.GetCounter("reach.cache.hits_total");
+    cm.misses = reg.GetCounter("reach.cache.misses_total");
+    cm.evictions = reg.GetCounter("reach.cache.evictions_total");
+    return cm;
+  }();
+  return m;
+}
+
+uint32_t RoundUpPowerOfTwo(uint32_t x) {
+  uint32_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+CachedReachability::CachedReachability(const WeightedReachability* base,
+                                       const graph::DirectedGraph* g,
+                                       Options options)
+    : base_(base),
+      g_(g),
+      max_entries_per_shard_(options.max_entries_per_shard) {
+  MEL_CHECK(options.num_shards > 0);
+  uint32_t num_shards = RoundUpPowerOfTwo(options.num_shards);
+  shard_mask_ = num_shards - 1;
+  shards_ = std::make_unique<Shard[]>(num_shards);
+  name_ = std::string("cached+") + base->Name();
+}
+
+ReachQueryResult CachedReachability::Query(NodeId u, NodeId v) const {
+  const uint64_t key = (static_cast<uint64_t>(u) << 32) | v;
+  Shard& shard = ShardFor(key);
+  const CacheMetrics& cm = GetCacheMetrics();
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      cm.hits->Increment();
+      return it->second;
+    }
+  }
+  // Miss path runs the backend outside the shard lock, so a slow BFS
+  // never blocks hits on the same shard. Racing misses on the same pair
+  // both compute; last insert wins with an identical value.
+  cm.misses->Increment();
+  ReachQueryResult result = base_->Query(u, v);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (max_entries_per_shard_ != 0 &&
+        shard.entries.size() >= max_entries_per_shard_ &&
+        shard.entries.find(key) == shard.entries.end()) {
+      cm.evictions->Increment(shard.entries.size());
+      shard.entries.clear();
+    }
+    shard.entries[key] = result;
+  }
+  return result;
+}
+
+double CachedReachability::Score(NodeId u, NodeId v) const {
+  return WeightedScore(Query(u, v), g_->OutDegree(u), u == v);
+}
+
+void CachedReachability::Invalidate() {
+  for (uint64_t s = 0; s <= shard_mask_; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    shards_[s].entries.clear();
+  }
+}
+
+size_t CachedReachability::ApproxEntries() const {
+  size_t total = 0;
+  for (uint64_t s = 0; s <= shard_mask_; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    total += shards_[s].entries.size();
+  }
+  return total;
+}
+
+uint64_t CachedReachability::IndexSizeBytes() const {
+  // Backend plus a rough accounting of the cached entries.
+  uint64_t bytes = base_->IndexSizeBytes();
+  for (uint64_t s = 0; s <= shard_mask_; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    for (const auto& [key, result] : shards_[s].entries) {
+      bytes += sizeof(key) + sizeof(result) +
+               result.followees.size() * sizeof(NodeId);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace mel::reach

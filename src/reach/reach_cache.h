@@ -1,0 +1,85 @@
+#ifndef MEL_REACH_REACH_CACHE_H_
+#define MEL_REACH_REACH_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/directed_graph.h"
+#include "reach/weighted_reachability.h"
+
+namespace mel::reach {
+
+/// \brief Sharded read-through cache in front of a weighted-reachability
+/// backend, memoizing (u, v) -> ReachQueryResult.
+///
+/// The S_in stage (Eq. 4 via Eq. 8) asks for reachability from the
+/// querying user to each candidate's top-k influential users — and the
+/// influential users of popular candidates repeat across mentions, so a
+/// BFS-priced backend (NaiveReachability, PrunedOnlineSearch) pays the
+/// same traversal over and over. This wrapper answers repeats from a
+/// hash map instead; it is pointless in front of the O(1) transitive
+/// closure and of marginal use before the 2-hop cover.
+///
+/// Concurrency: each shard is guarded by its own mutex, so readers on
+/// different shards never contend; the underlying backend must be safe
+/// for concurrent reads (all of them are, post per-thread BFS scratch).
+/// Hit/miss/eviction counts are exported as `reach.cache.*` metrics.
+///
+/// Capacity is bounded per shard; an insert into a full shard clears
+/// that shard first (cheap, and repeat-heavy workloads refill the hot
+/// pairs immediately). The cache snapshots a static graph — call
+/// Invalidate() after any online graph mutation.
+class CachedReachability : public WeightedReachability {
+ public:
+  struct Options {
+    uint32_t num_shards = 16;          // rounded up to a power of two
+    size_t max_entries_per_shard = 1 << 16;  // 0 = unbounded
+  };
+
+  /// Neither pointer is owned; both must outlive the cache. The graph is
+  /// needed to convert cached query results into Eq.-4 scores (|F_u|).
+  CachedReachability(const WeightedReachability* base,
+                     const graph::DirectedGraph* g, Options options);
+  CachedReachability(const WeightedReachability* base,
+                     const graph::DirectedGraph* g)
+      : CachedReachability(base, g, Options()) {}
+
+  double Score(NodeId u, NodeId v) const override;
+  ReachQueryResult Query(NodeId u, NodeId v) const override;
+  uint64_t IndexSizeBytes() const override;
+  const char* Name() const override { return name_.c_str(); }
+
+  /// Drops every cached entry (e.g. after an edge insertion).
+  void Invalidate();
+
+  /// Entries currently cached, summed over shards (approximate under
+  /// concurrent writes).
+  size_t ApproxEntries() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, ReachQueryResult> entries;
+  };
+
+  Shard& ShardFor(uint64_t key) const {
+    // Multiplicative mix so that dense node-id ranges spread over shards.
+    uint64_t h = key * 0x9e3779b97f4a7c15ull;
+    return shards_[(h >> 48) & shard_mask_];
+  }
+
+  const WeightedReachability* base_;
+  const graph::DirectedGraph* g_;
+  size_t max_entries_per_shard_;
+  uint64_t shard_mask_;
+  std::unique_ptr<Shard[]> shards_;
+  std::string name_;
+};
+
+}  // namespace mel::reach
+
+#endif  // MEL_REACH_REACH_CACHE_H_

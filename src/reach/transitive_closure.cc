@@ -1,12 +1,15 @@
 #include "reach/transitive_closure.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <unordered_set>
 
 #include "graph/bfs.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/serialize.h"
+#include "util/thread_pool.h"
 
 namespace mel::reach {
 
@@ -17,6 +20,7 @@ struct TcMetrics {
   metrics::Counter* unreachable;
   metrics::Counter* edge_inserts;
   metrics::Histogram* repair_pairs;
+  metrics::Histogram* build_ns;
 };
 
 const TcMetrics& GetTcMetrics() {
@@ -27,10 +31,16 @@ const TcMetrics& GetTcMetrics() {
     tm.unreachable = reg.GetCounter("reach.tc.unreachable_total");
     tm.edge_inserts = reg.GetCounter("reach.tc.edge_inserts_total");
     tm.repair_pairs = reg.GetHistogram("reach.tc.repair_pairs");
+    tm.build_ns = reg.GetHistogram("reach.tc.build_ns");
     return tm;
   }();
   return m;
 }
+
+// Row grain for the parallel constructions: rows are O(|V|)-ish each, so
+// a handful per chunk amortizes the scheduling atomics without starving
+// the load balancer on skewed degree distributions.
+constexpr size_t kRowGrain = 8;
 
 }  // namespace
 
@@ -61,25 +71,30 @@ uint32_t TransitiveClosureIndex::CurrentOutDegree(NodeId u) const {
 }
 
 TransitiveClosureIndex TransitiveClosureIndex::Build(
-    const graph::DirectedGraph* g, uint32_t max_hops, Construction mode) {
+    const graph::DirectedGraph* g, uint32_t max_hops, Construction mode,
+    util::ThreadPool* pool) {
+  if (pool == nullptr) pool = &util::ThreadPool::Shared();
   TransitiveClosureIndex index(g, max_hops);
+  metrics::ScopedStageTimer build_timer(GetTcMetrics().build_ns);
   if (mode == Construction::kNaive) {
-    index.BuildNaive();
+    index.BuildNaive(pool);
   } else {
-    index.BuildIncremental();
+    index.BuildIncremental(pool);
   }
   return index;
 }
 
-void TransitiveClosureIndex::BuildNaive() {
+void TransitiveClosureIndex::BuildNaive(util::ThreadPool* pool) {
   // The paper's strawman: an independent traversal per node pair. One
-  // bounded backward BFS per (u, v) recovers d_uv and the followee
-  // distances needed by Eq. 4.
-  graph::BfsScratch scratch(n_);
-  for (NodeId v = 0; v < n_; ++v) {
+  // bounded backward BFS per target v recovers d_uv and the followee
+  // distances needed by Eq. 4 for every source u at once, and fills only
+  // column v — so targets parallelize with no shared writes.
+  pool->ParallelFor(0, n_, kRowGrain, [&](size_t vi) {
+    const NodeId v = static_cast<NodeId>(vi);
+    auto& scratch = graph::BfsScratch::ThreadLocal(n_);
+    scratch.RunBackward(*g_, v, max_hops_);
     for (NodeId u = 0; u < n_; ++u) {
       if (u == v) continue;
-      scratch.RunBackward(*g_, v, max_hops_);
       uint32_t duv = scratch.Distance(u);
       if (duv == graph::kUnreachable) continue;
       dist_[Cell(u, v)] = static_cast<uint8_t>(duv);
@@ -94,10 +109,35 @@ void TransitiveClosureIndex::BuildNaive() {
       score_[Cell(u, v)] = static_cast<float>(
           (1.0 / duv) * on_shortest / g_->OutDegree(u));
     }
-  }
+  });
 }
 
-void TransitiveClosureIndex::BuildIncremental() {
+namespace {
+
+// Per-thread scratch of the incremental build: the epoch-stamped
+// accumulator counts[v] = n_v, the number of the current row's followees
+// that reach v in < len hops.
+struct IncrementalScratch {
+  std::vector<uint32_t> counts;
+  std::vector<uint64_t> epoch;
+  std::vector<graph::NodeId> touched;
+  uint64_t current_epoch = 0;
+
+  static IncrementalScratch& ThreadLocal(uint32_t n) {
+    thread_local std::unique_ptr<IncrementalScratch> scratch;
+    if (scratch == nullptr || scratch->counts.size() != n) {
+      scratch = std::make_unique<IncrementalScratch>();
+      scratch->counts.assign(n, 0);
+      scratch->epoch.assign(n, 0);
+      scratch->current_epoch = 0;
+    }
+    return *scratch;
+  }
+};
+
+}  // namespace
+
+void TransitiveClosureIndex::BuildIncremental(util::ThreadPool* pool) {
   // Algorithm 1. Level len extends knowledge from levels < len: a followee
   // t of u lies on a len-hop shortest path to v iff d_tv = len - 1
   // (Theorem 1), which after len - 1 iterations is equivalent to
@@ -109,43 +149,48 @@ void TransitiveClosureIndex::BuildIncremental() {
     }
   }
 
-  // Epoch-stamped accumulator: counts[v] = n_v, the number of u's
-  // followees that reach v in len - 1 hops.
-  std::vector<uint32_t> counts(n_, 0);
-  std::vector<uint32_t> epoch(n_, 0);
-  std::vector<NodeId> touched;
-  uint32_t current_epoch = 0;
-
+  // Rows are independent within a level once reads go against a snapshot
+  // of the previous levels: row u only writes cells (u, *), and the
+  // predicate 0 < d < len only accepts cells finalized in earlier levels.
+  // (The serial build reads the live matrix, but its same-level writes
+  // all carry value len and are rejected by the predicate, so reading the
+  // double-buffered snapshot yields bit-identical output.)
+  std::vector<uint8_t> prev_dist;
   for (uint32_t len = 2; len <= max_hops_; ++len) {
-    bool any_update = false;
-    for (NodeId u = 0; u < n_; ++u) {
+    prev_dist = dist_;
+    std::atomic<bool> any_update{false};
+    pool->ParallelFor(0, n_, kRowGrain, [&](size_t ui) {
+      const NodeId u = static_cast<NodeId>(ui);
       auto followees = g_->OutNeighbors(u);
-      if (followees.empty()) continue;
-      ++current_epoch;
-      touched.clear();
+      if (followees.empty()) return;
+      auto& scratch = IncrementalScratch::ThreadLocal(n_);
+      ++scratch.current_epoch;
+      scratch.touched.clear();
       for (NodeId t : followees) {
-        const uint8_t* trow = dist_.data() + Cell(t, 0);
+        const uint8_t* trow = prev_dist.data() + Cell(t, 0);
         for (NodeId v = 0; v < n_; ++v) {
           // Set in an earlier level <=> 0 < dist < len.
           if (trow[v] == 0 || trow[v] >= len) continue;
-          if (epoch[v] != current_epoch) {
-            epoch[v] = current_epoch;
-            counts[v] = 0;
-            touched.push_back(v);
+          if (scratch.epoch[v] != scratch.current_epoch) {
+            scratch.epoch[v] = scratch.current_epoch;
+            scratch.counts[v] = 0;
+            scratch.touched.push_back(v);
           }
-          ++counts[v];
+          ++scratch.counts[v];
         }
       }
+      bool row_update = false;
       const double inv = 1.0 / (static_cast<double>(len) * followees.size());
-      for (NodeId v : touched) {
+      for (NodeId v : scratch.touched) {
         size_t cell = Cell(u, v);
         if (dist_[cell] != 0 || v == u) continue;  // shorter path exists
         dist_[cell] = static_cast<uint8_t>(len);
-        score_[cell] = static_cast<float>(inv * counts[v]);
-        any_update = true;
+        score_[cell] = static_cast<float>(inv * scratch.counts[v]);
+        row_update = true;
       }
-    }
-    if (!any_update) break;  // diameter reached before H
+      if (row_update) any_update.store(true, std::memory_order_relaxed);
+    });
+    if (!any_update.load(std::memory_order_relaxed)) break;  // diameter < H
   }
 }
 

@@ -8,6 +8,7 @@
 #include "graph/directed_graph.h"
 #include "reach/weighted_reachability.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace mel::reach {
 
@@ -32,8 +33,16 @@ class TransitiveClosureIndex : public WeightedReachability {
   /// 5 bytes per node pair; callers are responsible for keeping |V| within
   /// budget (the Table-5 benchmark deliberately drops TC for large graphs,
   /// as the paper does).
+  ///
+  /// Construction runs on `pool` (nullptr = the process-wide shared
+  /// pool). Both modes produce output bit-identical to a 1-thread build:
+  /// kNaive is embarrassingly parallel across target nodes; kIncremental
+  /// parallelizes across source rows within each hop level against a
+  /// snapshot of the previous levels, so every cell's inputs are fixed
+  /// before the level starts.
   static TransitiveClosureIndex Build(const graph::DirectedGraph* g,
-                                      uint32_t max_hops, Construction mode);
+                                      uint32_t max_hops, Construction mode,
+                                      util::ThreadPool* pool = nullptr);
 
   double Score(NodeId u, NodeId v) const override;
   ReachQueryResult Query(NodeId u, NodeId v) const override;
@@ -72,8 +81,8 @@ class TransitiveClosureIndex : public WeightedReachability {
  private:
   TransitiveClosureIndex(const graph::DirectedGraph* g, uint32_t max_hops);
 
-  void BuildNaive();
-  void BuildIncremental();
+  void BuildNaive(util::ThreadPool* pool);
+  void BuildIncremental(util::ThreadPool* pool);
 
   /// Recomputes score_[a][b] from the distance matrix (Theorem 1).
   void RecomputeScore(NodeId a, NodeId b);

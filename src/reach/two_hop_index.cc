@@ -21,6 +21,7 @@ struct TwoHopMetrics {
   metrics::Counter* lookups;
   metrics::Counter* unreachable;
   metrics::Histogram* labels_scanned;
+  metrics::Histogram* build_ns;
 };
 
 const TwoHopMetrics& GetTwoHopMetrics() {
@@ -30,6 +31,7 @@ const TwoHopMetrics& GetTwoHopMetrics() {
     hm.lookups = reg.GetCounter("reach.twohop.lookups_total");
     hm.unreachable = reg.GetCounter("reach.twohop.unreachable_total");
     hm.labels_scanned = reg.GetHistogram("reach.twohop.labels_scanned");
+    hm.build_ns = reg.GetHistogram("reach.twohop.build_ns");
     return hm;
   }();
   return m;
@@ -41,51 +43,65 @@ TwoHopIndex::TwoHopIndex(const graph::DirectedGraph* g, uint32_t max_hops)
     : g_(g), max_hops_(max_hops) {
   in_labels_.resize(g->num_nodes());
   out_labels_.resize(g->num_nodes());
-  hub_dist_.assign(g->num_nodes(), kInf);
-  in_queue_.assign(g->num_nodes(), 0);
 }
 
 TwoHopIndex TwoHopIndex::Build(const graph::DirectedGraph* g,
-                               uint32_t max_hops) {
+                               uint32_t max_hops, util::ThreadPool* pool) {
+  if (pool == nullptr) pool = &util::ThreadPool::Shared();
   TwoHopIndex index(g, max_hops);
+  metrics::ScopedStageTimer build_timer(GetTwoHopMetrics().build_ns);
+  // The backward pass reads in_labels_[landmark] and appends to
+  // out-labels of other nodes; the forward pass reads
+  // out_labels_[landmark] and appends to in-labels of other nodes
+  // (each skips the landmark itself). Their footprints are disjoint, so
+  // the two BFS of one landmark run concurrently — each with its own
+  // scratch — while the landmark order itself stays sequential.
+  LandmarkScratch backward_scratch(g->num_nodes());
+  LandmarkScratch forward_scratch(g->num_nodes());
   // Algorithm 2 line 1: landmarks in descending degree order, so that hub
   // nodes prune the most subsequent label entries.
-  for (NodeId landmark : graph::NodesByDegreeDescending(*g)) {
-    index.ProcessLandmarkBackward(landmark);
-    index.ProcessLandmarkForward(landmark);
+  const auto degrees = graph::TotalDegrees(*g);
+  for (NodeId landmark : graph::NodesByDegreeDescending(*g, degrees)) {
+    pool->ParallelFor(0, 2, 1, [&](size_t pass) {
+      if (pass == 0) {
+        index.ProcessLandmarkBackward(landmark, backward_scratch);
+      } else {
+        index.ProcessLandmarkForward(landmark, forward_scratch);
+      }
+    });
   }
   // Canonical ordering enables two-pointer intersection at query time.
-  for (auto& labels : index.in_labels_) {
-    std::sort(labels.begin(), labels.end(),
+  // Nodes are independent here, so the sort/dedup pass fans out.
+  const uint32_t n = g->num_nodes();
+  pool->ParallelFor(0, n, 64, [&](size_t v) {
+    auto& ins = index.in_labels_[v];
+    std::sort(ins.begin(), ins.end(),
               [](const InLabel& a, const InLabel& b) {
                 return a.node < b.node;
               });
-  }
-  for (auto& labels : index.out_labels_) {
-    std::sort(labels.begin(), labels.end(),
+    auto& outs = index.out_labels_[v];
+    std::sort(outs.begin(), outs.end(),
               [](const OutLabel& a, const OutLabel& b) {
                 return a.node < b.node;
               });
-    for (auto& label : labels) {
+    for (auto& label : outs) {
       std::sort(label.followees.begin(), label.followees.end());
     }
-  }
-  // Release construction scratch.
-  index.hub_dist_.clear();
-  index.hub_dist_.shrink_to_fit();
-  index.in_queue_.clear();
-  index.in_queue_.shrink_to_fit();
+  });
   return index;
 }
 
-void TwoHopIndex::ProcessLandmarkBackward(NodeId landmark) {
-  // hub_dist_[w] = d(w, landmark) for every hub w that queries may meet at.
+void TwoHopIndex::ProcessLandmarkBackward(NodeId landmark,
+                                          LandmarkScratch& scratch) {
+  auto& hub_dist = scratch.hub_dist;
+  auto& in_queue = scratch.in_queue;
+  // hub_dist[w] = d(w, landmark) for every hub w that queries may meet at.
   std::vector<NodeId> touched_hubs;
   for (const InLabel& il : in_labels_[landmark]) {
-    hub_dist_[il.node] = il.dist;
+    hub_dist[il.node] = il.dist;
     touched_hubs.push_back(il.node);
   }
-  hub_dist_[landmark] = 0;
+  hub_dist[landmark] = 0;
   touched_hubs.push_back(landmark);
 
   // Distance + membership query against current labels:
@@ -95,7 +111,7 @@ void TwoHopIndex::ProcessLandmarkBackward(NodeId landmark) {
     uint32_t dmin = kInf;
     bool has_u = false;
     for (const OutLabel& ol : out_labels_[s]) {
-      uint32_t hd = hub_dist_[ol.node];
+      uint32_t hd = hub_dist[ol.node];
       if (hd == kInf) continue;
       uint32_t total = ol.dist + hd;
       if (total < dmin) {
@@ -110,7 +126,7 @@ void TwoHopIndex::ProcessLandmarkBackward(NodeId landmark) {
 
   std::vector<std::pair<NodeId, uint32_t>> queue;
   queue.emplace_back(landmark, 0);
-  in_queue_[landmark] = 1;
+  in_queue[landmark] = 1;
   size_t head = 0;
   while (head < queue.size()) {
     auto [u, len_u] = queue[head++];
@@ -123,8 +139,8 @@ void TwoHopIndex::ProcessLandmarkBackward(NodeId landmark) {
         // A strictly shorter path s -> u ~> landmark: record the landmark
         // as a hub of s, remembering followee u (Algorithm 2 lines 11-19).
         out_labels_[s].push_back(OutLabel{landmark, len, {u}});
-        if (len < max_hops_ && !in_queue_[s]) {
-          in_queue_[s] = 1;
+        if (len < max_hops_ && !in_queue[s]) {
+          in_queue[s] = 1;
           queue.emplace_back(s, len);
         }
       } else if (len == d && !has_u) {
@@ -143,23 +159,26 @@ void TwoHopIndex::ProcessLandmarkBackward(NodeId landmark) {
     }
   }
 
-  for (NodeId w : touched_hubs) hub_dist_[w] = kInf;
-  for (const auto& [node, len] : queue) in_queue_[node] = 0;
+  for (NodeId w : touched_hubs) hub_dist[w] = kInf;
+  for (const auto& [node, len] : queue) in_queue[node] = 0;
 }
 
-void TwoHopIndex::ProcessLandmarkForward(NodeId landmark) {
+void TwoHopIndex::ProcessLandmarkForward(NodeId landmark,
+                                         LandmarkScratch& scratch) {
+  auto& hub_dist = scratch.hub_dist;
+  auto& in_queue = scratch.in_queue;
   std::vector<NodeId> touched_hubs;
   for (const OutLabel& ol : out_labels_[landmark]) {
-    hub_dist_[ol.node] = ol.dist;
+    hub_dist[ol.node] = ol.dist;
     touched_hubs.push_back(ol.node);
   }
-  hub_dist_[landmark] = 0;
+  hub_dist[landmark] = 0;
   touched_hubs.push_back(landmark);
 
   auto query = [&](NodeId t) -> uint32_t {
     uint32_t dmin = kInf;
     for (const InLabel& il : in_labels_[t]) {
-      uint32_t hd = hub_dist_[il.node];
+      uint32_t hd = hub_dist[il.node];
       if (hd == kInf) continue;
       dmin = std::min(dmin, hd + il.dist);
     }
@@ -168,7 +187,7 @@ void TwoHopIndex::ProcessLandmarkForward(NodeId landmark) {
 
   std::vector<std::pair<NodeId, uint32_t>> queue;
   queue.emplace_back(landmark, 0);
-  in_queue_[landmark] = 1;
+  in_queue[landmark] = 1;
   size_t head = 0;
   while (head < queue.size()) {
     auto [u, len_u] = queue[head++];
@@ -180,16 +199,16 @@ void TwoHopIndex::ProcessLandmarkForward(NodeId landmark) {
       // (Algorithm 2 line 30).
       if (len < query(t)) {
         in_labels_[t].push_back(InLabel{landmark, len});
-        if (len < max_hops_ && !in_queue_[t]) {
-          in_queue_[t] = 1;
+        if (len < max_hops_ && !in_queue[t]) {
+          in_queue[t] = 1;
           queue.emplace_back(t, len);
         }
       }
     }
   }
 
-  for (NodeId w : touched_hubs) hub_dist_[w] = kInf;
-  for (const auto& [node, len] : queue) in_queue_[node] = 0;
+  for (NodeId w : touched_hubs) hub_dist[w] = kInf;
+  for (const auto& [node, len] : queue) in_queue[node] = 0;
 }
 
 ReachQueryResult TwoHopIndex::Query(NodeId u, NodeId v) const {
@@ -359,10 +378,6 @@ Result<TwoHopIndex> TwoHopIndex::Load(const std::string& path,
     }
   }
   if (!reader.status().ok()) return reader.status();
-  index.hub_dist_.clear();
-  index.hub_dist_.shrink_to_fit();
-  index.in_queue_.clear();
-  index.in_queue_.shrink_to_fit();
   return index;
 }
 

@@ -8,6 +8,7 @@
 #include "graph/directed_graph.h"
 #include "reach/weighted_reachability.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace mel::reach {
 
@@ -40,7 +41,16 @@ class TwoHopIndex : public WeightedReachability {
 
   /// Builds the index; landmarks are processed in descending total-degree
   /// order (Algorithm 2 line 1). The graph must outlive the index.
-  static TwoHopIndex Build(const graph::DirectedGraph* g, uint32_t max_hops);
+  ///
+  /// The landmark order is inherently sequential (each landmark's BFS
+  /// prunes against the labels of all earlier ones), but within one
+  /// landmark the backward pass (which grows out-labels) and the forward
+  /// pass (which grows in-labels) touch disjoint state and run
+  /// concurrently on `pool` (nullptr = the shared pool), as does the
+  /// final per-node label sort/dedup pass. Output is bit-identical to a
+  /// 1-thread build.
+  static TwoHopIndex Build(const graph::DirectedGraph* g, uint32_t max_hops,
+                           util::ThreadPool* pool = nullptr);
 
   double Score(NodeId u, NodeId v) const override;
   ReachQueryResult Query(NodeId u, NodeId v) const override;
@@ -66,19 +76,27 @@ class TwoHopIndex : public WeightedReachability {
   }
 
  private:
+  /// Construction-time per-pass scratch, keyed by node id. The backward
+  /// and forward passes of one landmark run concurrently, so each gets
+  /// its own instance.
+  struct LandmarkScratch {
+    std::vector<uint32_t> hub_dist;  // distance to/from current landmark
+    std::vector<uint8_t> in_queue;
+
+    explicit LandmarkScratch(uint32_t num_nodes)
+        : hub_dist(num_nodes, kUnreachableDistance),
+          in_queue(num_nodes, 0) {}
+  };
+
   explicit TwoHopIndex(const graph::DirectedGraph* g, uint32_t max_hops);
 
-  void ProcessLandmarkBackward(NodeId landmark);
-  void ProcessLandmarkForward(NodeId landmark);
+  void ProcessLandmarkBackward(NodeId landmark, LandmarkScratch& scratch);
+  void ProcessLandmarkForward(NodeId landmark, LandmarkScratch& scratch);
 
   const graph::DirectedGraph* g_;
   uint32_t max_hops_;
   std::vector<std::vector<InLabel>> in_labels_;
   std::vector<std::vector<OutLabel>> out_labels_;
-
-  // Construction-time scratch, keyed by node id.
-  std::vector<uint32_t> hub_dist_;   // distance to/from current landmark
-  std::vector<uint8_t> in_queue_;
 };
 
 }  // namespace mel::reach

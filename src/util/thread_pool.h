@@ -1,0 +1,90 @@
+#ifndef MEL_UTIL_THREAD_POOL_H_
+#define MEL_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mel::util {
+
+/// \brief Fixed-size thread pool with a blocking data-parallel primitive.
+///
+/// The pool owns `num_threads() - 1` worker threads; the thread calling
+/// ParallelFor is the remaining participant, so a pool of size 1 runs
+/// everything inline with zero synchronization. There is no work
+/// stealing and no task futures — the only entry point is ParallelFor,
+/// which is exactly what the index constructions and batch linking need.
+///
+/// Scheduling is dynamic: participants pull `grain`-sized index chunks
+/// from a shared atomic cursor, which load-balances work whose per-item
+/// cost varies (BFS sizes, community sizes) without any tuning.
+///
+/// Concurrency contract:
+///  * ParallelFor may be called from any thread; concurrent calls on the
+///    same pool serialize on an internal mutex (one region at a time).
+///  * A ParallelFor issued from inside a ParallelFor body (same or other
+///    pool) runs serially inline — nesting never deadlocks and never
+///    oversubscribes.
+///  * The first exception thrown by `fn` cancels the remaining chunks
+///    and is rethrown on the calling thread after all workers left the
+///    region.
+class ThreadPool {
+ public:
+  /// \param num_threads total parallelism including the calling thread;
+  ///        0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(uint32_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism of the pool (workers + the calling thread).
+  uint32_t num_threads() const {
+    return static_cast<uint32_t>(workers_.size()) + 1;
+  }
+
+  /// Process-wide shared pool sized to the hardware. Construction happens
+  /// on first use; the pool lives for the rest of the process.
+  static ThreadPool& Shared();
+
+  /// Invokes fn(i) exactly once for every i in [begin, end).
+  ///
+  /// \param grain indices pulled per scheduling step (0 behaves as 1);
+  ///        pick it so one chunk amortizes the atomic fetch, i.e. a few
+  ///        hundred microseconds of work.
+  /// \param max_threads cap on participants for this region (0 = the
+  ///        whole pool). Used by callers that expose their own --threads
+  ///        knob on top of the shared pool.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t)>& fn,
+                   uint32_t max_threads = 0);
+
+ private:
+  struct Job;
+
+  void WorkerLoop();
+  /// Chunk-pull loop; returns the number of indices this participant
+  /// processed. Exceptions from fn are captured into the pool state.
+  uint64_t RunChunks(Job* job);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;  // guards everything below
+  std::condition_variable work_cv_;  // workers: a new region is open
+  std::condition_variable done_cv_;  // caller: all workers left the region
+  Job* job_ = nullptr;               // open region, or nullptr
+  uint64_t job_generation_ = 0;
+  uint32_t workers_in_job_ = 0;
+  uint32_t job_worker_limit_ = 0;
+  std::exception_ptr first_exception_;
+  bool shutdown_ = false;
+
+  std::mutex submit_mu_;  // serializes concurrent ParallelFor callers
+};
+
+}  // namespace mel::util
+
+#endif  // MEL_UTIL_THREAD_POOL_H_

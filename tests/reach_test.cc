@@ -1,15 +1,24 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
 #include <memory>
+#include <string>
 #include <tuple>
 
 #include "graph/graph_builder.h"
 #include "reach/distance_label_index.h"
 #include "reach/naive_reachability.h"
 #include "reach/pruned_online_search.h"
+#include "reach/reach_cache.h"
 #include "reach/transitive_closure.h"
 #include "reach/two_hop_index.h"
+#include "util/metrics.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace mel::reach {
 namespace {
@@ -570,6 +579,200 @@ TEST(WeightedScoreTest, RangeProperty) {
       EXPECT_LE(s, 1.0);
     }
   }
+}
+
+// ------------------------------------------------- parallel construction
+
+std::string SaveToTempBytes(const std::string& name,
+                            const std::function<Status(const std::string&)>&
+                                save) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / name).string();
+  EXPECT_TRUE(save(path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>{});
+  std::remove(path.c_str());
+  return bytes;
+}
+
+// The acceptance bar for the parallel builds: not "equivalent", but
+// bit-identical to the 1-thread build, proven via Save bytes on top of
+// the per-pair Score/Distance comparison.
+TEST(ParallelBuildTest, TcIncrementalMatchesSerialOnRandomGraphs) {
+  util::ThreadPool serial(1);
+  util::ThreadPool parallel(4);
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    DirectedGraph g = RandomGraph(60, 3.0, seed);
+    auto a = TransitiveClosureIndex::Build(
+        &g, 5, TransitiveClosureIndex::Construction::kIncremental, &serial);
+    auto b = TransitiveClosureIndex::Build(
+        &g, 5, TransitiveClosureIndex::Construction::kIncremental,
+        &parallel);
+    EXPECT_EQ(a.IndexSizeBytes(), b.IndexSizeBytes());
+    for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+      for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+        ASSERT_EQ(a.Distance(u, v), b.Distance(u, v))
+            << "seed " << seed << " pair " << u << "->" << v;
+        ASSERT_EQ(a.Score(u, v), b.Score(u, v))
+            << "seed " << seed << " pair " << u << "->" << v;
+      }
+    }
+    auto save_a = SaveToTempBytes("tc_serial.idx", [&](const auto& p) {
+      return a.Save(p);
+    });
+    auto save_b = SaveToTempBytes("tc_parallel.idx", [&](const auto& p) {
+      return b.Save(p);
+    });
+    EXPECT_FALSE(save_a.empty());
+    EXPECT_EQ(save_a, save_b);
+  }
+}
+
+TEST(ParallelBuildTest, TcNaiveMatchesSerial) {
+  util::ThreadPool serial(1);
+  util::ThreadPool parallel(4);
+  DirectedGraph g = RandomGraph(40, 2.5, 11);
+  auto a = TransitiveClosureIndex::Build(
+      &g, 5, TransitiveClosureIndex::Construction::kNaive, &serial);
+  auto b = TransitiveClosureIndex::Build(
+      &g, 5, TransitiveClosureIndex::Construction::kNaive, &parallel);
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_EQ(a.Distance(u, v), b.Distance(u, v));
+      ASSERT_EQ(a.Score(u, v), b.Score(u, v));
+    }
+  }
+}
+
+TEST(ParallelBuildTest, TwoHopMatchesSerialOnRandomGraphs) {
+  util::ThreadPool serial(1);
+  util::ThreadPool parallel(4);
+  for (uint64_t seed : {4ull, 5ull, 6ull}) {
+    DirectedGraph g = RandomGraph(60, 3.0, seed);
+    auto a = TwoHopIndex::Build(&g, 5, &serial);
+    auto b = TwoHopIndex::Build(&g, 5, &parallel);
+    EXPECT_EQ(a.TotalLabelEntries(), b.TotalLabelEntries());
+    EXPECT_EQ(a.IndexSizeBytes(), b.IndexSizeBytes());
+    for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+      for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+        ASSERT_EQ(a.Score(u, v), b.Score(u, v))
+            << "seed " << seed << " pair " << u << "->" << v;
+      }
+    }
+    auto save_a = SaveToTempBytes("hop_serial.idx", [&](const auto& p) {
+      return a.Save(p);
+    });
+    auto save_b = SaveToTempBytes("hop_parallel.idx", [&](const auto& p) {
+      return b.Save(p);
+    });
+    EXPECT_FALSE(save_a.empty());
+    EXPECT_EQ(save_a, save_b);
+  }
+}
+
+// Query objects share nothing mutable anymore (per-thread BFS scratch),
+// so concurrent queries on one instance must agree with serial answers.
+TEST(ParallelBuildTest, NaiveReachabilityConcurrentQueriesAreSafe) {
+  DirectedGraph g = RandomGraph(50, 3.0, 21);
+  NaiveReachability naive(&g, 5);
+  std::vector<double> expected(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    expected[v] = naive.Score(0, v);
+  }
+  util::ThreadPool pool(4);
+  std::atomic<int> mismatches{0};
+  pool.ParallelFor(0, g.num_nodes(), 1, [&](size_t v) {
+    if (naive.Score(0, static_cast<graph::NodeId>(v)) != expected[v]) {
+      mismatches.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// --------------------------------------------------- CachedReachability
+
+TEST(CachedReachabilityTest, MatchesBaseBackend) {
+  DirectedGraph g = RandomGraph(50, 3.0, 31);
+  NaiveReachability base(&g, 5);
+  CachedReachability cached(&base, &g);
+  for (graph::NodeId u = 0; u < g.num_nodes(); u += 2) {
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_EQ(cached.Score(u, v), base.Score(u, v));
+      auto a = cached.Query(u, v);
+      auto b = base.Query(u, v);
+      ASSERT_EQ(a.distance, b.distance);
+      ASSERT_EQ(a.followees, b.followees);
+    }
+  }
+  EXPECT_STREQ(cached.Name(), "cached+naive-bfs");
+}
+
+TEST(CachedReachabilityTest, CountsHitsAndMisses) {
+  DirectedGraph g = Diamond();
+  NaiveReachability base(&g, 5);
+  CachedReachability cached(&base, &g);
+  auto& reg = metrics::Registry();
+  uint64_t hits0 = reg.GetCounter("reach.cache.hits_total")->Value();
+  uint64_t misses0 = reg.GetCounter("reach.cache.misses_total")->Value();
+  EXPECT_EQ(cached.ApproxEntries(), 0u);
+  cached.Query(0, 4);  // miss
+  EXPECT_EQ(cached.ApproxEntries(), 1u);
+  cached.Query(0, 4);  // hit
+  cached.Query(0, 4);  // hit
+  cached.Query(0, 3);  // miss
+  EXPECT_EQ(cached.ApproxEntries(), 2u);
+  EXPECT_EQ(reg.GetCounter("reach.cache.hits_total")->Value() - hits0, 2u);
+  EXPECT_EQ(reg.GetCounter("reach.cache.misses_total")->Value() - misses0,
+            2u);
+}
+
+TEST(CachedReachabilityTest, EvictsWhenShardIsFull) {
+  DirectedGraph g = Chain(10);
+  NaiveReachability base(&g, 5);
+  CachedReachability::Options options;
+  options.num_shards = 1;
+  options.max_entries_per_shard = 4;
+  CachedReachability cached(&base, &g, options);
+  for (graph::NodeId v = 0; v < 10; ++v) cached.Query(0, v);
+  // Every insert beyond capacity clears the single shard first, so the
+  // entry count never exceeds the bound and the answers stay correct.
+  EXPECT_LE(cached.ApproxEntries(), 4u);
+  for (graph::NodeId v = 0; v < 10; ++v) {
+    EXPECT_EQ(cached.Score(0, v), base.Score(0, v));
+  }
+}
+
+TEST(CachedReachabilityTest, InvalidateEmptiesTheCache) {
+  DirectedGraph g = Diamond();
+  NaiveReachability base(&g, 5);
+  CachedReachability cached(&base, &g);
+  cached.Query(0, 3);
+  cached.Query(1, 3);
+  EXPECT_EQ(cached.ApproxEntries(), 2u);
+  cached.Invalidate();
+  EXPECT_EQ(cached.ApproxEntries(), 0u);
+  EXPECT_EQ(cached.Score(0, 3), base.Score(0, 3));
+}
+
+TEST(CachedReachabilityTest, ConcurrentQueriesAgree) {
+  DirectedGraph g = RandomGraph(40, 3.0, 41);
+  NaiveReachability base(&g, 5);
+  CachedReachability cached(&base, &g);
+  std::vector<double> expected(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    expected[v] = base.Score(3, v);
+  }
+  util::ThreadPool pool(4);
+  std::atomic<int> mismatches{0};
+  // Each target queried from several threads: some threads hit, some
+  // race on the miss path; all must see the same score.
+  pool.ParallelFor(0, g.num_nodes() * 8u, 1, [&](size_t i) {
+    auto v = static_cast<graph::NodeId>(i % g.num_nodes());
+    if (cached.Score(3, v) != expected[v]) mismatches.fetch_add(1);
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(cached.ApproxEntries(), static_cast<size_t>(g.num_nodes()));
 }
 
 }  // namespace

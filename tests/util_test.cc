@@ -1,13 +1,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <numeric>
 #include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "util/random.h"
 #include "util/status.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace mel {
@@ -243,6 +248,106 @@ TEST(TimerTest, RestartResets) {
   int64_t before = timer.ElapsedNanos();
   timer.Restart();
   EXPECT_LE(timer.ElapsedNanos(), before);
+}
+
+// ----------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
+  util::ThreadPool pool(0);
+  uint32_t hw = std::thread::hardware_concurrency();
+  EXPECT_EQ(pool.num_threads(), hw == 0 ? 4u : hw);
+}
+
+TEST(ThreadPoolTest, SharedIsASingleton) {
+  EXPECT_EQ(&util::ThreadPool::Shared(), &util::ThreadPool::Shared());
+  EXPECT_GE(util::ThreadPool::Shared().num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  util::ThreadPool pool(4);
+  for (size_t count : {0ul, 1ul, 7ul, 64ul, 1000ul}) {
+    std::vector<std::atomic<int>> hits(count);
+    for (auto& h : hits) h.store(0);
+    pool.ParallelFor(0, count, /*grain=*/3,
+                     [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < count; ++i) EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, RespectsBeginOffsetAndGrainZero) {
+  util::ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(10);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(4, 10, /*grain=*/0,
+                   [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(hits[i].load(), i >= 4 ? 1 : 0);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  util::ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(16);
+  pool.ParallelFor(0, 16, 1,
+                   [&](size_t i) { seen[i] = std::this_thread::get_id(); });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, MaxThreadsOneRunsInline) {
+  util::ThreadPool pool(4);
+  std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(16);
+  pool.ParallelFor(
+      0, 16, 1, [&](size_t i) { seen[i] = std::this_thread::get_id(); },
+      /*max_threads=*/1);
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsSerially) {
+  util::ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.ParallelFor(0, 8, 1, [&](size_t) {
+    // The nested region must run inline on this thread — deadlock-free
+    // even though all pool threads may already be inside the outer one.
+    std::thread::id me = std::this_thread::get_id();
+    pool.ParallelFor(0, 4, 1, [&](size_t) {
+      EXPECT_EQ(std::this_thread::get_id(), me);
+      total.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(total.load(), 8 * 4);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  util::ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 100, 1,
+                       [&](size_t i) {
+                         if (i == 37) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool must survive a throwing region and keep working.
+  std::atomic<int> total{0};
+  pool.ParallelFor(0, 50, 1, [&](size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 50);
+}
+
+TEST(ThreadPoolTest, SerialInlineExceptionPropagates) {
+  util::ThreadPool pool(1);
+  EXPECT_THROW(pool.ParallelFor(0, 3, 1,
+                                [&](size_t) {
+                                  throw std::runtime_error("inline boom");
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, BackToBackRegions) {
+  util::ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> total{0};
+    pool.ParallelFor(0, 20, 2, [&](size_t) { total.fetch_add(1); });
+    ASSERT_EQ(total.load(), 20);
+  }
 }
 
 }  // namespace
