@@ -208,6 +208,50 @@ void BM_LinkMentionNoMetrics(benchmark::State& state) {
 }
 BENCHMARK(BM_LinkMentionNoMetrics);
 
+// Cache A/B of the recency memoization on the same workload as
+// BM_LinkMention: together with BM_LinkMention (cache on by default) the
+// pair shows the speedup; with BM_LinkMentionNoMetrics the overhead.
+void BM_LinkMentionRecencyCacheOff(benchmark::State& state) {
+  auto& harness = SharedHarness();
+  auto options = harness.DefaultLinkerOptions();
+  options.propagator.enable_cache = false;
+  auto linker = harness.MakeLinker(options);
+  const auto& corpus = harness.world().corpus;
+  const auto& split = harness.test_split();
+  Rng rng(5);
+  for (auto _ : state) {
+    const auto& lt =
+        corpus.tweets[split.tweet_indices[rng.Uniform(
+            split.tweet_indices.size())]];
+    const auto& m = lt.mentions[rng.Uniform(lt.mentions.size())];
+    benchmark::DoNotOptimize(
+        linker.LinkMention(m.surface, lt.tweet.user, lt.tweet.time));
+  }
+}
+BENCHMARK(BM_LinkMentionRecencyCacheOff);
+
+// The isolated propagation stage: CandidateScores with the memoization
+// off (Arg 0) and on (Arg 1) at a fixed query time — the steady state of
+// a query burst, where every cached run after the first is a hit.
+void BM_RecencyCandidateScores(benchmark::State& state) {
+  auto& harness = SharedHarness();
+  recency::PropagatorOptions popts;
+  popts.enable_cache = state.range(0) != 0;
+  recency::SlidingWindowRecency window(&harness.ckb(),
+                                       3 * kb::kSecondsPerDay, 10);
+  recency::RecencyPropagator propagator(&harness.network(), &window, popts);
+  const auto& kb_world = harness.world().kb_world;
+  const kb::Timestamp now = 90 * kb::kSecondsPerDay;
+  Rng rng(7);
+  for (auto _ : state) {
+    size_t sid = rng.Uniform(kb_world.surface_entities.size());
+    const auto& candidates = kb_world.surface_entities[sid];
+    benchmark::DoNotOptimize(
+        propagator.CandidateScores(candidates, now, true));
+  }
+}
+BENCHMARK(BM_RecencyCandidateScores)->Arg(0)->Arg(1);
+
 void BM_LinkTweet(benchmark::State& state) {
   auto& harness = SharedHarness();
   auto linker = harness.MakeLinker(harness.DefaultLinkerOptions());

@@ -85,6 +85,33 @@ int main() {
         std::printf("%s\n",
                     metrics::Registry().Snapshot().ToJson().c_str());
       }
+      // Hot-path summary (docs/PERFORMANCE.md): recency memoization and
+      // candidate-generation fallback behaviour at a glance.
+      auto counter = [](const char* name) {
+        return metrics::Registry().GetCounter(name)->Value();
+      };
+      const uint64_t hits = counter("recency.cache.hits_total");
+      const uint64_t misses = counter("recency.cache.misses_total");
+      const uint64_t probes = hits + misses;
+      std::printf(
+          "  recency cache: %llu hits / %llu misses (%.0f%% hit rate), "
+          "%llu invalidations\n",
+          static_cast<unsigned long long>(hits),
+          static_cast<unsigned long long>(misses),
+          probes > 0 ? 100.0 * static_cast<double>(hits) /
+                           static_cast<double>(probes)
+                     : 0.0,
+          static_cast<unsigned long long>(
+              counter("recency.cache.invalidations_total")));
+      std::printf(
+          "  candidates: %llu exact hits, %llu fuzzy fallbacks "
+          "(%llu unmatched)\n",
+          static_cast<unsigned long long>(
+              counter("candgen.exact_hits_total")),
+          static_cast<unsigned long long>(
+              counter("candgen.fuzzy.fallbacks_total")),
+          static_cast<unsigned long long>(
+              counter("candgen.fuzzy.unmatched_total")));
       continue;
     }
 

@@ -2,20 +2,44 @@
 # Tier-1 verification: the exact command from ROADMAP.md.
 # Configures, builds, and runs the full test suite; fails on the first error.
 #
-# A second stage rebuilds the threaded code under ThreadSanitizer and
-# runs the suites that exercise the thread pool, the parallel index
-# constructions, the reach-score cache, and the batch linker. Skip it
-# (e.g. on machines without TSan runtime support) with MEL_SKIP_TSAN=1.
+# A second stage runs a Release-mode bench smoke: the hot-path A/B bench
+# and a short bench_micro filter, then checks that both metrics sidecars
+# are valid JSON. Skip it (e.g. on very slow machines) with
+# MEL_SKIP_BENCH=1.
+#
+# A third stage rebuilds the threaded code under ThreadSanitizer and
+# runs the suites that exercise the thread pool, the parallel index and
+# network constructions, the recency-cache fill, the reach-score cache,
+# and the batch linker. Skip it (e.g. on machines without TSan runtime
+# support) with MEL_SKIP_TSAN=1.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 cmake -B build -S . && cmake --build build -j && (cd build && ctest --output-on-failure -j)
 
+if [ "${MEL_SKIP_BENCH:-0}" != "1" ]; then
+  echo "=== Bench smoke: query hot path A/B + micro (Release) ==="
+  cmake --build build -j --target bench_query_hotpath bench_micro
+  (cd build/bench && ./bench_query_hotpath --smoke)
+  (cd build/bench && ./bench_micro \
+    --benchmark_filter='BM_LinkMention$|BM_LinkMentionRecencyCacheOff|BM_RecencyCandidateScores' \
+    --benchmark_min_time=0.05)
+  python3 -c '
+import json, sys
+for path in ("build/bench/bench_query_hotpath.metrics.json",
+             "build/bench/bench_micro.metrics.json"):
+    with open(path) as f:
+        json.load(f)
+    print(path, "parses")
+'
+fi
+
 if [ "${MEL_SKIP_TSAN:-0}" != "1" ]; then
-  echo "=== TSan stage: thread pool + parallel builds + batch linker ==="
+  echo "=== TSan stage: thread pool + parallel builds + caches + batch linker ==="
   cmake -B build-tsan -S . -DMEL_SANITIZE=thread
-  cmake --build build-tsan -j --target util_test reach_test core_test extensions_test
+  cmake --build build-tsan -j --target util_test reach_test core_test \
+    extensions_test recency_test text_test
   (cd build-tsan && ctest --output-on-failure \
     -R 'ThreadPool|Parallel|CachedReachability' -j)
 fi

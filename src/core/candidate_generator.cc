@@ -3,8 +3,34 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace mel::core {
+
+namespace {
+
+struct CandGenMetrics {
+  metrics::Counter* exact_hits;
+  metrics::Counter* fuzzy_fallbacks;
+  metrics::Counter* fuzzy_surfaces_matched;
+  metrics::Counter* unmatched;
+};
+
+const CandGenMetrics& GetCandGenMetrics() {
+  static const CandGenMetrics m = [] {
+    auto& reg = metrics::Registry();
+    CandGenMetrics cm;
+    cm.exact_hits = reg.GetCounter("candgen.exact_hits_total");
+    cm.fuzzy_fallbacks = reg.GetCounter("candgen.fuzzy.fallbacks_total");
+    cm.fuzzy_surfaces_matched =
+        reg.GetCounter("candgen.fuzzy.surfaces_matched_total");
+    cm.unmatched = reg.GetCounter("candgen.fuzzy.unmatched_total");
+    return cm;
+  }();
+  return m;
+}
+
+}  // namespace
 
 CandidateGenerator::CandidateGenerator(const kb::Knowledgebase* kb,
                                        uint32_t fuzzy_max_edits)
@@ -21,16 +47,24 @@ CandidateGenerator::CandidateGenerator(const kb::Knowledgebase* kb,
 
 std::vector<kb::Candidate> CandidateGenerator::Generate(
     std::string_view mention) const {
+  const CandGenMetrics& cm = GetCandGenMetrics();
   auto exact = kb_->Candidates(mention);
   if (!exact.empty()) {
+    cm.exact_hits->Increment();
     return {exact.begin(), exact.end()};
   }
   if (fuzzy_max_edits_ == 0) return {};
 
   // Fuzzy fallback: surfaces within edit distance, candidates merged with
   // anchor counts accumulated across matching surfaces.
+  cm.fuzzy_fallbacks->Increment();
   std::vector<uint32_t> surface_ids =
       fuzzy_index_.Lookup(mention, fuzzy_max_edits_);
+  if (surface_ids.empty()) {
+    cm.unmatched->Increment();
+  } else {
+    cm.fuzzy_surfaces_matched->Increment(surface_ids.size());
+  }
   std::vector<kb::Candidate> merged;
   for (uint32_t sid : surface_ids) {
     for (const kb::Candidate& c : kb_->CandidatesBySurfaceId(sid)) {

@@ -29,6 +29,7 @@ void ComplementedKnowledgebase::AddLink(EntityId entity,
     ++ep.community[it->second].second;
   }
   ++total_links_;
+  ++version_;
 }
 
 void ComplementedKnowledgebase::EnsureSorted(EntityId e) const {

@@ -51,6 +51,12 @@ class ComplementedKnowledgebase {
   /// Total number of links across all entities.
   uint64_t TotalLinks() const { return total_links_; }
 
+  /// Monotonic mutation counter: bumped by every AddLink. Consumers that
+  /// memoize derived quantities (e.g. the recency propagation cache) key
+  /// their entries on this version so they invalidate exactly when the
+  /// complemented knowledgebase changes.
+  uint64_t version() const { return version_; }
+
   /// Sorts every dirty posting list now. Time-range queries normally
   /// re-sort lazily, which mutates shared state; calling this once makes
   /// all subsequent read accessors safe for concurrent use (as long as no
@@ -78,6 +84,7 @@ class ComplementedKnowledgebase {
   const Knowledgebase* kb_;
   mutable std::vector<EntityPostings> per_entity_;
   uint64_t total_links_ = 0;
+  uint64_t version_ = 0;
 };
 
 }  // namespace mel::kb

@@ -7,21 +7,17 @@
 
 namespace mel::kb {
 
-WlmRelatedness::WlmRelatedness(const Knowledgebase* kb) : kb_(kb) {
-  MEL_CHECK(kb != nullptr && kb->finalized());
-  log_total_articles_ =
-      std::log(std::max<uint32_t>(2, kb->num_entities()));
-}
+namespace {
 
-uint32_t WlmRelatedness::InlinkIntersection(EntityId a, EntityId b) const {
-  auto ia = kb_->Inlinks(a);
-  auto ib = kb_->Inlinks(b);
+// Sorted-list intersection by linear merge.
+uint32_t MergeIntersect(std::span<const EntityId> small,
+                        std::span<const EntityId> large) {
   uint32_t count = 0;
   size_t i = 0, j = 0;
-  while (i < ia.size() && j < ib.size()) {
-    if (ia[i] < ib[j]) {
+  while (i < small.size() && j < large.size()) {
+    if (small[i] < large[j]) {
       ++i;
-    } else if (ia[i] > ib[j]) {
+    } else if (small[i] > large[j]) {
       ++j;
     } else {
       ++count;
@@ -32,10 +28,73 @@ uint32_t WlmRelatedness::InlinkIntersection(EntityId a, EntityId b) const {
   return count;
 }
 
+// Galloping intersection for skewed sizes: for each id of the short
+// list, exponential-search a bracket in the long list from the previous
+// position, then binary-search inside it — O(|small| * log(|large|))
+// instead of O(|small| + |large|).
+uint32_t GallopIntersect(std::span<const EntityId> small,
+                         std::span<const EntityId> large) {
+  uint32_t count = 0;
+  size_t lo = 0;
+  for (EntityId x : small) {
+    size_t step = 1;
+    size_t hi = lo;
+    while (hi < large.size() && large[hi] < x) {
+      lo = hi + 1;
+      hi += step;
+      step <<= 1;
+    }
+    hi = std::min(hi, large.size());
+    const auto* it =
+        std::lower_bound(large.data() + lo, large.data() + hi, x);
+    lo = static_cast<size_t>(it - large.data());
+    if (lo == large.size()) break;
+    if (large[lo] == x) {
+      ++count;
+      ++lo;
+    }
+  }
+  return count;
+}
+
+// Size ratio beyond which galloping beats the linear merge.
+constexpr size_t kGallopRatio = 16;
+
+}  // namespace
+
+WlmRelatedness::WlmRelatedness(const Knowledgebase* kb) : kb_(kb) {
+  MEL_CHECK(kb != nullptr && kb->finalized());
+  log_total_articles_ =
+      std::log(std::max<uint32_t>(2, kb->num_entities()));
+  const uint32_t n = kb->num_entities();
+  inlink_offsets_.assign(n + 1, 0);
+  for (EntityId e = 0; e < n; ++e) {
+    inlink_offsets_[e + 1] = inlink_offsets_[e] + kb->Inlinks(e).size();
+  }
+  flat_inlinks_.resize(inlink_offsets_[n]);
+  for (EntityId e = 0; e < n; ++e) {
+    auto links = kb->Inlinks(e);
+    std::copy(links.begin(), links.end(),
+              flat_inlinks_.begin() +
+                  static_cast<ptrdiff_t>(inlink_offsets_[e]));
+  }
+}
+
+uint32_t WlmRelatedness::InlinkIntersection(EntityId a, EntityId b) const {
+  auto ia = Inlinks(a);
+  auto ib = Inlinks(b);
+  if (ia.size() > ib.size()) std::swap(ia, ib);
+  if (ia.empty()) return 0;
+  if (ib.size() / ia.size() >= kGallopRatio) {
+    return GallopIntersect(ia, ib);
+  }
+  return MergeIntersect(ia, ib);
+}
+
 double WlmRelatedness::Relatedness(EntityId a, EntityId b) const {
   if (a == b) return 1.0;
-  const double na = static_cast<double>(kb_->Inlinks(a).size());
-  const double nb = static_cast<double>(kb_->Inlinks(b).size());
+  const double na = static_cast<double>(Inlinks(a).size());
+  const double nb = static_cast<double>(Inlinks(b).size());
   if (na == 0 || nb == 0) return 0.0;
   const double inter = static_cast<double>(InlinkIntersection(a, b));
   if (inter == 0) return 0.0;

@@ -2,6 +2,8 @@
 #define MEL_KB_WLM_H_
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "kb/knowledgebase.h"
 #include "kb/types.h"
@@ -17,6 +19,12 @@ namespace mel::kb {
 ///
 /// Values are clamped to [0, 1]; pairs with empty inlink sets or empty
 /// intersection score 0.
+///
+/// The constructor copies the knowledgebase's sorted inlink lists into
+/// one contiguous CSR arena, so the millions of intersections of a
+/// network build walk cache-line-packed ids. Skewed pairs (one list much
+/// longer than the other) switch from the linear merge to a galloping
+/// search over the longer list.
 class WlmRelatedness {
  public:
   /// The knowledgebase must be finalized and outlive this object.
@@ -29,8 +37,15 @@ class WlmRelatedness {
   uint32_t InlinkIntersection(EntityId a, EntityId b) const;
 
  private:
+  std::span<const EntityId> Inlinks(EntityId e) const {
+    return {flat_inlinks_.data() + inlink_offsets_[e],
+            flat_inlinks_.data() + inlink_offsets_[e + 1]};
+  }
+
   const Knowledgebase* kb_;
   double log_total_articles_;
+  std::vector<uint64_t> inlink_offsets_;
+  std::vector<EntityId> flat_inlinks_;
 };
 
 }  // namespace mel::kb

@@ -63,6 +63,7 @@ void BurstTracker::Observe(kb::EntityId e, kb::Timestamp t) {
     return;  // older than the retained window: already expired
   }
   ring.counts[bucket % slots_] += 1;
+  ++epoch_;
 }
 
 uint32_t BurstTracker::ApproxRecentCount(kb::EntityId e,

@@ -1,6 +1,7 @@
 #ifndef MEL_RECENCY_BURST_TRACKER_H_
 #define MEL_RECENCY_BURST_TRACKER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -46,6 +47,20 @@ class BurstTracker : public RecencySource {
   /// Thresholded burst mass, like SlidingWindowRecency::BurstMass.
   double BurstMass(kb::EntityId e, kb::Timestamp now) const override;
 
+  /// Bumped by every Observe that lands in the retained window (dropped
+  /// already-expired stragglers change no count and keep the epoch).
+  uint64_t Epoch() const override { return epoch_; }
+
+  /// Counts depend on `now` only through the bucket range
+  /// [BucketOf(now - tau), BucketOf(now)], so queries inside one bucket
+  /// share a token (and memoized propagation results).
+  uint64_t WindowToken(kb::Timestamp now) const override {
+    const uint64_t hi = static_cast<uint64_t>(BucketOf(now));
+    const uint64_t lo = static_cast<uint64_t>(
+        BucketOf(std::max<kb::Timestamp>(0, now - tau_)));
+    return (hi << 32) ^ lo;
+  }
+
   /// Bytes held by the rings.
   uint64_t MemoryUsageBytes() const;
 
@@ -66,6 +81,7 @@ class BurstTracker : public RecencySource {
   uint32_t num_buckets_;
   uint32_t slots_ = 0;  // num_buckets_ + 1 (see constructor comment)
   uint32_t theta1_;
+  uint64_t epoch_ = 0;
   std::vector<Ring> rings_;
 };
 

@@ -1,9 +1,9 @@
 #include "recency/propagation_network.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace mel::recency {
 
@@ -12,6 +12,24 @@ namespace {
 uint64_t PairKey(kb::EntityId a, kb::EntityId b) {
   if (a > b) std::swap(a, b);
   return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+struct NetworkMetrics {
+  metrics::Counter* candidate_pairs;
+  metrics::Counter* edges;
+  metrics::Histogram* build_ns;
+};
+
+const NetworkMetrics& GetNetworkMetrics() {
+  static const NetworkMetrics m = [] {
+    auto& reg = metrics::Registry();
+    NetworkMetrics nm;
+    nm.candidate_pairs = reg.GetCounter("recency.network.pairs_total");
+    nm.edges = reg.GetCounter("recency.network.edges_total");
+    nm.build_ns = reg.GetHistogram("recency.network.build_ns");
+    return nm;
+  }();
+  return m;
 }
 
 // Simple union-find for cluster detection.
@@ -40,48 +58,94 @@ class UnionFind {
 }  // namespace
 
 PropagationNetwork PropagationNetwork::Build(const kb::Knowledgebase& kb,
-                                             double theta2) {
+                                             double theta2,
+                                             util::ThreadPool* pool) {
   MEL_CHECK(kb.finalized());
+  if (pool == nullptr) pool = &util::ThreadPool::Shared();
+  const NetworkMetrics& nm = GetNetworkMetrics();
+  metrics::ScopedStageTimer build_timer(nm.build_ns);
   const uint32_t n = kb.num_entities();
   kb::WlmRelatedness wlm(&kb);
 
   // Heuristic 1: no recency flow between candidates of the same mention.
-  std::unordered_set<uint64_t> excluded;
+  // Kept as a sorted key list — the filter below probes it by binary
+  // search instead of hashing a pair per probe.
+  std::vector<uint64_t> excluded;
   for (const std::string& surface : kb.surfaces()) {
     auto cands = kb.Candidates(surface);
     for (size_t i = 0; i < cands.size(); ++i) {
       for (size_t j = i + 1; j < cands.size(); ++j) {
-        excluded.insert(PairKey(cands[i].entity, cands[j].entity));
+        excluded.push_back(PairKey(cands[i].entity, cands[j].entity));
       }
     }
   }
+  std::sort(excluded.begin(), excluded.end());
+  excluded.erase(std::unique(excluded.begin(), excluded.end()),
+                 excluded.end());
 
   // Candidate pairs by hyperlink co-citation: WLM is positive only for
-  // entities sharing an inlinking article.
-  std::unordered_set<uint64_t> seen;
-  std::vector<std::pair<kb::EntityId, kb::EntityId>> edges;
+  // entities sharing an inlinking article. Each article contributes a
+  // known number of pairs, so shards write into disjoint ranges of one
+  // flat array — the enumeration is independent of the thread count.
+  std::vector<uint64_t> write_offsets(n + 1, 0);
   for (kb::EntityId a = 0; a < n; ++a) {
-    auto outs = kb.Outlinks(a);
+    const uint64_t deg = kb.Outlinks(a).size();
+    write_offsets[a + 1] = write_offsets[a] + deg * (deg - 1) / 2;
+  }
+  std::vector<uint64_t> pairs(write_offsets[n]);
+  pool->ParallelFor(0, n, 32, [&](size_t a) {
+    auto outs = kb.Outlinks(static_cast<kb::EntityId>(a));
+    uint64_t w = write_offsets[a];
     for (size_t i = 0; i < outs.size(); ++i) {
       for (size_t j = i + 1; j < outs.size(); ++j) {
-        uint64_t key = PairKey(outs[i], outs[j]);
-        if (!seen.insert(key).second) continue;
-        if (excluded.contains(key)) continue;
-        if (wlm.Relatedness(outs[i], outs[j]) >= theta2) {
-          edges.emplace_back(outs[i], outs[j]);
-        }
+        pairs[w++] = PairKey(outs[i], outs[j]);
       }
     }
+  });
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  nm.candidate_pairs->Increment(pairs.size());
+
+  // Heuristic 1 filter + theta2 relatedness filter. The WLM weight is
+  // computed once per surviving pair and reused for the CSR below (the
+  // dominant build cost, fanned out across the pool).
+  std::vector<double> weights(pairs.size());
+  pool->ParallelFor(0, pairs.size(), 128, [&](size_t i) {
+    const uint64_t key = pairs[i];
+    if (std::binary_search(excluded.begin(), excluded.end(), key)) {
+      weights[i] = -1.0;
+      return;
+    }
+    const auto a = static_cast<kb::EntityId>(key >> 32);
+    const auto b = static_cast<kb::EntityId>(key & 0xffffffffu);
+    const double w = wlm.Relatedness(a, b);
+    weights[i] = w >= theta2 ? w : -1.0;
+  });
+  struct WeightedEdge {
+    kb::EntityId a, b;
+    double weight;
+  };
+  std::vector<WeightedEdge> edges;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (weights[i] < 0) continue;
+    edges.push_back(WeightedEdge{static_cast<kb::EntityId>(pairs[i] >> 32),
+                                 static_cast<kb::EntityId>(pairs[i]),
+                                 weights[i]});
   }
+  pairs.clear();
+  pairs.shrink_to_fit();
+  weights.clear();
+  weights.shrink_to_fit();
 
   PropagationNetwork net;
   net.num_edges_ = edges.size();
+  nm.edges->Increment(edges.size());
 
   // Undirected adjacency in CSR form, with WLM weights.
   net.adj_offsets_.assign(n + 1, 0);
-  for (const auto& [a, b] : edges) {
-    ++net.adj_offsets_[a + 1];
-    ++net.adj_offsets_[b + 1];
+  for (const auto& e : edges) {
+    ++net.adj_offsets_[e.a + 1];
+    ++net.adj_offsets_[e.b + 1];
   }
   for (uint32_t i = 0; i < n; ++i) {
     net.adj_offsets_[i + 1] += net.adj_offsets_[i];
@@ -90,10 +154,9 @@ PropagationNetwork PropagationNetwork::Build(const kb::Knowledgebase& kb,
   {
     std::vector<uint32_t> cursor(net.adj_offsets_.begin(),
                                  net.adj_offsets_.end() - 1);
-    for (const auto& [a, b] : edges) {
-      double w = wlm.Relatedness(a, b);
-      net.adj_[cursor[a]++] = Edge{b, w, 0};
-      net.adj_[cursor[b]++] = Edge{a, w, 0};
+    for (const auto& e : edges) {
+      net.adj_[cursor[e.a]++] = Edge{e.b, e.weight, 0};
+      net.adj_[cursor[e.b]++] = Edge{e.a, e.weight, 0};
     }
   }
   // Row-normalize edge weights into propagation probabilities.
@@ -110,7 +173,7 @@ PropagationNetwork PropagationNetwork::Build(const kb::Knowledgebase& kb,
 
   // Clusters = connected components of the thresholded graph.
   UnionFind uf(n);
-  for (const auto& [a, b] : edges) uf.Union(a, b);
+  for (const auto& e : edges) uf.Union(e.a, e.b);
   net.cluster_of_.assign(n, 0);
   std::vector<uint32_t> root_to_cluster(n, static_cast<uint32_t>(-1));
   for (uint32_t e = 0; e < n; ++e) {
@@ -126,11 +189,14 @@ PropagationNetwork PropagationNetwork::Build(const kb::Knowledgebase& kb,
     net.cluster_offsets_[c + 1] += net.cluster_offsets_[c];
   }
   net.cluster_members_.resize(n);
+  net.member_index_.assign(n, 0);
   {
     std::vector<uint32_t> cursor(net.cluster_offsets_.begin(),
                                  net.cluster_offsets_.end() - 1);
     for (uint32_t e = 0; e < n; ++e) {
-      net.cluster_members_[cursor[net.cluster_of_[e]]++] = e;
+      const uint32_t pos = cursor[net.cluster_of_[e]]++;
+      net.cluster_members_[pos] = e;
+      net.member_index_[e] = pos - net.cluster_offsets_[net.cluster_of_[e]];
     }
   }
   return net;
@@ -154,6 +220,21 @@ uint32_t PropagationNetwork::MaxClusterSize() const {
     best = std::max(best, cluster_offsets_[c + 1] - cluster_offsets_[c]);
   }
   return best;
+}
+
+bool PropagationNetwork::IdenticalTo(const PropagationNetwork& other) const {
+  return num_edges_ == other.num_edges_ &&
+         num_clusters_ == other.num_clusters_ &&
+         adj_offsets_ == other.adj_offsets_ &&
+         cluster_of_ == other.cluster_of_ &&
+         member_index_ == other.member_index_ &&
+         cluster_offsets_ == other.cluster_offsets_ &&
+         cluster_members_ == other.cluster_members_ &&
+         std::equal(adj_.begin(), adj_.end(), other.adj_.begin(),
+                    other.adj_.end(), [](const Edge& a, const Edge& b) {
+                      return a.target == b.target && a.weight == b.weight &&
+                             a.probability == b.probability;
+                    });
 }
 
 }  // namespace mel::recency

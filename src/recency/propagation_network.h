@@ -8,6 +8,7 @@
 #include "kb/knowledgebase.h"
 #include "kb/types.h"
 #include "kb/wlm.h"
+#include "util/thread_pool.h"
 
 namespace mel::recency {
 
@@ -34,8 +35,14 @@ class PropagationNetwork {
 
   /// Builds the network. theta2 is the minimum relatedness (paper
   /// default: 0.6). The knowledgebase must be finalized.
-  static PropagationNetwork Build(const kb::Knowledgebase& kb,
-                                  double theta2);
+  ///
+  /// Construction fans the co-citation enumeration and the theta2 WLM
+  /// filter out across `pool` (nullptr = the shared pool). Every shard
+  /// writes into a precomputed disjoint range and candidate pairs are
+  /// canonicalized by sorted pair key before the CSR build, so the result
+  /// is byte-identical for any thread count.
+  static PropagationNetwork Build(const kb::Knowledgebase& kb, double theta2,
+                                  util::ThreadPool* pool = nullptr);
 
   uint32_t num_entities() const {
     return static_cast<uint32_t>(cluster_of_.size());
@@ -46,6 +53,10 @@ class PropagationNetwork {
   /// Cluster id of the entity (every entity has one; singletons allowed).
   uint32_t Cluster(kb::EntityId e) const { return cluster_of_[e]; }
 
+  /// Position of the entity inside ClusterMembers(Cluster(e)) — the index
+  /// its propagated recency occupies in a PropagateCluster result.
+  uint32_t MemberIndex(kb::EntityId e) const { return member_index_[e]; }
+
   /// Entities of a cluster.
   std::span<const kb::EntityId> ClusterMembers(uint32_t cluster) const;
 
@@ -55,12 +66,17 @@ class PropagationNetwork {
   /// Size of the largest cluster (diffusion cost bound).
   uint32_t MaxClusterSize() const;
 
+  /// Exact structural equality (adjacency, weights, probabilities,
+  /// clusters) — the parallel-vs-serial build determinism check.
+  bool IdenticalTo(const PropagationNetwork& other) const;
+
  private:
   PropagationNetwork() = default;
 
   std::vector<uint32_t> adj_offsets_;
   std::vector<Edge> adj_;
   std::vector<uint32_t> cluster_of_;
+  std::vector<uint32_t> member_index_;
   std::vector<uint32_t> cluster_offsets_;
   std::vector<kb::EntityId> cluster_members_;
   uint64_t num_edges_ = 0;

@@ -12,6 +12,9 @@ namespace {
 
 struct PropagatorMetrics {
   metrics::Counter* runs;
+  metrics::Counter* cache_hits;
+  metrics::Counter* cache_misses;
+  metrics::Counter* cache_invalidations;
   metrics::Histogram* iterations;
   metrics::Histogram* cluster_size;
 };
@@ -21,6 +24,10 @@ const PropagatorMetrics& GetPropagatorMetrics() {
     auto& reg = metrics::Registry();
     PropagatorMetrics pm;
     pm.runs = reg.GetCounter("recency.propagation.runs_total");
+    pm.cache_hits = reg.GetCounter("recency.cache.hits_total");
+    pm.cache_misses = reg.GetCounter("recency.cache.misses_total");
+    pm.cache_invalidations =
+        reg.GetCounter("recency.cache.invalidations_total");
     pm.iterations = reg.GetHistogram("recency.propagation.iterations");
     pm.cluster_size = reg.GetHistogram("recency.propagation.cluster_size");
     return pm;
@@ -36,9 +43,38 @@ RecencyPropagator::RecencyPropagator(const PropagationNetwork* network,
     : network_(network), source_(source), options_(options) {
   MEL_CHECK(network != nullptr && source != nullptr);
   MEL_CHECK(options.lambda >= 0 && options.lambda <= 1);
+  if (options_.enable_cache) {
+    cache_ = std::vector<CacheSlot>(network_->num_clusters());
+  }
 }
 
 std::vector<double> RecencyPropagator::PropagateCluster(
+    uint32_t cluster, kb::Timestamp now) const {
+  const uint64_t epoch = source_->Epoch();
+  if (!options_.enable_cache || epoch == RecencySource::kNoEpoch) {
+    return ComputeCluster(cluster, now);
+  }
+  const PropagatorMetrics& pm = GetPropagatorMetrics();
+  const uint64_t token = source_->WindowToken(now);
+  CacheSlot& slot = cache_[cluster];
+  // The slot lock covers the recompute: concurrent queries against the
+  // same cluster wait for (and then reuse) one power iteration instead of
+  // racing through duplicates. Different clusters never contend.
+  std::lock_guard<std::mutex> lock(slot.mu);
+  if (slot.valid && slot.epoch == epoch && slot.token == token) {
+    pm.cache_hits->Increment();
+    return slot.values;
+  }
+  if (slot.valid) pm.cache_invalidations->Increment();
+  pm.cache_misses->Increment();
+  slot.values = ComputeCluster(cluster, now);
+  slot.epoch = epoch;
+  slot.token = token;
+  slot.valid = true;
+  return slot.values;
+}
+
+std::vector<double> RecencyPropagator::ComputeCluster(
     uint32_t cluster, kb::Timestamp now) const {
   auto members = network_->ClusterMembers(cluster);
   const size_t m = members.size();
@@ -58,11 +94,6 @@ std::vector<double> RecencyPropagator::PropagateCluster(
   }
   if (total == 0 || m == 1) return initial;  // nothing to diffuse
 
-  // Local index of each member for neighbour lookups.
-  std::unordered_map<kb::EntityId, uint32_t> local;
-  local.reserve(m * 2);
-  for (size_t i = 0; i < m; ++i) local.emplace(members[i], i);
-
   std::vector<double> current = initial;
   std::vector<double> next(m);
   const double lambda = options_.lambda;
@@ -72,10 +103,10 @@ std::vector<double> RecencyPropagator::PropagateCluster(
     for (size_t i = 0; i < m; ++i) {
       double pulled = 0;
       for (const auto& edge : network_->Neighbors(members[i])) {
-        auto it = local.find(edge.target);
-        // Neighbours are always in the same cluster by construction.
-        MEL_CHECK(it != local.end());
-        pulled += edge.probability * current[it->second];
+        // Neighbours are always in the same cluster by construction, so
+        // their position in `current` is the precomputed member index.
+        pulled += edge.probability *
+                  current[network_->MemberIndex(edge.target)];
       }
       next[i] = lambda * initial[i] + (1 - lambda) * pulled;
       delta += std::abs(next[i] - current[i]);
@@ -113,10 +144,7 @@ std::vector<double> RecencyPropagator::CandidateScores(
                                      PropagateCluster(cluster, now));
         result = &cluster_results.back().second;
       }
-      auto members = network_->ClusterMembers(cluster);
-      auto it = std::find(members.begin(), members.end(), candidates[i]);
-      MEL_CHECK(it != members.end());
-      raw[i] = (*result)[static_cast<size_t>(it - members.begin())];
+      raw[i] = (*result)[network_->MemberIndex(candidates[i])];
     }
   }
   // Normalize over the candidate set (Eq. 9's denominator role).

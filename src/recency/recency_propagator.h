@@ -1,8 +1,8 @@
 #ifndef MEL_RECENCY_RECENCY_PROPAGATOR_H_
 #define MEL_RECENCY_RECENCY_PROPAGATOR_H_
 
+#include <mutex>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "kb/types.h"
@@ -21,6 +21,11 @@ struct PropagatorOptions {
   uint32_t max_iterations = 20;
   /// ...or when the L1 change drops below this.
   double convergence_epsilon = 1e-6;
+  /// Memoize PropagateCluster results keyed by the source's
+  /// (Epoch, WindowToken): the power iteration reruns only when tweets
+  /// arrive/expire or `now` leaves the current window state. Only takes
+  /// effect for sources that track their mutations (Epoch != kNoEpoch).
+  bool enable_cache = true;
 };
 
 /// \brief Runs recency propagation (Eq. 11) restricted to clusters of the
@@ -31,6 +36,12 @@ struct PropagatorOptions {
 /// Restricting the power iteration to the (small) cluster containing a
 /// candidate is what keeps online inference fast: a burst on "NBA" only
 /// ever diffuses inside the basketball cluster.
+///
+/// With the cache enabled, per-cluster results are memoized under a
+/// per-cluster mutex, so concurrent LinkMention calls (the WarmUp
+/// contract) stay safe and the power iteration runs at most once per
+/// (cluster, window state). Hits/misses/invalidation counts are exported
+/// as `recency.cache.*`.
 class RecencyPropagator {
  public:
   /// All dependencies must outlive this object.
@@ -58,9 +69,22 @@ class RecencyPropagator {
   const PropagatorOptions& options() const { return options_; }
 
  private:
+  /// The uncached Eq. 11 power iteration.
+  std::vector<double> ComputeCluster(uint32_t cluster,
+                                     kb::Timestamp now) const;
+
+  struct CacheSlot {
+    std::mutex mu;
+    uint64_t epoch = 0;
+    uint64_t token = 0;
+    bool valid = false;
+    std::vector<double> values;
+  };
+
   const PropagationNetwork* network_;
   const RecencySource* source_;
   PropagatorOptions options_;
+  mutable std::vector<CacheSlot> cache_;  // one slot per cluster
 };
 
 }  // namespace mel::recency

@@ -17,6 +17,10 @@ namespace mel::recency {
 ///    streaming deployments that cannot retain full posting lists.
 class RecencySource {
  public:
+  /// Epoch() value of sources that cannot track their mutations; it
+  /// disables result memoization in RecencyPropagator.
+  static constexpr uint64_t kNoEpoch = static_cast<uint64_t>(-1);
+
   virtual ~RecencySource() = default;
 
   /// |D_e^tau| (possibly approximate) at time `now`.
@@ -25,6 +29,20 @@ class RecencySource {
   /// Thresholded burst mass: RecentCount when >= theta1, else 0 (the
   /// un-normalized Eq. 9 numerator and the propagation seed).
   virtual double BurstMass(kb::EntityId e, kb::Timestamp now) const = 0;
+
+  /// Monotonic version of the underlying data: two calls returning the
+  /// same value guarantee that no mutation affecting RecentCount/BurstMass
+  /// happened in between. Sources that cannot make that guarantee keep
+  /// the default kNoEpoch, which turns the propagation cache off.
+  virtual uint64_t Epoch() const { return kNoEpoch; }
+
+  /// Window-state token: BurstMass(e, now) is identical for any two `now`
+  /// values with equal (Epoch, WindowToken). The default is the exact
+  /// timestamp — always correct; bucketed sources return a coarser token
+  /// so queries inside one bucket share memoized results.
+  virtual uint64_t WindowToken(kb::Timestamp now) const {
+    return static_cast<uint64_t>(now);
+  }
 };
 
 }  // namespace mel::recency

@@ -37,6 +37,10 @@ class SlidingWindowRecency : public RecencySource {
   std::vector<double> Scores(std::span<const kb::EntityId> candidates,
                              kb::Timestamp now) const;
 
+  /// Counts come straight from the complemented KB's posting lists, so
+  /// its mutation counter is exactly this source's epoch.
+  uint64_t Epoch() const override { return ckb_->version(); }
+
   kb::Timestamp tau() const { return tau_; }
   uint32_t theta1() const { return theta1_; }
 

@@ -1,6 +1,7 @@
 #include "text/qgram_index.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "text/edit_distance.h"
 #include "util/logging.h"
@@ -12,6 +13,7 @@ namespace {
 
 struct FuzzyMetrics {
   metrics::Counter* lookups;
+  metrics::Counter* probes;
   metrics::Counter* matches;
   metrics::Histogram* candidate_fanout;
 };
@@ -21,6 +23,7 @@ const FuzzyMetrics& GetFuzzyMetrics() {
     auto& reg = metrics::Registry();
     FuzzyMetrics fm;
     fm.lookups = reg.GetCounter("text.fuzzy.lookups_total");
+    fm.probes = reg.GetCounter("text.fuzzy.probes_total");
     fm.matches = reg.GetCounter("text.fuzzy.matches_total");
     fm.candidate_fanout = reg.GetHistogram("text.fuzzy.candidate_fanout");
     return fm;
@@ -28,97 +31,185 @@ const FuzzyMetrics& GetFuzzyMetrics() {
   return m;
 }
 
+// Closed-form boundaries of part `i` when a string of the given length is
+// split into `parts` near-equal segments, remainder spread over the first
+// ones. Matches the cumulative layout used at index time; parts past the
+// string's end come back with len == 0.
+inline void SegmentBounds(uint32_t length, uint32_t parts, uint32_t i,
+                          uint32_t* pos, uint32_t* len) {
+  const uint32_t base = length / parts;
+  const uint32_t extra = length % parts;
+  *len = base + (i < extra ? 1 : 0);
+  *pos = i * base + std::min(i, extra);
+}
+
+constexpr uint64_t kHashMask = (uint64_t{1} << 46) - 1;
+
+// Per-query scratch, reused across lookups on the same thread so the hot
+// path allocates nothing (mirrors graph::BfsScratch::ThreadLocal). The
+// `seen` bitmap is always left all-zero on exit — Lookup clears exactly
+// the entries it touched — so sharing one scratch across index instances
+// is safe.
+struct FuzzyLookupScratch {
+  std::vector<uint32_t> candidates;
+  std::vector<uint8_t> seen;
+
+  static FuzzyLookupScratch& ThreadLocal(size_t num_entries) {
+    thread_local std::unique_ptr<FuzzyLookupScratch> scratch;
+    if (scratch == nullptr) scratch = std::make_unique<FuzzyLookupScratch>();
+    if (scratch->seen.size() < num_entries) {
+      scratch->seen.resize(num_entries, 0);
+    }
+    return *scratch;
+  }
+};
+
 }  // namespace
 
 SegmentFuzzyIndex::SegmentFuzzyIndex(uint32_t max_distance)
-    : max_distance_(max_distance) {}
-
-std::vector<std::pair<uint32_t, uint32_t>> SegmentFuzzyIndex::Segments(
-    uint32_t length) const {
-  const uint32_t parts = max_distance_ + 1;
-  std::vector<std::pair<uint32_t, uint32_t>> segs;
-  if (length == 0) return segs;
-  uint32_t base = length / parts;
-  uint32_t extra = length % parts;
-  uint32_t pos = 0;
-  for (uint32_t i = 0; i < parts && pos < length; ++i) {
-    uint32_t len = base + (i < extra ? 1 : 0);
-    if (len == 0) continue;
-    segs.emplace_back(pos, len);
-    pos += len;
-  }
-  return segs;
+    : max_distance_(max_distance) {
+  MEL_CHECK_MSG(max_distance < 64,
+                "segment index must fit 6 bits of the packed key");
 }
 
-std::string SegmentFuzzyIndex::MakeKey(uint32_t length, uint32_t seg_idx,
-                                       std::string_view seg_text) {
-  std::string key;
-  key.reserve(seg_text.size() + 8);
-  key.push_back(static_cast<char>('0' + (length % 64)));
-  key.push_back(static_cast<char>('0' + (length / 64)));
-  key.push_back(static_cast<char>('0' + seg_idx));
-  key.push_back('|');
-  key.append(seg_text);
-  return key;
+uint64_t SegmentFuzzyIndex::PackKey(uint32_t length, uint32_t seg_idx,
+                                    std::string_view seg_text) {
+  // FNV-1a over the segment text, high bits folded into the 46-bit field.
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : seg_text) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  h = (h ^ (h >> 46)) & kHashMask;
+  return (static_cast<uint64_t>(length) << 52) |
+         (static_cast<uint64_t>(seg_idx) << 46) | h;
+}
+
+const std::vector<uint32_t>* SegmentFuzzyIndex::Find(uint64_t key) const {
+  if (table_.empty()) return nullptr;
+  const size_t mask = table_.size() - 1;
+  size_t idx = (key * 0x9E3779B97F4A7C15ull) & mask;
+  while (table_[idx].key != 0) {
+    if (table_[idx].key == key) return &table_[idx].ids;
+    idx = (idx + 1) & mask;
+  }
+  return nullptr;
+}
+
+void SegmentFuzzyIndex::Grow() {
+  const size_t new_cap = table_.empty() ? 1024 : table_.size() * 2;
+  std::vector<Bucket> old;
+  old.swap(table_);
+  table_.resize(new_cap);
+  const size_t mask = new_cap - 1;
+  for (Bucket& b : old) {
+    if (b.key == 0) continue;
+    size_t idx = (b.key * 0x9E3779B97F4A7C15ull) & mask;
+    while (table_[idx].key != 0) idx = (idx + 1) & mask;
+    table_[idx] = std::move(b);
+  }
+}
+
+void SegmentFuzzyIndex::Insert(uint64_t key, uint32_t id) {
+  // Keep load factor under 0.7 so linear-probe chains stay short.
+  if (table_.empty() || (table_used_ + 1) * 10 > table_.size() * 7) Grow();
+  const size_t mask = table_.size() - 1;
+  size_t idx = (key * 0x9E3779B97F4A7C15ull) & mask;
+  while (table_[idx].key != 0 && table_[idx].key != key) {
+    idx = (idx + 1) & mask;
+  }
+  if (table_[idx].key == 0) {
+    table_[idx].key = key;
+    ++table_used_;
+  }
+  table_[idx].ids.push_back(id);
 }
 
 void SegmentFuzzyIndex::Add(std::string_view s, uint32_t payload) {
   MEL_CHECK_MSG(s.size() < 4096, "indexed strings must be short");
-  uint32_t id = static_cast<uint32_t>(entries_.size());
+  if (s.empty()) {
+    entries_.push_back(Entry{std::string(s), payload});
+    return;
+  }
+  const uint32_t id = static_cast<uint32_t>(entries_.size());
   entries_.push_back(Entry{std::string(s), payload});
-  auto segs = Segments(static_cast<uint32_t>(s.size()));
-  for (uint32_t i = 0; i < segs.size(); ++i) {
-    auto [pos, len] = segs[i];
-    seg_to_entries_[MakeKey(static_cast<uint32_t>(s.size()), i,
-                            s.substr(pos, len))]
-        .push_back(id);
+  const uint32_t length = static_cast<uint32_t>(s.size());
+  const uint32_t parts = max_distance_ + 1;
+  for (uint32_t i = 0; i < parts; ++i) {
+    uint32_t pos, len;
+    SegmentBounds(length, parts, i, &pos, &len);
+    // Strings shorter than `parts` leave trailing segments empty. They are
+    // indexed anyway: an empty segment is trivially preserved by any edit
+    // script, so it is the pigeonhole witness for short entries whose only
+    // non-empty segments were all touched by edits.
+    Insert(PackKey(length, i, s.substr(pos, len)), id);
   }
 }
 
 std::vector<uint32_t> SegmentFuzzyIndex::Lookup(
     std::string_view query, uint32_t max_threshold) const {
   MEL_CHECK(max_threshold <= max_distance_);
-  std::vector<uint32_t> candidate_entries;
+  const FuzzyMetrics& fm = GetFuzzyMetrics();
+  fm.lookups->Increment();
+
+  FuzzyLookupScratch& scratch = FuzzyLookupScratch::ThreadLocal(
+      entries_.size());
   const uint32_t qlen = static_cast<uint32_t>(query.size());
   const uint32_t lo_len = qlen > max_threshold ? qlen - max_threshold : 0;
   const uint32_t hi_len = qlen + max_threshold;
+  const uint32_t parts = max_distance_ + 1;
+  uint64_t probe_count = 0;
   for (uint32_t length = std::max(1u, lo_len); length <= hi_len; ++length) {
-    auto segs = Segments(length);
-    for (uint32_t i = 0; i < segs.size(); ++i) {
-      auto [pos, len] = segs[i];
-      // A matching segment can only shift by +- max_threshold in the query.
-      uint32_t q_lo = pos > max_threshold ? pos - max_threshold : 0;
-      uint32_t q_hi = std::min<uint32_t>(
-          pos + max_threshold, qlen >= len ? qlen - len : 0);
+    for (uint32_t i = 0; i < parts; ++i) {
+      uint32_t pos, len;
+      SegmentBounds(length, parts, i, &pos, &len);
+      if (len == 0) {
+        // Empty segment of a short entry: content-independent, one probe.
+        ++probe_count;
+        if (const std::vector<uint32_t>* ids =
+                Find(PackKey(length, i, std::string_view()))) {
+          for (uint32_t id : *ids) {
+            if (scratch.seen[id]) continue;
+            scratch.seen[id] = 1;
+            scratch.candidates.push_back(id);
+          }
+        }
+        continue;
+      }
       if (qlen < len) continue;
+      // A matching segment can only shift by +- max_threshold in the query.
+      const uint32_t q_lo = pos > max_threshold ? pos - max_threshold : 0;
+      const uint32_t q_hi =
+          std::min<uint32_t>(pos + max_threshold, qlen - len);
       for (uint32_t qpos = q_lo; qpos <= q_hi; ++qpos) {
-        auto it = seg_to_entries_.find(
-            MakeKey(length, i, query.substr(qpos, len)));
-        if (it == seg_to_entries_.end()) continue;
-        candidate_entries.insert(candidate_entries.end(), it->second.begin(),
-                                 it->second.end());
+        ++probe_count;
+        const std::vector<uint32_t>* ids =
+            Find(PackKey(length, i, query.substr(qpos, len)));
+        if (ids == nullptr) continue;
+        for (uint32_t id : *ids) {
+          if (scratch.seen[id]) continue;
+          scratch.seen[id] = 1;
+          scratch.candidates.push_back(id);
+        }
       }
     }
   }
-  std::sort(candidate_entries.begin(), candidate_entries.end());
-  candidate_entries.erase(
-      std::unique(candidate_entries.begin(), candidate_entries.end()),
-      candidate_entries.end());
-  const FuzzyMetrics& fm = GetFuzzyMetrics();
-  fm.lookups->Increment();
+  fm.probes->Increment(probe_count);
   // Fan-out = distinct strings surviving the pigeonhole filter, i.e. how
   // many banded edit-distance verifications this lookup pays for.
   if (metrics::Enabled()) {
-    fm.candidate_fanout->Record(candidate_entries.size());
+    fm.candidate_fanout->Record(scratch.candidates.size());
   }
 
   std::vector<uint32_t> payloads;
-  for (uint32_t id : candidate_entries) {
+  for (uint32_t id : scratch.candidates) {
+    scratch.seen[id] = 0;  // restore the all-zero invariant as we go
     const Entry& e = entries_[id];
     if (BoundedEditDistance(query, e.str, max_threshold) <= max_threshold) {
       payloads.push_back(e.payload);
     }
   }
+  scratch.candidates.clear();
   std::sort(payloads.begin(), payloads.end());
   payloads.erase(std::unique(payloads.begin(), payloads.end()),
                  payloads.end());
@@ -129,8 +220,9 @@ std::vector<uint32_t> SegmentFuzzyIndex::Lookup(
 uint64_t SegmentFuzzyIndex::MemoryUsageBytes() const {
   uint64_t total = 0;
   for (const auto& e : entries_) total += sizeof(Entry) + e.str.capacity();
-  for (const auto& [key, vec] : seg_to_entries_) {
-    total += key.capacity() + vec.capacity() * sizeof(uint32_t) + 48;
+  total += table_.capacity() * sizeof(Bucket);
+  for (const auto& b : table_) {
+    total += b.ids.capacity() * sizeof(uint32_t);
   }
   return total;
 }

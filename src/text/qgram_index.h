@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 namespace mel::text {
@@ -21,9 +20,18 @@ namespace mel::text {
 /// query at a position shifted by at most max_distance. Lookup probes the
 /// few admissible (length, segment, substring) keys and verifies survivors
 /// with a banded edit-distance computation.
+///
+/// Probes are allocation-free: a (length, segment) probe is a packed
+/// 64-bit key — [length:12][seg_idx:6][seg-hash:46] — into an
+/// open-addressed table, and per-query working state (candidate list,
+/// dedup bitmap) lives in thread-local scratch. Hash collisions merely
+/// admit extra candidates; every survivor is verified against the stored
+/// string, so results are exact. Lookup is safe from any number of
+/// threads concurrently; Add must not race with Lookup.
 class SegmentFuzzyIndex {
  public:
-  /// \param max_distance maximum edit distance served by Lookup.
+  /// \param max_distance maximum edit distance served by Lookup
+  ///        (must be < 64 so a segment index fits the packed key).
   explicit SegmentFuzzyIndex(uint32_t max_distance);
 
   /// Adds a string with a caller-chosen payload id. Strings may repeat.
@@ -46,16 +54,25 @@ class SegmentFuzzyIndex {
     uint32_t payload;
   };
 
-  // Deterministic segment boundaries for a string of the given length:
-  // (max_distance_ + 1) segments, remainder spread over the first ones.
-  std::vector<std::pair<uint32_t, uint32_t>> Segments(uint32_t length) const;
+  // One slot of the open-addressed segment table. key == 0 marks an
+  // empty slot (valid packed keys always carry length >= 1 in the high
+  // bits, so 0 never collides with real data).
+  struct Bucket {
+    uint64_t key = 0;
+    std::vector<uint32_t> ids;
+  };
 
-  static std::string MakeKey(uint32_t length, uint32_t seg_idx,
-                             std::string_view seg_text);
+  static uint64_t PackKey(uint32_t length, uint32_t seg_idx,
+                          std::string_view seg_text);
+
+  const std::vector<uint32_t>* Find(uint64_t key) const;
+  void Insert(uint64_t key, uint32_t id);
+  void Grow();
 
   uint32_t max_distance_;
   std::vector<Entry> entries_;
-  std::unordered_map<std::string, std::vector<uint32_t>> seg_to_entries_;
+  std::vector<Bucket> table_;
+  size_t table_used_ = 0;
 };
 
 }  // namespace mel::text

@@ -7,6 +7,7 @@
 #include "gen/workload.h"
 #include "graph/graph_builder.h"
 #include "reach/naive_reachability.h"
+#include "util/metrics.h"
 
 namespace mel::core {
 namespace {
@@ -258,6 +259,70 @@ TEST_F(LinkerFixture, ConfirmLinkUpdatesKnowledge) {
   linker.ConfirmLink(nba_, tweet);
   EXPECT_EQ(ckb_->LinkedTweetCount(nba_), before + 1);
   EXPECT_EQ(ckb_->UserTweetCount(nba_, 0), 1u);
+}
+
+TEST_F(LinkerFixture, LinkMentionIdenticalWithRecencyCacheOnAndOff) {
+  LinkerOptions cached_opts = DefaultOptions();
+  cached_opts.propagator.enable_cache = true;
+  LinkerOptions uncached_opts = DefaultOptions();
+  uncached_opts.propagator.enable_cache = false;
+  EntityLinker cached = MakeLinker(cached_opts);
+  EntityLinker uncached = MakeLinker(uncached_opts);
+
+  // Burst on nba_ exercises the propagation path; repeated and shifted
+  // query times exercise hits, misses, and invalidation-free reuse.
+  for (int i = 0; i < 5; ++i) {
+    ckb_->AddLink(nba_, kb::Posting{static_cast<kb::TweetId>(200 + i), 1,
+                                    1000 + i});
+  }
+  for (kb::Timestamp now : {1100, 1100, 1200, 1100, 3000}) {
+    for (const char* mention : {"jordan", "bulls", "nba", "icml"}) {
+      for (kb::UserId user : {0u, 2u, 3u}) {
+        auto a = cached.LinkMention(mention, user, now);
+        auto b = uncached.LinkMention(mention, user, now);
+        ASSERT_EQ(a.ranked.size(), b.ranked.size());
+        for (size_t k = 0; k < a.ranked.size(); ++k) {
+          EXPECT_EQ(a.ranked[k].entity, b.ranked[k].entity);
+          EXPECT_DOUBLE_EQ(a.ranked[k].score, b.ranked[k].score);
+          EXPECT_DOUBLE_EQ(a.ranked[k].recency, b.ranked[k].recency);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(LinkerFixture, ConfirmLinkInvalidatesRecencyCache) {
+  LinkerOptions cached_opts = DefaultOptions();
+  cached_opts.theta1 = 1;
+  cached_opts.propagator.enable_cache = true;
+  LinkerOptions uncached_opts = cached_opts;
+  uncached_opts.propagator.enable_cache = false;
+  EntityLinker cached = MakeLinker(cached_opts);
+  EntityLinker uncached = MakeLinker(uncached_opts);
+
+  // Prime the memoized cluster vector at the query time, then mutate the
+  // complemented KB through ConfirmLink.
+  auto primed = cached.LinkMention("nba", 0, 1050);
+  ASSERT_TRUE(primed.linked());
+  auto* invalidations = metrics::Registry().GetCounter(
+      "recency.cache.invalidations_total");
+  const uint64_t invalidations0 = invalidations->Value();
+  kb::Tweet tweet;
+  tweet.id = 500;
+  tweet.user = 1;
+  tweet.time = 1000;
+  cached.ConfirmLink(nba_, tweet);
+  // The version bump must evict the stale vector on the next query, and
+  // the recomputed scores must match an uncached linker exactly.
+  auto a = cached.LinkMention("nba", 0, 1050);
+  EXPECT_EQ(invalidations->Value(), invalidations0 + 1);
+  auto b = uncached.LinkMention("nba", 0, 1050);
+  ASSERT_EQ(a.ranked.size(), b.ranked.size());
+  for (size_t k = 0; k < a.ranked.size(); ++k) {
+    EXPECT_EQ(a.ranked[k].entity, b.ranked[k].entity);
+    EXPECT_DOUBLE_EQ(a.ranked[k].recency, b.ranked[k].recency);
+    EXPECT_DOUBLE_EQ(a.ranked[k].score, b.ranked[k].score);
+  }
 }
 
 // --------------------------------------------------- Appendix D threshold

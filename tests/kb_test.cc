@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "kb/complemented_kb.h"
 #include "kb/knowledgebase.h"
@@ -206,6 +209,54 @@ TEST_F(KbFixture, OutOfOrderInsertsAreResorted) {
   EXPECT_EQ(postings[1].time, 300);
   EXPECT_EQ(postings[2].time, 500);
   EXPECT_EQ(ckb.RecentTweetCount(player_, 350, 300), 2u);  // 100, 300
+}
+
+TEST_F(KbFixture, ComplementedKbVersionBumpsOnEveryAddLink) {
+  ComplementedKnowledgebase ckb(&kb_);
+  const uint64_t v0 = ckb.version();
+  ckb.AddLink(nba_, Posting{1, 2, 100});
+  EXPECT_EQ(ckb.version(), v0 + 1);
+  ckb.AddLink(nba_, Posting{2, 2, 101});
+  ckb.AddLink(player_, Posting{3, 4, 102});
+  EXPECT_EQ(ckb.version(), v0 + 3);
+}
+
+TEST(WlmSkewedTest, GallopingIntersectionMatchesBruteForce) {
+  // Heavily skewed inlink lists (one hub, many small entities) drive the
+  // galloping path; the count must match a brute-force pairwise scan.
+  Knowledgebase kb;
+  EntityId hub = kb.AddEntity("hub", EntityCategory::kCompany, {});
+  EntityId niche = kb.AddEntity("niche", EntityCategory::kCompany, {});
+  EntityId empty = kb.AddEntity("empty", EntityCategory::kCompany, {});
+  std::vector<EntityId> articles;
+  for (int i = 0; i < 200; ++i) {
+    EntityId a = kb.AddEntity("a" + std::to_string(i),
+                              EntityCategory::kMovieMusic, {});
+    articles.push_back(a);
+    kb.AddHyperlink(a, hub);  // every article links the hub
+    if (i % 31 == 0) kb.AddHyperlink(a, niche);  // 7 articles link niche
+  }
+  kb.Finalize();
+  WlmRelatedness wlm(&kb);
+
+  auto brute = [&](EntityId x, EntityId y) {
+    uint32_t count = 0;
+    auto ix = kb.Inlinks(x);
+    for (EntityId a : ix) {
+      auto iy = kb.Inlinks(y);
+      if (std::find(iy.begin(), iy.end(), a) != iy.end()) ++count;
+    }
+    return count;
+  };
+  // |hub| = 200, |niche| = 7: ratio >= 16 selects galloping.
+  EXPECT_EQ(wlm.InlinkIntersection(hub, niche), brute(hub, niche));
+  EXPECT_EQ(wlm.InlinkIntersection(niche, hub), brute(hub, niche));
+  EXPECT_EQ(wlm.InlinkIntersection(hub, niche), 7u);
+  EXPECT_EQ(wlm.InlinkIntersection(hub, empty), 0u);
+  EXPECT_EQ(wlm.InlinkIntersection(hub, hub), 200u);
+  double rel = wlm.Relatedness(hub, niche);
+  EXPECT_GE(rel, 0.0);
+  EXPECT_LE(rel, 1.0);
 }
 
 TEST_F(KbFixture, CommunityCountsStayConsistentAfterManyLinks) {

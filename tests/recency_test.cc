@@ -4,9 +4,12 @@
 
 #include "kb/complemented_kb.h"
 #include "kb/knowledgebase.h"
+#include "recency/burst_tracker.h"
 #include "recency/propagation_network.h"
 #include "recency/recency_propagator.h"
 #include "recency/sliding_window.h"
+#include "util/metrics.h"
+#include "util/thread_pool.h"
 
 namespace mel::recency {
 namespace {
@@ -228,6 +231,192 @@ TEST_F(RecencyFixture, CandidateScoresNormalized) {
   auto scores = propagator.CandidateScores({{player_, expert_}}, 1050, true);
   EXPECT_NEAR(scores[0] + scores[1], 1.0, 1e-9);
   EXPECT_GT(scores[0], scores[1]);
+}
+
+// ----------------------------------------------------------------- cache
+
+uint64_t Hits() {
+  return metrics::Registry().GetCounter("recency.cache.hits_total")->Value();
+}
+uint64_t Misses() {
+  return metrics::Registry()
+      .GetCounter("recency.cache.misses_total")
+      ->Value();
+}
+uint64_t Invalidations() {
+  return metrics::Registry()
+      .GetCounter("recency.cache.invalidations_total")
+      ->Value();
+}
+
+TEST_F(RecencyFixture, CacheHitsOnRepeatedQuery) {
+  auto net = PropagationNetwork::Build(kb_, 0.3);
+  SlidingWindowRecency window(ckb_.get(), 100, 5);
+  RecencyPropagator propagator(&net, &window, PropagatorOptions{});
+  Burst(nba_, 1000, 20);
+
+  const uint64_t hits0 = Hits(), misses0 = Misses();
+  auto first = propagator.PropagateCluster(net.Cluster(nba_), 1050);
+  EXPECT_EQ(Misses(), misses0 + 1);
+  EXPECT_EQ(Hits(), hits0);
+  auto second = propagator.PropagateCluster(net.Cluster(nba_), 1050);
+  EXPECT_EQ(Hits(), hits0 + 1);
+  EXPECT_EQ(Misses(), misses0 + 1);
+  EXPECT_EQ(first, second);
+}
+
+TEST_F(RecencyFixture, CacheMissesAfterWindowAdvance) {
+  auto net = PropagationNetwork::Build(kb_, 0.3);
+  SlidingWindowRecency window(ckb_.get(), 100, 5);
+  RecencyPropagator propagator(&net, &window, PropagatorOptions{});
+  Burst(nba_, 1000, 20);
+
+  propagator.PropagateCluster(net.Cluster(nba_), 1050);
+  const uint64_t misses0 = Misses(), invalidations0 = Invalidations();
+  // The sliding window's token is the exact timestamp: a different `now`
+  // may change which tweets are inside the window, so it must recompute.
+  auto later = propagator.PropagateCluster(net.Cluster(nba_), 1200);
+  EXPECT_EQ(Misses(), misses0 + 1);
+  EXPECT_EQ(Invalidations(), invalidations0 + 1);
+  // 1200 is past the burst's window [1100, 1200): all mass is gone.
+  for (double v : later) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST_F(RecencyFixture, CacheInvalidatesAfterConfirmedLinkMutation) {
+  auto net = PropagationNetwork::Build(kb_, 0.3);
+  SlidingWindowRecency window(ckb_.get(), 100, 5);
+  RecencyPropagator propagator(&net, &window, PropagatorOptions{});
+  Burst(nba_, 1000, 20);
+
+  auto before = propagator.PropagateCluster(net.Cluster(nba_), 1050);
+  const uint64_t invalidations0 = Invalidations();
+  // ConfirmLink-style feedback lands in the complemented KB and bumps its
+  // version; the cached vector for the same (cluster, now) must refresh.
+  Burst(nba_, 1040, 7);
+  auto after = propagator.PropagateCluster(net.Cluster(nba_), 1050);
+  EXPECT_EQ(Invalidations(), invalidations0 + 1);
+  auto members = net.ClusterMembers(net.Cluster(nba_));
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (members[i] == nba_) {
+      EXPECT_GT(after[i], before[i]);
+    }
+  }
+}
+
+TEST_F(RecencyFixture, CachedResultsMatchUncached) {
+  auto net = PropagationNetwork::Build(kb_, 0.3);
+  SlidingWindowRecency window(ckb_.get(), 100, 5);
+  PropagatorOptions off;
+  off.enable_cache = false;
+  RecencyPropagator cached(&net, &window, PropagatorOptions{});
+  RecencyPropagator uncached(&net, &window, off);
+  Burst(nba_, 1000, 20);
+  Burst(icml_, 1000, 9);
+  for (kb::Timestamp now : {1050, 1060, 1120}) {
+    for (uint32_t c = 0; c < net.num_clusters(); ++c) {
+      EXPECT_EQ(cached.PropagateCluster(c, now),
+                uncached.PropagateCluster(c, now));
+      // Repeat hits the cache and must still agree.
+      EXPECT_EQ(cached.PropagateCluster(c, now),
+                uncached.PropagateCluster(c, now));
+    }
+  }
+}
+
+TEST_F(RecencyFixture, SourcesWithoutEpochBypassTheCache) {
+  // A source that cannot track mutations keeps the default kNoEpoch and
+  // must never be served from (or populate) the cache.
+  struct UntrackedSource : RecencySource {
+    uint32_t RecentCount(kb::EntityId, kb::Timestamp) const override {
+      return 12;
+    }
+    double BurstMass(kb::EntityId, kb::Timestamp) const override {
+      return 12.0;
+    }
+  };
+  auto net = PropagationNetwork::Build(kb_, 0.3);
+  UntrackedSource source;
+  RecencyPropagator propagator(&net, &source, PropagatorOptions{});
+  const uint64_t hits0 = Hits(), misses0 = Misses();
+  propagator.PropagateCluster(net.Cluster(nba_), 1050);
+  propagator.PropagateCluster(net.Cluster(nba_), 1050);
+  EXPECT_EQ(Hits(), hits0);
+  EXPECT_EQ(Misses(), misses0);
+}
+
+TEST_F(RecencyFixture, BurstTrackerEpochTracksObservations) {
+  BurstTracker tracker(kb_.num_entities(), 100, 10, 5);
+  const uint64_t epoch0 = tracker.Epoch();
+  tracker.Observe(nba_, 1000);
+  EXPECT_EQ(tracker.Epoch(), epoch0 + 1);
+  tracker.Observe(nba_, 1001);
+  EXPECT_EQ(tracker.Epoch(), epoch0 + 2);
+  // A straggler older than the retained window is dropped: no count
+  // changes, so the epoch must not move either.
+  tracker.Observe(nba_, 0);
+  EXPECT_EQ(tracker.Epoch(), epoch0 + 2);
+}
+
+TEST_F(RecencyFixture, BurstTrackerWindowTokenIsBucketGranular) {
+  BurstTracker tracker(kb_.num_entities(), 100, 10, 5);  // bucket = 10s
+  EXPECT_EQ(tracker.WindowToken(1000), tracker.WindowToken(1009));
+  EXPECT_NE(tracker.WindowToken(1000), tracker.WindowToken(1010));
+  // Queries sharing a token must see identical counts.
+  tracker.Observe(nba_, 950);
+  EXPECT_EQ(tracker.ApproxRecentCount(nba_, 1000),
+            tracker.ApproxRecentCount(nba_, 1009));
+}
+
+TEST_F(RecencyFixture, BurstTrackerCacheHitsWithinBucket) {
+  auto net = PropagationNetwork::Build(kb_, 0.3);
+  BurstTracker tracker(kb_.num_entities(), 100, 10, 5);
+  RecencyPropagator propagator(&net, &tracker, PropagatorOptions{});
+  for (int i = 0; i < 20; ++i) tracker.Observe(nba_, 1000);
+
+  const uint64_t hits0 = Hits(), misses0 = Misses();
+  propagator.PropagateCluster(net.Cluster(nba_), 1050);
+  // Different `now`, same bucket pair: served from cache.
+  propagator.PropagateCluster(net.Cluster(nba_), 1055);
+  EXPECT_EQ(Misses(), misses0 + 1);
+  EXPECT_EQ(Hits(), hits0 + 1);
+  // Crossing a bucket boundary changes the token.
+  propagator.PropagateCluster(net.Cluster(nba_), 1061);
+  EXPECT_EQ(Misses(), misses0 + 2);
+}
+
+// ---------------------------------------------------------- parallel build
+
+TEST_F(RecencyFixture, ParallelNetworkBuildIsByteIdenticalToSerial) {
+  util::ThreadPool one(1);
+  util::ThreadPool three(3);
+  auto serial = PropagationNetwork::Build(kb_, 0.3, &one);
+  auto parallel = PropagationNetwork::Build(kb_, 0.3, &three);
+  auto shared = PropagationNetwork::Build(kb_, 0.3);
+  EXPECT_TRUE(serial.IdenticalTo(parallel));
+  EXPECT_TRUE(parallel.IdenticalTo(serial));
+  EXPECT_TRUE(serial.IdenticalTo(shared));
+}
+
+TEST_F(RecencyFixture, ParallelCachedPropagationIsConsistent) {
+  auto net = PropagationNetwork::Build(kb_, 0.3);
+  SlidingWindowRecency window(ckb_.get(), 100, 5);
+  PropagatorOptions off;
+  off.enable_cache = false;
+  RecencyPropagator cached(&net, &window, PropagatorOptions{});
+  RecencyPropagator uncached(&net, &window, off);
+  Burst(nba_, 1000, 20);
+  Burst(icml_, 1000, 9);
+  const uint32_t cluster = net.Cluster(nba_);
+  const auto expected = uncached.PropagateCluster(cluster, 1050);
+
+  // Concurrent queries race to fill the same slot; every one of them must
+  // observe the fully computed vector.
+  util::ThreadPool pool(4);
+  std::vector<std::vector<double>> results(64);
+  pool.ParallelFor(0, results.size(), 1, [&](size_t i) {
+    results[i] = cached.PropagateCluster(cluster, 1050);
+  });
+  for (const auto& r : results) EXPECT_EQ(r, expected);
 }
 
 }  // namespace

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "text/edit_distance.h"
@@ -9,6 +11,7 @@
 #include "text/qgram_index.h"
 #include "text/tokenizer.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace mel::text {
 namespace {
@@ -161,6 +164,75 @@ TEST(SegmentFuzzyIndexTest, RandomizedCompleteness) {
       EXPECT_EQ(found, expected)
           << "query=" << q << " dict=" << dict[i] << " t=" << threshold;
     }
+  }
+}
+
+TEST(SegmentFuzzyIndexTest, PackedKeyParityAgainstBruteForce) {
+  // The packed-key open-addressed probe must return exactly the payload
+  // set of a brute-force scan — neither a missed match (pigeonhole bug)
+  // nor a spurious payload (hash collisions must die in verification).
+  Rng rng(71);
+  const std::string alphabet = "abcdefgh";
+  SegmentFuzzyIndex index(2);
+  std::vector<std::pair<std::string, uint32_t>> dict;
+  for (uint32_t i = 0; i < 300; ++i) {
+    std::string s;
+    size_t len = 1 + rng.Uniform(14);
+    for (size_t k = 0; k < len; ++k) s += alphabet[rng.Uniform(8)];
+    // Repeat some strings under different payloads and some payloads
+    // under different strings.
+    uint32_t payload = static_cast<uint32_t>(rng.Uniform(150));
+    dict.emplace_back(s, payload);
+    index.Add(s, payload);
+  }
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string q;
+    size_t len = 1 + rng.Uniform(14);
+    for (size_t k = 0; k < len; ++k) q += alphabet[rng.Uniform(8)];
+    for (uint32_t threshold : {0u, 1u, 2u}) {
+      auto got = index.Lookup(q, threshold);
+      std::vector<uint32_t> expected;
+      for (const auto& [s, payload] : dict) {
+        if (BoundedEditDistance(q, s, threshold) <= threshold) {
+          expected.push_back(payload);
+        }
+      }
+      std::sort(expected.begin(), expected.end());
+      expected.erase(std::unique(expected.begin(), expected.end()),
+                     expected.end());
+      EXPECT_EQ(got, expected) << "query=" << q << " t=" << threshold;
+    }
+  }
+}
+
+TEST(SegmentFuzzyIndexTest, ParallelLookupsAreConsistent) {
+  // Lookup is const with thread-local scratch: concurrent queries from a
+  // shared index must all see the exact result set.
+  Rng rng(72);
+  const std::string alphabet = "abcd";
+  SegmentFuzzyIndex index(1);
+  for (uint32_t i = 0; i < 150; ++i) {
+    std::string s;
+    size_t len = 3 + rng.Uniform(8);
+    for (size_t k = 0; k < len; ++k) s += alphabet[rng.Uniform(4)];
+    index.Add(s, i);
+  }
+  std::vector<std::string> queries;
+  std::vector<std::vector<uint32_t>> expected;
+  for (int i = 0; i < 200; ++i) {
+    std::string q;
+    size_t len = 3 + rng.Uniform(8);
+    for (size_t k = 0; k < len; ++k) q += alphabet[rng.Uniform(4)];
+    queries.push_back(q);
+    expected.push_back(index.Lookup(q, 1));
+  }
+  mel::util::ThreadPool pool(4);
+  std::vector<std::vector<uint32_t>> got(queries.size());
+  pool.ParallelFor(0, queries.size(), 1, [&](size_t i) {
+    got[i] = index.Lookup(queries[i], 1);
+  });
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(got[i], expected[i]) << "query=" << queries[i];
   }
 }
 
