@@ -10,8 +10,16 @@
 # A third stage rebuilds the threaded code under ThreadSanitizer and
 # runs the suites that exercise the thread pool, the parallel index and
 # network constructions, the recency-cache fill, the reach-score cache,
-# and the batch linker. Skip it (e.g. on machines without TSan runtime
-# support) with MEL_SKIP_TSAN=1.
+# the batch linker, and the differential concurrency tests (ConfirmLink
+# epoch bumps racing the recency cache). Skip it (e.g. on machines
+# without TSan runtime support) with MEL_SKIP_TSAN=1.
+#
+# A fourth stage, `differential`, rebuilds under AddressSanitizer and
+# replays a scaled-up randomized differential sweep (see docs/TESTING.md)
+# through every production fast path against the mel::testing oracles;
+# the same binary also runs under TSan in stage three with a reduced
+# case count. Override the ASan case count with MEL_DIFF_CASES (default
+# 400 here; 200 in plain ctest) or skip the stage with MEL_SKIP_DIFF=1.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -39,7 +47,18 @@ if [ "${MEL_SKIP_TSAN:-0}" != "1" ]; then
   echo "=== TSan stage: thread pool + parallel builds + caches + batch linker ==="
   cmake -B build-tsan -S . -DMEL_SANITIZE=thread
   cmake --build build-tsan -j --target util_test reach_test core_test \
-    extensions_test recency_test text_test
+    extensions_test recency_test text_test differential_test
   (cd build-tsan && ctest --output-on-failure \
-    -R 'ThreadPool|Parallel|CachedReachability' -j)
+    -R 'ThreadPool|Parallel|CachedReachability|DifferentialConcurrency' -j)
+  echo "=== TSan stage: reduced differential sweep ==="
+  (cd build-tsan/tests && MEL_DIFF_CASES="${MEL_DIFF_CASES_TSAN:-40}" \
+    ./differential_test --gtest_filter='DifferentialShards.Shard*')
+fi
+
+if [ "${MEL_SKIP_DIFF:-0}" != "1" ]; then
+  echo "=== Differential stage: oracle sweep under ASan ==="
+  cmake -B build-asan -S . -DMEL_SANITIZE=address
+  cmake --build build-asan -j --target differential_test
+  (cd build-asan/tests && MEL_DIFF_CASES="${MEL_DIFF_CASES:-400}" \
+    ./differential_test)
 fi

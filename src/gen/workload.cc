@@ -16,6 +16,13 @@ World GenerateWorld(WorldOptions options) {
   return world;
 }
 
+WorldOptions WithMasterSeed(WorldOptions options, uint64_t master_seed) {
+  options.kb.seed = DeriveSeed(master_seed, 0);
+  options.social.seed = DeriveSeed(master_seed, 1);
+  options.tweets.seed = DeriveSeed(master_seed, 2);
+  return options;
+}
+
 DatasetSplit FilterActiveUsers(const Corpus& corpus, uint32_t min_tweets) {
   DatasetSplit split;
   split.name = "D" + std::to_string(min_tweets);

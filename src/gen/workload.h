@@ -35,6 +35,16 @@ struct WorldOptions {
 /// knowledgebase automatically.
 World GenerateWorld(WorldOptions options);
 
+/// \brief Replaces the three per-generator seeds with sub-seeds derived
+/// from one master seed (DeriveSeed streams 0..2).
+///
+/// This is the single-seed entry point replay tooling depends on: a
+/// workload generated from WithMasterSeed(options, s) is bit-identical
+/// across runs, platforms with the same toolchain, and thread counts —
+/// every generator owns a private Rng constructed from its derived seed
+/// and never touches shared or global RNG state.
+WorldOptions WithMasterSeed(WorldOptions options, uint64_t master_seed);
+
 /// \brief A dataset split in the style of the paper's Table 2: indices of
 /// tweets authored by users with at least `min_tweets` postings.
 struct DatasetSplit {

@@ -1,0 +1,172 @@
+#include "testing/random_workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace mel::testing {
+
+namespace {
+
+// DeriveSeed streams used by the workload machinery. Streams 0..2 are
+// claimed by gen::WithMasterSeed; everything here starts at 16.
+enum SeedStream : uint64_t {
+  kParamsStream = 16,
+  kQueryStream = 17,
+  kFeedbackStream = 18,
+  kComplementStream = 19,
+};
+
+// A mention guaranteed to miss both the exact and the fuzzy path: 40
+// characters is farther (in length alone) from every generated surface
+// than any fuzzy_max_edits under test.
+std::string UnmatchableMention(Rng* rng) {
+  std::string s;
+  for (int i = 0; i < 40; ++i) {
+    s.push_back(static_cast<char>('a' + rng->Uniform(26)));
+  }
+  return s;
+}
+
+// One random character edit (substitute / insert / delete).
+std::string Typo(std::string s, Rng* rng) {
+  if (s.empty()) return s;
+  const uint64_t op = rng->Uniform(3);
+  const size_t pos = rng->Uniform(s.size());
+  const char c = static_cast<char>('a' + rng->Uniform(26));
+  if (op == 0) {
+    s[pos] = c;
+  } else if (op == 1) {
+    s.insert(s.begin() + static_cast<ptrdiff_t>(pos), c);
+  } else {
+    s.erase(s.begin() + static_cast<ptrdiff_t>(pos));
+  }
+  return s;
+}
+
+}  // namespace
+
+RandomWorkload MakeRandomWorkload(uint64_t seed,
+                                  const RandomWorkloadOptions& options) {
+  RandomWorkload w;
+  w.seed = seed;
+
+  Rng params(DeriveSeed(seed, kParamsStream));
+  const double scale = options.scale;
+  auto scaled = [&](uint32_t base, uint32_t spread) {
+    return static_cast<uint32_t>(
+        std::max(1.0, scale * (base + params.Uniform(spread))));
+  };
+
+  // --- world ------------------------------------------------------------
+  gen::WorldOptions wo;
+  wo.kb.num_entities = scaled(40, 80);
+  wo.kb.num_topics = 4 + static_cast<uint32_t>(params.Uniform(6));
+  wo.kb.num_ambiguous_surfaces = std::max(4u, wo.kb.num_entities / 3);
+  wo.kb.max_candidates_per_surface =
+      2 + static_cast<uint32_t>(params.Uniform(4));
+  wo.kb.links_per_entity = 4 + static_cast<uint32_t>(params.Uniform(7));
+  wo.kb.cross_topic_link_prob = 0.02 + 0.08 * params.UniformDouble();
+  wo.social.num_users = scaled(40, 80);
+  wo.social.avg_followees = 5 + 7 * params.UniformDouble();
+  wo.social.hubs_per_topic = 1 + static_cast<uint32_t>(params.Uniform(2));
+  wo.tweets.num_tweets = scaled(300, 600);
+  wo.tweets.duration =
+      (20 + static_cast<kb::Timestamp>(params.Uniform(21))) *
+      kb::kSecondsPerDay;
+  wo.tweets.num_burst_events = 3 + static_cast<uint32_t>(params.Uniform(6));
+  wo.tweets.typo_prob = 0.05;
+  w.world = gen::GenerateWorld(gen::WithMasterSeed(wo, seed));
+
+  // --- offline complementation -----------------------------------------
+  w.split = gen::FilterActiveUsers(w.world.corpus, 0);  // the whole corpus
+  w.noise_rate = 0.1 * params.UniformDouble();
+  w.complement_seed = DeriveSeed(seed, kComplementStream);
+
+  // --- framework parameters ---------------------------------------------
+  core::LinkerOptions& lo = w.linker;
+  {
+    // Random point on the (alpha, beta, gamma) simplex.
+    double a = params.UniformDouble();
+    double b = params.UniformDouble();
+    if (a > b) std::swap(a, b);
+    lo.alpha = a;
+    lo.beta = b - a;
+    lo.gamma = 1.0 - b;
+  }
+  lo.tau = (1 + static_cast<kb::Timestamp>(params.Uniform(5))) *
+           kb::kSecondsPerDay;
+  lo.theta1 = 2 + static_cast<uint32_t>(params.Uniform(11));
+  lo.top_k_influential = static_cast<uint32_t>(params.Uniform(9));  // 0..8
+  lo.top_k_results = 256;  // see header: defeat fp-near-tie truncation
+  lo.influence_method = params.Bernoulli(0.5)
+                            ? social::InfluenceMethod::kEntropy
+                            : social::InfluenceMethod::kTfIdf;
+  lo.enable_recency_propagation = params.Bernoulli(0.8);
+  lo.fuzzy_max_edits = 1 + static_cast<uint32_t>(params.Uniform(2));
+  lo.reject_below_interest_threshold = params.Bernoulli(0.5);
+  lo.propagator.lambda = 0.5 + 0.45 * params.UniformDouble();
+  lo.propagator.max_iterations =
+      8 + static_cast<uint32_t>(params.Uniform(16));
+  lo.propagator.convergence_epsilon = 0.0;  // fixed iteration count
+  w.theta2 = 0.4 + 0.3 * params.UniformDouble();
+  w.max_hops = 4 + static_cast<uint32_t>(params.Uniform(3));
+
+  // --- query stream ------------------------------------------------------
+  Rng qrng(DeriveSeed(seed, kQueryStream));
+  const auto& surfaces = w.world.kb().surfaces();
+  const auto& ambiguous = w.world.kb_world.ambiguous_surfaces;
+  const kb::Timestamp t_end =
+      wo.tweets.start_time + wo.tweets.duration + 2 * kb::kSecondsPerDay;
+  for (uint32_t q = 0; q < options.num_queries; ++q) {
+    WorkloadQuery query;
+    const uint64_t kind = qrng.Uniform(10);
+    if (kind < 4 && !surfaces.empty()) {
+      query.mention = surfaces[qrng.Uniform(surfaces.size())];
+    } else if (kind < 6 && !ambiguous.empty()) {
+      query.mention = ambiguous[qrng.Uniform(ambiguous.size())];
+    } else if (kind < 9 && !surfaces.empty()) {
+      query.mention = Typo(surfaces[qrng.Uniform(surfaces.size())], &qrng);
+    } else {
+      query.mention = UnmatchableMention(&qrng);
+    }
+    query.user = static_cast<kb::UserId>(
+        qrng.Uniform(w.world.social.graph.num_nodes()));
+    query.now = wo.tweets.start_time +
+                static_cast<kb::Timestamp>(qrng.Uniform(
+                    static_cast<uint64_t>(t_end - wo.tweets.start_time)));
+    w.queries.push_back(std::move(query));
+  }
+
+  // --- feedback events ---------------------------------------------------
+  Rng frng(DeriveSeed(seed, kFeedbackStream));
+  for (uint32_t i = 0; i < options.num_feedback_events; ++i) {
+    FeedbackEvent ev;
+    ev.before_query =
+        static_cast<uint32_t>(frng.Uniform(options.num_queries + 1));
+    ev.entity = static_cast<kb::EntityId>(
+        frng.Uniform(w.world.kb().num_entities()));
+    ev.tweet.id = 1000000 + i;
+    ev.tweet.user = static_cast<kb::UserId>(
+        frng.Uniform(w.world.social.graph.num_nodes()));
+    ev.tweet.time = wo.tweets.start_time +
+                    static_cast<kb::Timestamp>(frng.Uniform(
+                        static_cast<uint64_t>(t_end - wo.tweets.start_time)));
+    w.feedback.push_back(ev);
+  }
+  std::stable_sort(w.feedback.begin(), w.feedback.end(),
+                   [](const FeedbackEvent& a, const FeedbackEvent& b) {
+                     return a.before_query < b.before_query;
+                   });
+  return w;
+}
+
+void ComplementForWorkload(const RandomWorkload& workload,
+                           kb::ComplementedKnowledgebase* ckb) {
+  gen::ComplementWithOracle(workload.world, workload.split,
+                            workload.noise_rate, workload.complement_seed,
+                            ckb);
+}
+
+}  // namespace mel::testing

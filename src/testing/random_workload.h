@@ -1,0 +1,85 @@
+#ifndef MEL_TESTING_RANDOM_WORKLOAD_H_
+#define MEL_TESTING_RANDOM_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/entity_linker.h"
+#include "gen/workload.h"
+#include "kb/complemented_kb.h"
+#include "kb/types.h"
+
+namespace mel::testing {
+
+/// \brief One mention query of a differential case.
+struct WorkloadQuery {
+  std::string mention;
+  kb::UserId user = 0;
+  kb::Timestamp now = 0;
+};
+
+/// \brief One online-feedback event (a user-confirmed link), applied
+/// before queries[before_query] through every configuration under test.
+struct FeedbackEvent {
+  uint32_t before_query = 0;
+  kb::EntityId entity = kb::kInvalidEntity;
+  kb::Tweet tweet;
+};
+
+struct RandomWorkloadOptions {
+  uint32_t num_queries = 24;
+  uint32_t num_feedback_events = 8;
+  /// Multiplier on world sizes (1.0 = a few dozen entities/users and a
+  /// few hundred tweets — small enough for the V^2 and per-query-BFS
+  /// oracle checks to stay fast).
+  double scale = 1.0;
+};
+
+/// \brief A fully deterministic differential-test case: a synthetic
+/// world, randomized framework parameters, a query stream, and
+/// interleaved feedback — all derived from ONE uint64 seed.
+///
+/// Bit-reproducibility is the contract: MakeRandomWorkload(seed) returns
+/// an identical workload on every run and thread count (every generator
+/// seeds a private Rng via DeriveSeed; nothing reads global RNG state),
+/// so a failure report only ever needs to print the seed.
+struct RandomWorkload {
+  uint64_t seed = 0;
+
+  gen::World world;
+  /// All tweets of the corpus (the offline-complementation input).
+  gen::DatasetSplit split;
+  /// Fraction of offline links flipped to a wrong co-candidate.
+  double noise_rate = 0;
+  uint64_t complement_seed = 0;
+
+  /// Randomized framework parameters. top_k_results is pinned high (256)
+  /// so backend comparisons never hinge on a truncation near-tie, and
+  /// propagator.convergence_epsilon is pinned to 0 so every
+  /// implementation runs the same fixed iteration count (a tolerance-
+  /// close delta must not let one implementation stop an iteration
+  /// early).
+  core::LinkerOptions linker;
+  /// Propagation-network threshold theta2 and reachability hop bound H.
+  double theta2 = 0.6;
+  uint32_t max_hops = 5;
+
+  std::vector<WorkloadQuery> queries;
+  /// Sorted by before_query (stable).
+  std::vector<FeedbackEvent> feedback;
+};
+
+RandomWorkload MakeRandomWorkload(uint64_t seed,
+                                  const RandomWorkloadOptions& options = {});
+
+/// Replays the workload's offline complementation into `ckb`. Every
+/// configuration under test gets its OWN ComplementedKnowledgebase
+/// (ConfirmLink mutates per-linker state), each filled by this exact
+/// same deterministic sequence.
+void ComplementForWorkload(const RandomWorkload& workload,
+                           kb::ComplementedKnowledgebase* ckb);
+
+}  // namespace mel::testing
+
+#endif  // MEL_TESTING_RANDOM_WORKLOAD_H_

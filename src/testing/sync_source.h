@@ -1,0 +1,62 @@
+#ifndef MEL_TESTING_SYNC_SOURCE_H_
+#define MEL_TESTING_SYNC_SOURCE_H_
+
+#include <shared_mutex>
+
+#include "kb/types.h"
+#include "recency/recency_source.h"
+
+namespace mel::testing {
+
+/// \brief Reader/writer decorator around a RecencySource for concurrency
+/// tests that mix queries with online feedback.
+///
+/// LinkMention is only contract-safe for concurrent use between
+/// mutations (the WarmUp contract); the freshness test in
+/// differential_test.cc deliberately runs readers WHILE a writer bumps
+/// the CKB. The decorator makes that legal: every read accessor (and
+/// Epoch/WindowToken, which the propagation cache consults) takes a
+/// shared lock, and mutations run under Mutate(), which takes the
+/// exclusive lock. The interesting property — that the recency cache
+/// never serves a vector staler than the epoch a reader observed — is
+/// NOT provided by the lock; the lock only removes data races so the
+/// epoch protocol itself is what the test exercises (under TSan).
+class SynchronizedRecencySource : public recency::RecencySource {
+ public:
+  /// The base source must outlive this object.
+  explicit SynchronizedRecencySource(const recency::RecencySource* base)
+      : base_(base) {}
+
+  uint32_t RecentCount(kb::EntityId e, kb::Timestamp now) const override {
+    std::shared_lock lock(mu_);
+    return base_->RecentCount(e, now);
+  }
+  double BurstMass(kb::EntityId e, kb::Timestamp now) const override {
+    std::shared_lock lock(mu_);
+    return base_->BurstMass(e, now);
+  }
+  uint64_t Epoch() const override {
+    std::shared_lock lock(mu_);
+    return base_->Epoch();
+  }
+  uint64_t WindowToken(kb::Timestamp now) const override {
+    std::shared_lock lock(mu_);
+    return base_->WindowToken(now);
+  }
+
+  /// Runs `fn` (which may mutate the underlying CKB / tracker) under the
+  /// exclusive lock, serialized against every read accessor above.
+  template <typename Fn>
+  void Mutate(Fn&& fn) {
+    std::unique_lock lock(mu_);
+    fn();
+  }
+
+ private:
+  mutable std::shared_mutex mu_;
+  const recency::RecencySource* base_;
+};
+
+}  // namespace mel::testing
+
+#endif  // MEL_TESTING_SYNC_SOURCE_H_

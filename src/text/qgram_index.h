@@ -48,6 +48,15 @@ class SegmentFuzzyIndex {
   /// Approximate heap footprint in bytes.
   uint64_t MemoryUsageBytes() const;
 
+  /// The packed probe key — [length:12][seg_idx:6][FNV-1a fold:46] — for a
+  /// segment of a string of the given total length. Exposed so regression
+  /// tests can construct deliberate hash collisions and assert that the
+  /// index still verifies every candidate by true edit distance.
+  static uint64_t PackedProbeKey(uint32_t length, uint32_t seg_idx,
+                                 std::string_view seg_text) {
+    return PackKey(length, seg_idx, seg_text);
+  }
+
  private:
   struct Entry {
     std::string str;

@@ -119,4 +119,12 @@ size_t WeightedSample(const std::vector<double>& weights, Rng* rng) {
   return weights.size() - 1;
 }
 
+uint64_t DeriveSeed(uint64_t master_seed, uint64_t stream) {
+  // Advance a splitmix64 state by the stream index so adjacent streams
+  // land far apart, then mix twice more to decorrelate adjacent masters.
+  uint64_t state = master_seed + stream * 0x9e3779b97f4a7c15ULL;
+  SplitMix64(&state);
+  return SplitMix64(&state);
+}
+
 }  // namespace mel

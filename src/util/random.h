@@ -80,6 +80,18 @@ class ZipfSampler {
 /// Returns weights.size() when all weights are zero or the vector is empty.
 size_t WeightedSample(const std::vector<double>& weights, Rng* rng);
 
+/// \brief Derives an independent sub-seed from a master seed and a stream
+/// index (splitmix64 mixing).
+///
+/// Components that need several RNG streams reproducible from ONE seed
+/// (e.g. the kb/social/tweet generators behind a random workload, or
+/// per-thread generators that must not share state) each construct their
+/// own Rng from DeriveSeed(master, stream). Distinct streams yield
+/// statistically independent sequences, and the mapping is pure — the
+/// same (master, stream) pair always produces the same sub-seed, on any
+/// thread, in any order.
+uint64_t DeriveSeed(uint64_t master_seed, uint64_t stream);
+
 }  // namespace mel
 
 #endif  // MEL_UTIL_RANDOM_H_

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <unordered_set>
 
@@ -8,6 +9,7 @@
 #include "gen/tweet_generator.h"
 #include "gen/workload.h"
 #include "graph/stats.h"
+#include "util/random.h"
 
 namespace mel::gen {
 namespace {
@@ -331,6 +333,56 @@ TEST_F(TweetGenFixture, SplitStats) {
   auto stats = ComputeSplitStats(corpus_, split);
   EXPECT_EQ(stats.num_tweets, corpus_.tweets.size());
   EXPECT_GE(stats.mentions_per_tweet, 1.0);
+}
+
+// ---------------------------------------------------------- seed plumbing
+
+TEST(DeriveSeedTest, DeterministicAndStreamSeparated) {
+  EXPECT_EQ(DeriveSeed(42, 0), DeriveSeed(42, 0));
+  // Distinct streams and distinct masters decorrelate.
+  std::set<uint64_t> seen;
+  for (uint64_t stream = 0; stream < 64; ++stream) {
+    seen.insert(DeriveSeed(42, stream));
+    seen.insert(DeriveSeed(43, stream));
+  }
+  EXPECT_EQ(seen.size(), 128u);
+}
+
+TEST(WithMasterSeedTest, WorldsAreBitReproducible) {
+  WorldOptions opts;
+  opts.kb = SmallKb();
+  opts.kb.num_entities = 80;
+  opts.social = SmallSocial();
+  opts.social.num_users = 60;
+  opts.tweets = SmallTweets();
+  opts.tweets.num_tweets = 400;
+
+  World a = GenerateWorld(WithMasterSeed(opts, 0xABCDEFull));
+  World b = GenerateWorld(WithMasterSeed(opts, 0xABCDEFull));
+
+  ASSERT_EQ(a.kb().num_entities(), b.kb().num_entities());
+  ASSERT_EQ(a.social.graph.num_edges(), b.social.graph.num_edges());
+  for (graph::NodeId u = 0; u < a.social.graph.num_nodes(); ++u) {
+    auto na = a.social.graph.OutNeighbors(u);
+    auto nb = b.social.graph.OutNeighbors(u);
+    ASSERT_TRUE(std::equal(na.begin(), na.end(), nb.begin(), nb.end()));
+  }
+  ASSERT_EQ(a.corpus.tweets.size(), b.corpus.tweets.size());
+  for (size_t i = 0; i < a.corpus.tweets.size(); ++i) {
+    const auto& ta = a.corpus.tweets[i].tweet;
+    const auto& tb = b.corpus.tweets[i].tweet;
+    ASSERT_EQ(ta.user, tb.user);
+    ASSERT_EQ(ta.time, tb.time);
+    ASSERT_EQ(ta.text, tb.text);
+  }
+
+  // A different master seed changes all three generator streams.
+  World c = GenerateWorld(WithMasterSeed(opts, 0xABCDF0ull));
+  bool same_graph = a.social.graph.num_edges() == c.social.graph.num_edges();
+  bool same_corpus =
+      a.corpus.tweets.size() == c.corpus.tweets.size() &&
+      a.corpus.tweets[0].tweet.text == c.corpus.tweets[0].tweet.text;
+  EXPECT_FALSE(same_graph && same_corpus);
 }
 
 TEST(GenerateWorldTest, AlignsTopics) {

@@ -243,6 +243,47 @@ TEST(SegmentFuzzyIndexTest, MemoryAccounting) {
   EXPECT_GT(index.MemoryUsageBytes(), empty);
 }
 
+TEST(SegmentFuzzyIndexTest, HashCollisionStillVerifiedByEditDistance) {
+  // "blndrk" and "ciwpsf" collide in the 46-bit FNV-1a fold of the packed
+  // probe key (exhaustive search over 6-char lowercase strings). If this
+  // first assertion ever fails, the hash function changed and a new
+  // colliding pair must be mined for this regression test to keep biting.
+  ASSERT_EQ(SegmentFuzzyIndex::PackedProbeKey(12, 0, "blndrk"),
+            SegmentFuzzyIndex::PackedProbeKey(12, 0, "ciwpsf"));
+  ASSERT_NE(std::string("blndrk"), std::string("ciwpsf"));
+
+  // Two 12-char entries whose FIRST segments (max_distance 1 -> two 6-char
+  // segments) are exactly the colliding pair. A probe for either string
+  // admits the other through the shared hash bucket; only the banded
+  // edit-distance verification separates them.
+  SegmentFuzzyIndex index(1);
+  index.Add("blndrkoooooo", 1);
+  index.Add("ciwpsfoooooo", 2);  // same tail: the collision does the rest
+
+  auto hits = index.Lookup("blndrkoooooo", 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 1u);
+  hits = index.Lookup("ciwpsfoooooo", 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 2u);
+
+  // One true edit on the non-colliding tail still resolves correctly.
+  hits = index.Lookup("blndrkooooop", 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 1u);
+
+  // Brute-force parity on the colliding universe.
+  for (const char* probe : {"blndrkoooooo", "ciwpsfoooooo", "blndrkoooop",
+                            "ciwpsfools", "xlndrkoooooo"}) {
+    auto got = index.Lookup(probe, 1);
+    std::vector<uint32_t> want;
+    if (BoundedEditDistance(probe, "blndrkoooooo", 1) <= 1) want.push_back(1);
+    if (BoundedEditDistance(probe, "ciwpsfoooooo", 1) <= 1) want.push_back(2);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, want) << probe;
+  }
+}
+
 // -------------------------------------------------------------- gazetteer
 
 TEST(GazetteerTest, SingleTokenMatch) {
