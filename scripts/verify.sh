@@ -2,10 +2,10 @@
 # Tier-1 verification: the exact command from ROADMAP.md.
 # Configures, builds, and runs the full test suite; fails on the first error.
 #
-# A second stage runs a Release-mode bench smoke: the hot-path A/B bench
-# and a short bench_micro filter, then checks that both metrics sidecars
-# are valid JSON. Skip it (e.g. on very slow machines) with
-# MEL_SKIP_BENCH=1.
+# A second stage runs a Release-mode bench smoke: the hot-path A/B bench,
+# the reachability arena/count-only A/B, and a short bench_micro filter,
+# then checks that all metrics sidecars are valid JSON. Skip it (e.g. on
+# very slow machines) with MEL_SKIP_BENCH=1.
 #
 # A third stage rebuilds the threaded code under ThreadSanitizer and
 # runs the suites that exercise the thread pool, the parallel index and
@@ -27,15 +27,18 @@ cd "$(dirname "$0")/.."
 cmake -B build -S . && cmake --build build -j && (cd build && ctest --output-on-failure -j)
 
 if [ "${MEL_SKIP_BENCH:-0}" != "1" ]; then
-  echo "=== Bench smoke: query hot path A/B + micro (Release) ==="
-  cmake --build build -j --target bench_query_hotpath bench_micro
+  echo "=== Bench smoke: query hot path A/B + reach arena A/B + micro (Release) ==="
+  cmake --build build -j --target bench_query_hotpath bench_micro \
+    bench_reachability_index
   (cd build/bench && ./bench_query_hotpath --smoke)
+  (cd build/bench && ./bench_reachability_index --smoke)
   (cd build/bench && ./bench_micro \
     --benchmark_filter='BM_LinkMention$|BM_LinkMentionRecencyCacheOff|BM_RecencyCandidateScores' \
     --benchmark_min_time=0.05)
   python3 -c '
 import json, sys
 for path in ("build/bench/bench_query_hotpath.metrics.json",
+             "build/bench/bench_reachability_index.metrics.json",
              "build/bench/bench_micro.metrics.json"):
     with open(path) as f:
         json.load(f)

@@ -114,11 +114,12 @@ MentionLinkResult EntityLinker::LinkMention(std::string_view mention,
   clock.Lap(lm.recency_ns);
 
   // S_in (Eq. 8): average weighted reachability to the most influential
-  // users of each candidate's community. Like S_p and S_r, the vector is
-  // normalized over the candidate set so that the three features of Eq. 1
-  // share a scale (raw average reachability is orders of magnitude below
-  // the popularity/recency shares and alpha would otherwise be
-  // meaningless).
+  // users of each candidate's community, served through the backends'
+  // count-only ScoreOnly path (no followee materialization). Like S_p and
+  // S_r, the vector is normalized over the candidate set so that the
+  // three features of Eq. 1 share a scale (raw average reachability is
+  // orders of magnitude below the popularity/recency shares and alpha
+  // would otherwise be meaningless).
   std::vector<double> interest(entities.size(), 0.0);
   {
     // Prefer the offline influential-user index when the mention resolved

@@ -4,63 +4,9 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/sorted_intersect.h"
 
 namespace mel::kb {
-
-namespace {
-
-// Sorted-list intersection by linear merge.
-uint32_t MergeIntersect(std::span<const EntityId> small,
-                        std::span<const EntityId> large) {
-  uint32_t count = 0;
-  size_t i = 0, j = 0;
-  while (i < small.size() && j < large.size()) {
-    if (small[i] < large[j]) {
-      ++i;
-    } else if (small[i] > large[j]) {
-      ++j;
-    } else {
-      ++count;
-      ++i;
-      ++j;
-    }
-  }
-  return count;
-}
-
-// Galloping intersection for skewed sizes: for each id of the short
-// list, exponential-search a bracket in the long list from the previous
-// position, then binary-search inside it — O(|small| * log(|large|))
-// instead of O(|small| + |large|).
-uint32_t GallopIntersect(std::span<const EntityId> small,
-                         std::span<const EntityId> large) {
-  uint32_t count = 0;
-  size_t lo = 0;
-  for (EntityId x : small) {
-    size_t step = 1;
-    size_t hi = lo;
-    while (hi < large.size() && large[hi] < x) {
-      lo = hi + 1;
-      hi += step;
-      step <<= 1;
-    }
-    hi = std::min(hi, large.size());
-    const auto* it =
-        std::lower_bound(large.data() + lo, large.data() + hi, x);
-    lo = static_cast<size_t>(it - large.data());
-    if (lo == large.size()) break;
-    if (large[lo] == x) {
-      ++count;
-      ++lo;
-    }
-  }
-  return count;
-}
-
-// Size ratio beyond which galloping beats the linear merge.
-constexpr size_t kGallopRatio = 16;
-
-}  // namespace
 
 WlmRelatedness::WlmRelatedness(const Knowledgebase* kb) : kb_(kb) {
   MEL_CHECK(kb != nullptr && kb->finalized());
@@ -81,14 +27,7 @@ WlmRelatedness::WlmRelatedness(const Knowledgebase* kb) : kb_(kb) {
 }
 
 uint32_t WlmRelatedness::InlinkIntersection(EntityId a, EntityId b) const {
-  auto ia = Inlinks(a);
-  auto ib = Inlinks(b);
-  if (ia.size() > ib.size()) std::swap(ia, ib);
-  if (ia.empty()) return 0;
-  if (ib.size() / ia.size() >= kGallopRatio) {
-    return GallopIntersect(ia, ib);
-  }
-  return MergeIntersect(ia, ib);
+  return util::SortedIntersectCount(Inlinks(a), Inlinks(b));
 }
 
 double WlmRelatedness::Relatedness(EntityId a, EntityId b) const {

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "graph/stats.h"
+#include "reach/reach_metrics.h"
 #include "util/logging.h"
+#include "util/serialize.h"
 
 namespace mel::reach {
 
@@ -14,8 +16,8 @@ constexpr uint32_t kInf = kUnreachableDistance;
 DistanceLabelIndex::DistanceLabelIndex(const graph::DirectedGraph* g,
                                        uint32_t max_hops)
     : g_(g), max_hops_(max_hops) {
-  in_labels_.resize(g->num_nodes());
-  out_labels_.resize(g->num_nodes());
+  build_in_labels_.resize(g->num_nodes());
+  build_out_labels_.resize(g->num_nodes());
   hub_dist_.assign(g->num_nodes(), kInf);
   in_queue_.assign(g->num_nodes(), 0);
 }
@@ -28,27 +30,47 @@ DistanceLabelIndex DistanceLabelIndex::Build(const graph::DirectedGraph* g,
     index.ProcessLandmark(landmark, /*forward=*/false);
     index.ProcessLandmark(landmark, /*forward=*/true);
   }
-  for (auto& labels : index.in_labels_) {
+  for (auto& labels : index.build_in_labels_) {
     std::sort(labels.begin(), labels.end(),
               [](const Label& a, const Label& b) { return a.node < b.node; });
   }
-  for (auto& labels : index.out_labels_) {
+  for (auto& labels : index.build_out_labels_) {
     std::sort(labels.begin(), labels.end(),
               [](const Label& a, const Label& b) { return a.node < b.node; });
   }
-  index.hub_dist_.clear();
-  index.hub_dist_.shrink_to_fit();
-  index.in_queue_.clear();
-  index.in_queue_.shrink_to_fit();
+  index.FinalizeArenas();
   return index;
+}
+
+void DistanceLabelIndex::FinalizeArenas() {
+  const uint32_t n = g_->num_nodes();
+  in_offsets_.assign(n + 1, 0);
+  out_offsets_.assign(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    in_offsets_[v + 1] = in_offsets_[v] + build_in_labels_[v].size();
+    out_offsets_[v + 1] = out_offsets_[v] + build_out_labels_[v].size();
+  }
+  in_entries_.resize(in_offsets_[n]);
+  out_entries_.resize(out_offsets_[n]);
+  for (NodeId v = 0; v < n; ++v) {
+    std::copy(build_in_labels_[v].begin(), build_in_labels_[v].end(),
+              in_entries_.begin() + static_cast<ptrdiff_t>(in_offsets_[v]));
+    std::copy(build_out_labels_[v].begin(), build_out_labels_[v].end(),
+              out_entries_.begin() + static_cast<ptrdiff_t>(out_offsets_[v]));
+  }
+  build_in_labels_ = {};
+  build_out_labels_ = {};
+  hub_dist_ = {};
+  in_queue_ = {};
 }
 
 void DistanceLabelIndex::ProcessLandmark(NodeId landmark, bool forward) {
   // Backward BFS extends L_out of nodes reaching the landmark; forward
   // BFS extends L_in of nodes the landmark reaches. Queries during
   // construction meet at hubs recorded for the opposite direction.
-  auto& meet_labels = forward ? out_labels_[landmark] : in_labels_[landmark];
-  auto& grow = forward ? in_labels_ : out_labels_;
+  auto& meet_labels =
+      forward ? build_out_labels_[landmark] : build_in_labels_[landmark];
+  auto& grow = forward ? build_in_labels_ : build_out_labels_;
 
   std::vector<NodeId> touched_hubs;
   for (const Label& label : meet_labels) {
@@ -94,8 +116,8 @@ void DistanceLabelIndex::ProcessLandmark(NodeId landmark, bool forward) {
 
 uint32_t DistanceLabelIndex::Distance(NodeId u, NodeId v) const {
   if (u == v) return 0;
-  const auto& outs = out_labels_[u];
-  const auto& ins = in_labels_[v];
+  const auto outs = out_labels(u);
+  const auto ins = in_labels(v);
   uint32_t dmin = kInf;
   size_t i = 0, j = 0;
   while (i < outs.size() && j < ins.size()) {
@@ -134,19 +156,120 @@ ReachQueryResult DistanceLabelIndex::Query(NodeId u, NodeId v) const {
   return result;
 }
 
+ReachCountResult DistanceLabelIndex::CountQuery(NodeId u, NodeId v) const {
+  const ScoreOnlyMetrics& sm = GetScoreOnlyMetrics();
+  sm.lookups->Increment();
+  ReachCountResult result;
+  if (u == v) {
+    result.distance = 0;
+    return result;
+  }
+  uint32_t duv = Distance(u, v);
+  if (duv == kInf) {
+    sm.unreachable->Increment();
+    return result;
+  }
+  result.distance = duv;
+  for (NodeId t : g_->OutNeighbors(u)) {
+    if (t == v || Distance(t, v) == duv - 1) ++result.followee_count;
+  }
+  return result;
+}
+
 double DistanceLabelIndex::Score(NodeId u, NodeId v) const {
   return WeightedScore(Query(u, v), g_->OutDegree(u), u == v);
 }
 
+double DistanceLabelIndex::ScoreOnly(NodeId u, NodeId v) const {
+  const ReachCountResult r = CountQuery(u, v);
+  return WeightedScoreFromCount(r.distance, r.followee_count,
+                                g_->OutDegree(u), u == v);
+}
+
 uint64_t DistanceLabelIndex::TotalLabelEntries() const {
-  uint64_t total = 0;
-  for (const auto& labels : in_labels_) total += labels.size();
-  for (const auto& labels : out_labels_) total += labels.size();
-  return total;
+  return in_entries_.size() + out_entries_.size();
 }
 
 uint64_t DistanceLabelIndex::IndexSizeBytes() const {
-  return TotalLabelEntries() * sizeof(Label);
+  return TotalLabelEntries() * sizeof(Label) +
+         (in_offsets_.size() + out_offsets_.size()) * sizeof(uint64_t);
+}
+
+namespace {
+
+constexpr uint32_t kDliMagic = 0x4d454c44;  // "MELD"
+constexpr uint32_t kDliVersion = 1;
+
+bool ValidOffsets(const std::vector<uint64_t>& offsets, uint64_t expect_size,
+                  uint64_t arena_size) {
+  if (offsets.size() != expect_size) return false;
+  if (offsets.front() != 0 || offsets.back() != arena_size) return false;
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status DistanceLabelIndex::Save(const std::string& path) const {
+  BinaryWriter writer(path);
+  writer.WriteU32(kDliMagic);
+  writer.WriteU32(kDliVersion);
+  writer.WriteU32(static_cast<uint32_t>(g_->num_nodes()));
+  writer.WriteU32(max_hops_);
+  writer.WriteVector(in_offsets_);
+  writer.WriteVector(in_entries_);
+  writer.WriteVector(out_offsets_);
+  writer.WriteVector(out_entries_);
+  return writer.Finish();
+}
+
+Result<DistanceLabelIndex> DistanceLabelIndex::Load(
+    const std::string& path, const graph::DirectedGraph* g) {
+  BinaryReader reader(path);
+  uint32_t magic = reader.ReadU32();
+  uint32_t version = reader.ReadU32();
+  uint32_t n = reader.ReadU32();
+  uint32_t max_hops = reader.ReadU32();
+  if (!reader.status().ok()) return reader.status();
+  if (magic != kDliMagic) {
+    return Status::InvalidArgument("not a distance-label index file");
+  }
+  if (version != kDliVersion) {
+    return Status::InvalidArgument("unsupported index version");
+  }
+  if (n != g->num_nodes()) {
+    return Status::FailedPrecondition(
+        "index was built for a graph with a different node count");
+  }
+  DistanceLabelIndex index(g, max_hops);
+  index.build_in_labels_ = {};
+  index.build_out_labels_ = {};
+  index.hub_dist_ = {};
+  index.in_queue_ = {};
+  reader.ReadVectorInto(&index.in_offsets_);
+  reader.ReadVectorInto(&index.in_entries_);
+  reader.ReadVectorInto(&index.out_offsets_);
+  reader.ReadVectorInto(&index.out_entries_);
+  if (!reader.status().ok()) return reader.status();
+  if (!ValidOffsets(index.in_offsets_, uint64_t{n} + 1,
+                    index.in_entries_.size()) ||
+      !ValidOffsets(index.out_offsets_, uint64_t{n} + 1,
+                    index.out_entries_.size())) {
+    return Status::InvalidArgument("corrupt arena offsets");
+  }
+  for (const Label& label : index.in_entries_) {
+    if (label.node >= n) {
+      return Status::InvalidArgument("corrupt label node id");
+    }
+  }
+  for (const Label& label : index.out_entries_) {
+    if (label.node >= n) {
+      return Status::InvalidArgument("corrupt label node id");
+    }
+  }
+  return index;
 }
 
 }  // namespace mel::reach

@@ -2,10 +2,13 @@
 #define MEL_REACH_DISTANCE_LABEL_INDEX_H_
 
 #include <cstdint>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "graph/directed_graph.h"
 #include "reach/weighted_reachability.h"
+#include "util/status.h"
 
 namespace mel::reach {
 
@@ -19,6 +22,11 @@ namespace mel::reach {
 /// trading query time for an index that is smaller and much faster to
 /// build than the followee-carrying labels of Algorithm 2. The
 /// bench_followee_storage benchmark quantifies the trade-off.
+///
+/// Labels are arena-flattened like TwoHopIndex: all (node, dist) entries
+/// of one side live in a single contiguous array addressed by per-node
+/// prefix offsets, so a query walks two cache-friendly spans and Save /
+/// Load stream each arena as one block.
 class DistanceLabelIndex : public WeightedReachability {
  public:
   struct Label {
@@ -35,22 +43,51 @@ class DistanceLabelIndex : public WeightedReachability {
 
   double Score(NodeId u, NodeId v) const override;
   ReachQueryResult Query(NodeId u, NodeId v) const override;
+  ReachCountResult CountQuery(NodeId u, NodeId v) const override;
+  double ScoreOnly(NodeId u, NodeId v) const override;
   uint64_t IndexSizeBytes() const override;
   const char* Name() const override { return "2-hop-dist-only"; }
 
   uint64_t TotalLabelEntries() const;
+
+  /// Persists the arenas to disk (header + four blocks, each one write).
+  Status Save(const std::string& path) const;
+
+  /// Loads an index previously written by Save. The graph must be the
+  /// same one the index was built from (node count is validated).
+  static Result<DistanceLabelIndex> Load(const std::string& path,
+                                         const graph::DirectedGraph* g);
+
+  std::span<const Label> in_labels(NodeId v) const {
+    return std::span<const Label>(in_entries_)
+        .subspan(in_offsets_[v], in_offsets_[v + 1] - in_offsets_[v]);
+  }
+  std::span<const Label> out_labels(NodeId v) const {
+    return std::span<const Label>(out_entries_)
+        .subspan(out_offsets_[v], out_offsets_[v + 1] - out_offsets_[v]);
+  }
 
  private:
   DistanceLabelIndex(const graph::DirectedGraph* g, uint32_t max_hops);
 
   void ProcessLandmark(NodeId landmark, bool forward);
 
+  /// Flattens the per-node build vectors onto the arenas and releases
+  /// them (plus the BFS scratch).
+  void FinalizeArenas();
+
   const graph::DirectedGraph* g_;
   uint32_t max_hops_;
-  std::vector<std::vector<Label>> in_labels_;   // sorted by node
-  std::vector<std::vector<Label>> out_labels_;  // sorted by node
 
-  // Construction scratch.
+  // Arena storage: entries sorted by hub node within each node's span.
+  std::vector<uint64_t> in_offsets_;   // n + 1
+  std::vector<Label> in_entries_;
+  std::vector<uint64_t> out_offsets_;  // n + 1
+  std::vector<Label> out_entries_;
+
+  // Construction scratch (empty after Build / in loaded indexes).
+  std::vector<std::vector<Label>> build_in_labels_;
+  std::vector<std::vector<Label>> build_out_labels_;
   std::vector<uint32_t> hub_dist_;
   std::vector<uint8_t> in_queue_;
 };

@@ -1,5 +1,7 @@
 #include "reach/naive_reachability.h"
 
+#include "reach/reach_metrics.h"
+
 namespace mel::reach {
 
 NaiveReachability::NaiveReachability(const graph::DirectedGraph* g,
@@ -28,8 +30,38 @@ ReachQueryResult NaiveReachability::Query(NodeId u, NodeId v) const {
   return result;
 }
 
+ReachCountResult NaiveReachability::CountQuery(NodeId u, NodeId v) const {
+  const ScoreOnlyMetrics& sm = GetScoreOnlyMetrics();
+  sm.lookups->Increment();
+  ReachCountResult result;
+  if (u == v) {
+    result.distance = 0;
+    return result;
+  }
+  auto& scratch = graph::BfsScratch::ThreadLocal(g_->num_nodes());
+  scratch.RunBackward(*g_, v, max_hops_);
+  uint32_t duv = scratch.Distance(u);
+  if (duv == graph::kUnreachable) {
+    sm.unreachable->Increment();
+    return result;
+  }
+  result.distance = duv;
+  for (NodeId t : g_->OutNeighbors(u)) {
+    // Same Theorem-1 membership test as Query, counting instead of
+    // materializing.
+    if (t == v || scratch.Distance(t) == duv - 1) ++result.followee_count;
+  }
+  return result;
+}
+
 double NaiveReachability::Score(NodeId u, NodeId v) const {
   return WeightedScore(Query(u, v), g_->OutDegree(u), u == v);
+}
+
+double NaiveReachability::ScoreOnly(NodeId u, NodeId v) const {
+  const ReachCountResult r = CountQuery(u, v);
+  return WeightedScoreFromCount(r.distance, r.followee_count,
+                                g_->OutDegree(u), u == v);
 }
 
 }  // namespace mel::reach

@@ -28,6 +28,8 @@ class NaiveReachability : public WeightedReachability {
 
   double Score(NodeId u, NodeId v) const override;
   ReachQueryResult Query(NodeId u, NodeId v) const override;
+  ReachCountResult CountQuery(NodeId u, NodeId v) const override;
+  double ScoreOnly(NodeId u, NodeId v) const override;
   uint64_t IndexSizeBytes() const override { return 0; }
   const char* Name() const override { return "naive-bfs"; }
 

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "graph/components.h"
+#include "reach/reach_metrics.h"
 #include "util/logging.h"
 
 namespace mel::reach {
@@ -147,8 +148,40 @@ ReachQueryResult PrunedOnlineSearch::Query(NodeId u, NodeId v) const {
   return result;
 }
 
+ReachCountResult PrunedOnlineSearch::CountQuery(NodeId u, NodeId v) const {
+  const ScoreOnlyMetrics& sm = GetScoreOnlyMetrics();
+  sm.lookups->Increment();
+  ReachCountResult result;
+  if (u == v) {
+    result.distance = 0;
+    return result;
+  }
+  if (DefinitelyUnreachable(u, v)) {
+    sm.unreachable->Increment();
+    return result;
+  }
+  auto& scratch = graph::BfsScratch::ThreadLocal(g_->num_nodes());
+  scratch.RunBackward(*g_, v, max_hops_);
+  uint32_t duv = scratch.Distance(u);
+  if (duv == graph::kUnreachable) {
+    sm.unreachable->Increment();
+    return result;
+  }
+  result.distance = duv;
+  for (NodeId t : g_->OutNeighbors(u)) {
+    if (t == v || scratch.Distance(t) == duv - 1) ++result.followee_count;
+  }
+  return result;
+}
+
 double PrunedOnlineSearch::Score(NodeId u, NodeId v) const {
   return WeightedScore(Query(u, v), g_->OutDegree(u), u == v);
+}
+
+double PrunedOnlineSearch::ScoreOnly(NodeId u, NodeId v) const {
+  const ReachCountResult r = CountQuery(u, v);
+  return WeightedScoreFromCount(r.distance, r.followee_count,
+                                g_->OutDegree(u), u == v);
 }
 
 uint64_t PrunedOnlineSearch::IndexSizeBytes() const {

@@ -39,6 +39,8 @@ class PrunedOnlineSearch : public WeightedReachability {
 
   double Score(NodeId u, NodeId v) const override;
   ReachQueryResult Query(NodeId u, NodeId v) const override;
+  ReachCountResult CountQuery(NodeId u, NodeId v) const override;
+  double ScoreOnly(NodeId u, NodeId v) const override;
   uint64_t IndexSizeBytes() const override;
   const char* Name() const override { return "pruned-online-search"; }
 

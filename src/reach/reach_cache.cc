@@ -1,5 +1,7 @@
 #include "reach/reach_cache.h"
 
+#include <utility>
+
 #include "util/logging.h"
 #include "util/metrics.h"
 
@@ -11,6 +13,7 @@ struct CacheMetrics {
   metrics::Counter* hits;
   metrics::Counter* misses;
   metrics::Counter* evictions;
+  metrics::Gauge* bytes;
 };
 
 const CacheMetrics& GetCacheMetrics() {
@@ -20,6 +23,7 @@ const CacheMetrics& GetCacheMetrics() {
     cm.hits = reg.GetCounter("reach.cache.hits_total");
     cm.misses = reg.GetCounter("reach.cache.misses_total");
     cm.evictions = reg.GetCounter("reach.cache.evictions_total");
+    cm.bytes = reg.GetGauge("reach.cache.bytes");
     return cm;
   }();
   return m;
@@ -29,6 +33,32 @@ uint32_t RoundUpPowerOfTwo(uint32_t x) {
   uint32_t p = 1;
   while (p < x) p <<= 1;
   return p;
+}
+
+// Hash-map node overhead per entry: next pointer plus the cached hash
+// (libstdc++ __detail::_Hash_node layout).
+constexpr uint64_t kMapNodeOverhead = 2 * sizeof(void*);
+
+// A full entry owns its key, a ReachQueryResult, and the followee heap
+// block behind the result's vector.
+uint64_t FullEntryBytes(const ReachQueryResult& r) {
+  return kMapNodeOverhead + sizeof(uint64_t) + sizeof(ReachQueryResult) +
+         r.followees.size() * sizeof(NodeId);
+}
+
+// A count entry is just key + packed (distance, count) — no heap block.
+constexpr uint64_t kCountEntryBytes =
+    kMapNodeOverhead + 2 * sizeof(uint64_t);
+
+uint64_t PackCount(const ReachCountResult& r) {
+  return (static_cast<uint64_t>(r.distance) << 32) | r.followee_count;
+}
+
+ReachCountResult UnpackCount(uint64_t packed) {
+  ReachCountResult r;
+  r.distance = static_cast<uint32_t>(packed >> 32);
+  r.followee_count = static_cast<uint32_t>(packed & 0xffffffffu);
+  return r;
 }
 
 }  // namespace
@@ -46,6 +76,15 @@ CachedReachability::CachedReachability(const WeightedReachability* base,
   name_ = std::string("cached+") + base->Name();
 }
 
+CachedReachability::~CachedReachability() {
+  // Return the live payload to the gauge so it tracks only caches that
+  // still exist.
+  const CacheMetrics& cm = GetCacheMetrics();
+  for (uint64_t s = 0; s <= shard_mask_; ++s) {
+    cm.bytes->Add(-static_cast<int64_t>(shards_[s].payload_bytes));
+  }
+}
+
 ReachQueryResult CachedReachability::Query(NodeId u, NodeId v) const {
   const uint64_t key = (static_cast<uint64_t>(u) << 32) | v;
   Shard& shard = ShardFor(key);
@@ -60,7 +99,7 @@ ReachQueryResult CachedReachability::Query(NodeId u, NodeId v) const {
   }
   // Miss path runs the backend outside the shard lock, so a slow BFS
   // never blocks hits on the same shard. Racing misses on the same pair
-  // both compute; last insert wins with an identical value.
+  // both compute; the first insert wins with an identical value.
   cm.misses->Increment();
   ReachQueryResult result = base_->Query(u, v);
   {
@@ -69,9 +108,62 @@ ReachQueryResult CachedReachability::Query(NodeId u, NodeId v) const {
         shard.entries.size() >= max_entries_per_shard_ &&
         shard.entries.find(key) == shard.entries.end()) {
       cm.evictions->Increment(shard.entries.size());
+      uint64_t freed = 0;
+      for (const auto& [k, r] : shard.entries) freed += FullEntryBytes(r);
+      shard.payload_bytes -= freed;
+      cm.bytes->Add(-static_cast<int64_t>(freed));
       shard.entries.clear();
     }
-    shard.entries[key] = result;
+    auto [it, inserted] = shard.entries.try_emplace(key, result);
+    if (inserted) {
+      uint64_t added = FullEntryBytes(it->second);
+      shard.payload_bytes += added;
+      cm.bytes->Add(static_cast<int64_t>(added));
+    }
+  }
+  return result;
+}
+
+ReachCountResult CachedReachability::CountQuery(NodeId u, NodeId v) const {
+  const uint64_t key = (static_cast<uint64_t>(u) << 32) | v;
+  Shard& shard = ShardFor(key);
+  const CacheMetrics& cm = GetCacheMetrics();
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.count_entries.find(key);
+    if (it != shard.count_entries.end()) {
+      cm.hits->Increment();
+      return UnpackCount(it->second);
+    }
+    // A materialized result for the pair answers the count too — derive
+    // instead of touching the backend.
+    auto full = shard.entries.find(key);
+    if (full != shard.entries.end()) {
+      cm.hits->Increment();
+      return ReachCountResult{
+          full->second.distance,
+          static_cast<uint32_t>(full->second.followees.size())};
+    }
+  }
+  cm.misses->Increment();
+  ReachCountResult result = base_->CountQuery(u, v);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (max_entries_per_shard_ != 0 &&
+        shard.count_entries.size() >= max_entries_per_shard_ &&
+        shard.count_entries.find(key) == shard.count_entries.end()) {
+      cm.evictions->Increment(shard.count_entries.size());
+      uint64_t freed = shard.count_entries.size() * kCountEntryBytes;
+      shard.payload_bytes -= freed;
+      cm.bytes->Add(-static_cast<int64_t>(freed));
+      shard.count_entries.clear();
+    }
+    auto [it, inserted] =
+        shard.count_entries.try_emplace(key, PackCount(result));
+    if (inserted) {
+      shard.payload_bytes += kCountEntryBytes;
+      cm.bytes->Add(static_cast<int64_t>(kCountEntryBytes));
+    }
   }
   return result;
 }
@@ -80,10 +172,20 @@ double CachedReachability::Score(NodeId u, NodeId v) const {
   return WeightedScore(Query(u, v), g_->OutDegree(u), u == v);
 }
 
+double CachedReachability::ScoreOnly(NodeId u, NodeId v) const {
+  const ReachCountResult r = CountQuery(u, v);
+  return WeightedScoreFromCount(r.distance, r.followee_count,
+                                g_->OutDegree(u), u == v);
+}
+
 void CachedReachability::Invalidate() {
+  const CacheMetrics& cm = GetCacheMetrics();
   for (uint64_t s = 0; s <= shard_mask_; ++s) {
     std::lock_guard<std::mutex> lock(shards_[s].mu);
+    cm.bytes->Add(-static_cast<int64_t>(shards_[s].payload_bytes));
+    shards_[s].payload_bytes = 0;
     shards_[s].entries.clear();
+    shards_[s].count_entries.clear();
   }
 }
 
@@ -91,20 +193,29 @@ size_t CachedReachability::ApproxEntries() const {
   size_t total = 0;
   for (uint64_t s = 0; s <= shard_mask_; ++s) {
     std::lock_guard<std::mutex> lock(shards_[s].mu);
-    total += shards_[s].entries.size();
+    total += shards_[s].entries.size() + shards_[s].count_entries.size();
+  }
+  return total;
+}
+
+uint64_t CachedReachability::ApproxPayloadBytes() const {
+  uint64_t total = 0;
+  for (uint64_t s = 0; s <= shard_mask_; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    total += shards_[s].payload_bytes;
   }
   return total;
 }
 
 uint64_t CachedReachability::IndexSizeBytes() const {
-  // Backend plus a rough accounting of the cached entries.
+  // Backend plus the cached entries (map nodes, keys, values, followee
+  // heap blocks) plus the hash bucket arrays the maps currently hold.
   uint64_t bytes = base_->IndexSizeBytes();
   for (uint64_t s = 0; s <= shard_mask_; ++s) {
     std::lock_guard<std::mutex> lock(shards_[s].mu);
-    for (const auto& [key, result] : shards_[s].entries) {
-      bytes += sizeof(key) + sizeof(result) +
-               result.followees.size() * sizeof(NodeId);
-    }
+    bytes += shards_[s].payload_bytes;
+    bytes += shards_[s].entries.bucket_count() * sizeof(void*);
+    bytes += shards_[s].count_entries.bucket_count() * sizeof(void*);
   }
   return bytes;
 }

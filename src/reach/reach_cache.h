@@ -14,7 +14,8 @@
 namespace mel::reach {
 
 /// \brief Sharded read-through cache in front of a weighted-reachability
-/// backend, memoizing (u, v) -> ReachQueryResult.
+/// backend, memoizing (u, v) -> ReachQueryResult and, separately,
+/// (u, v) -> (distance, |F_uv|) for the count-only fast path.
 ///
 /// The S_in stage (Eq. 4 via Eq. 8) asks for reachability from the
 /// querying user to each candidate's top-k influential users — and the
@@ -24,15 +25,21 @@ namespace mel::reach {
 /// hash map instead; it is pointless in front of the O(1) transitive
 /// closure and of marginal use before the 2-hop cover.
 ///
+/// Count entries pack (distance, count) into one uint64 — far smaller
+/// than a materialized followee vector, so the same byte budget holds
+/// many more of them. A CountQuery miss that finds the pair in the full
+/// result map derives the count from it instead of hitting the backend.
+///
 /// Concurrency: each shard is guarded by its own mutex, so readers on
 /// different shards never contend; the underlying backend must be safe
 /// for concurrent reads (all of them are, post per-thread BFS scratch).
-/// Hit/miss/eviction counts are exported as `reach.cache.*` metrics.
+/// Hit/miss/eviction counts are exported as `reach.cache.*` metrics and
+/// the live payload footprint as the `reach.cache.bytes` gauge.
 ///
-/// Capacity is bounded per shard; an insert into a full shard clears
-/// that shard first (cheap, and repeat-heavy workloads refill the hot
-/// pairs immediately). The cache snapshots a static graph — call
-/// Invalidate() after any online graph mutation.
+/// Capacity is bounded per shard (each map separately); an insert into a
+/// full map clears that map first (cheap, and repeat-heavy workloads
+/// refill the hot pairs immediately). The cache snapshots a static
+/// graph — call Invalidate() after any online graph mutation.
 class CachedReachability : public WeightedReachability {
  public:
   struct Options {
@@ -47,23 +54,35 @@ class CachedReachability : public WeightedReachability {
   CachedReachability(const WeightedReachability* base,
                      const graph::DirectedGraph* g)
       : CachedReachability(base, g, Options()) {}
+  ~CachedReachability() override;
 
   double Score(NodeId u, NodeId v) const override;
   ReachQueryResult Query(NodeId u, NodeId v) const override;
+  ReachCountResult CountQuery(NodeId u, NodeId v) const override;
+  double ScoreOnly(NodeId u, NodeId v) const override;
   uint64_t IndexSizeBytes() const override;
   const char* Name() const override { return name_.c_str(); }
 
   /// Drops every cached entry (e.g. after an edge insertion).
   void Invalidate();
 
-  /// Entries currently cached, summed over shards (approximate under
-  /// concurrent writes).
+  /// Entries currently cached (both maps), summed over shards
+  /// (approximate under concurrent writes).
   size_t ApproxEntries() const;
+
+  /// Payload bytes of the live entries, summed over shards — what the
+  /// reach.cache.bytes gauge reports (excludes hash bucket arrays, which
+  /// IndexSizeBytes adds on top).
+  uint64_t ApproxPayloadBytes() const;
 
  private:
   struct Shard {
     mutable std::mutex mu;
     std::unordered_map<uint64_t, ReachQueryResult> entries;
+    // (distance << 32) | followee_count, keyed like `entries`.
+    std::unordered_map<uint64_t, uint64_t> count_entries;
+    // Payload bytes of both maps' live entries (nodes + followee heap).
+    uint64_t payload_bytes = 0;
   };
 
   Shard& ShardFor(uint64_t key) const {

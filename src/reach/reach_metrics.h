@@ -1,0 +1,52 @@
+#ifndef MEL_REACH_REACH_METRICS_H_
+#define MEL_REACH_REACH_METRICS_H_
+
+#include "util/metrics.h"
+
+namespace mel::reach {
+
+/// Counters shared by every backend's count-only fast path
+/// (CountQuery/ScoreOnly). Cached once per process like the per-backend
+/// metric bundles; see docs/METRICS.md.
+struct ScoreOnlyMetrics {
+  metrics::Counter* lookups;
+  metrics::Counter* unreachable;
+};
+
+inline const ScoreOnlyMetrics& GetScoreOnlyMetrics() {
+  static const ScoreOnlyMetrics m = [] {
+    auto& reg = metrics::Registry();
+    ScoreOnlyMetrics sm;
+    sm.lookups = reg.GetCounter("reach.score_only.lookups_total");
+    sm.unreachable = reg.GetCounter("reach.score_only.unreachable_total");
+    return sm;
+  }();
+  return m;
+}
+
+/// Gauges describing the flattened label arenas of the 2-hop cover and
+/// the distance-label ablation. Set whenever an arena is (re)built or
+/// loaded; they describe the most recent index finalized in-process.
+struct ArenaMetrics {
+  metrics::Gauge* in_entries;
+  metrics::Gauge* out_entries;
+  metrics::Gauge* followee_ids;
+  metrics::Gauge* bytes;
+};
+
+inline const ArenaMetrics& GetArenaMetrics() {
+  static const ArenaMetrics m = [] {
+    auto& reg = metrics::Registry();
+    ArenaMetrics am;
+    am.in_entries = reg.GetGauge("reach.arena.in_entries");
+    am.out_entries = reg.GetGauge("reach.arena.out_entries");
+    am.followee_ids = reg.GetGauge("reach.arena.followee_ids");
+    am.bytes = reg.GetGauge("reach.arena.bytes");
+    return am;
+  }();
+  return m;
+}
+
+}  // namespace mel::reach
+
+#endif  // MEL_REACH_REACH_METRICS_H_

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "graph/bfs.h"
+#include "reach/reach_metrics.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/serialize.h"
@@ -227,6 +228,34 @@ ReachQueryResult TransitiveClosureIndex::Query(NodeId u, NodeId v) const {
   });
   std::sort(result.followees.begin(), result.followees.end());
   return result;
+}
+
+ReachCountResult TransitiveClosureIndex::CountQuery(NodeId u, NodeId v) const {
+  const ScoreOnlyMetrics& sm = GetScoreOnlyMetrics();
+  sm.lookups->Increment();
+  ReachCountResult result;
+  uint32_t duv = Distance(u, v);
+  result.distance = duv;
+  if (duv == kUnreachableDistance) {
+    sm.unreachable->Increment();
+    return result;
+  }
+  if (u == v) return result;
+  uint32_t count = 0;
+  ForEachFollowee(u, [&](NodeId t) {
+    if (t == v || Distance(t, v) == duv - 1) ++count;
+  });
+  result.followee_count = count;
+  return result;
+}
+
+double TransitiveClosureIndex::ScoreOnly(NodeId u, NodeId v) const {
+  const ScoreOnlyMetrics& sm = GetScoreOnlyMetrics();
+  sm.lookups->Increment();
+  if (u == v) return 1.0;
+  float score = score_[Cell(u, v)];
+  if (score == 0.0f) sm.unreachable->Increment();
+  return score;
 }
 
 void TransitiveClosureIndex::RecomputeScore(NodeId a, NodeId b) {

@@ -1,11 +1,14 @@
 #include "reach/two_hop_index.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "graph/stats.h"
+#include "reach/reach_metrics.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/serialize.h"
+#include "util/sorted_intersect.h"
 
 namespace mel::reach {
 
@@ -37,12 +40,28 @@ const TwoHopMetrics& GetTwoHopMetrics() {
   return m;
 }
 
+/// Per-thread query scratch: contributing-span indices, k-way merge
+/// cursors, and an epoch-marked seen array for union counting. Reused
+/// across queries so the steady-state hot path never allocates (vectors
+/// keep their capacity between calls).
+struct QueryScratch {
+  std::vector<uint64_t> spans;
+  std::vector<uint64_t> cursors;
+  std::vector<uint32_t> seen;
+  uint32_t seen_epoch = 0;
+};
+
+QueryScratch& TlsQueryScratch() {
+  thread_local QueryScratch scratch;
+  return scratch;
+}
+
 }  // namespace
 
 TwoHopIndex::TwoHopIndex(const graph::DirectedGraph* g, uint32_t max_hops)
     : g_(g), max_hops_(max_hops) {
-  in_labels_.resize(g->num_nodes());
-  out_labels_.resize(g->num_nodes());
+  build_in_labels_.resize(g->num_nodes());
+  build_out_labels_.resize(g->num_nodes());
 }
 
 TwoHopIndex TwoHopIndex::Build(const graph::DirectedGraph* g,
@@ -50,9 +69,9 @@ TwoHopIndex TwoHopIndex::Build(const graph::DirectedGraph* g,
   if (pool == nullptr) pool = &util::ThreadPool::Shared();
   TwoHopIndex index(g, max_hops);
   metrics::ScopedStageTimer build_timer(GetTwoHopMetrics().build_ns);
-  // The backward pass reads in_labels_[landmark] and appends to
+  // The backward pass reads build_in_labels_[landmark] and appends to
   // out-labels of other nodes; the forward pass reads
-  // out_labels_[landmark] and appends to in-labels of other nodes
+  // build_out_labels_[landmark] and appends to in-labels of other nodes
   // (each skips the landmark itself). Their footprints are disjoint, so
   // the two BFS of one landmark run concurrently — each with its own
   // scratch — while the landmark order itself stays sequential.
@@ -74,21 +93,75 @@ TwoHopIndex TwoHopIndex::Build(const graph::DirectedGraph* g,
   // Nodes are independent here, so the sort/dedup pass fans out.
   const uint32_t n = g->num_nodes();
   pool->ParallelFor(0, n, 64, [&](size_t v) {
-    auto& ins = index.in_labels_[v];
+    auto& ins = index.build_in_labels_[v];
     std::sort(ins.begin(), ins.end(),
               [](const InLabel& a, const InLabel& b) {
                 return a.node < b.node;
               });
-    auto& outs = index.out_labels_[v];
+    auto& outs = index.build_out_labels_[v];
     std::sort(outs.begin(), outs.end(),
-              [](const OutLabel& a, const OutLabel& b) {
+              [](const BuildOutLabel& a, const BuildOutLabel& b) {
                 return a.node < b.node;
               });
     for (auto& label : outs) {
       std::sort(label.followees.begin(), label.followees.end());
     }
   });
+  index.FinalizeArenas();
   return index;
+}
+
+void TwoHopIndex::FinalizeArenas() {
+  const uint32_t n = g_->num_nodes();
+  in_offsets_.assign(n + 1, 0);
+  out_offsets_.assign(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    in_offsets_[v + 1] = in_offsets_[v] + build_in_labels_[v].size();
+    out_offsets_[v + 1] = out_offsets_[v] + build_out_labels_[v].size();
+  }
+  in_entries_.resize(in_offsets_[n]);
+  out_entries_.resize(out_offsets_[n]);
+  followee_offsets_.assign(out_offsets_[n] + 1, 0);
+
+  uint64_t followee_total = 0;
+  {
+    uint64_t e = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      for (const BuildOutLabel& label : build_out_labels_[v]) {
+        followee_offsets_[e] = followee_total;
+        followee_total += label.followees.size();
+        ++e;
+      }
+    }
+    followee_offsets_[out_offsets_[n]] = followee_total;
+  }
+  followee_arena_.resize(followee_total);
+
+  for (NodeId v = 0; v < n; ++v) {
+    std::copy(build_in_labels_[v].begin(), build_in_labels_[v].end(),
+              in_entries_.begin() + static_cast<ptrdiff_t>(in_offsets_[v]));
+    uint64_t e = out_offsets_[v];
+    for (const BuildOutLabel& label : build_out_labels_[v]) {
+      out_entries_[e] = OutSpan{label.node, label.dist};
+      std::copy(label.followees.begin(), label.followees.end(),
+                followee_arena_.begin() +
+                    static_cast<ptrdiff_t>(followee_offsets_[e]));
+      ++e;
+    }
+  }
+
+  // Release the construction scratch; the arenas are the index now.
+  build_in_labels_ = {};
+  build_out_labels_ = {};
+  PublishArenaMetrics();
+}
+
+void TwoHopIndex::PublishArenaMetrics() const {
+  const ArenaMetrics& am = GetArenaMetrics();
+  am.in_entries->Set(static_cast<int64_t>(in_entries_.size()));
+  am.out_entries->Set(static_cast<int64_t>(out_entries_.size()));
+  am.followee_ids->Set(static_cast<int64_t>(followee_arena_.size()));
+  am.bytes->Set(static_cast<int64_t>(IndexSizeBytes()));
 }
 
 void TwoHopIndex::ProcessLandmarkBackward(NodeId landmark,
@@ -97,7 +170,7 @@ void TwoHopIndex::ProcessLandmarkBackward(NodeId landmark,
   auto& in_queue = scratch.in_queue;
   // hub_dist[w] = d(w, landmark) for every hub w that queries may meet at.
   std::vector<NodeId> touched_hubs;
-  for (const InLabel& il : in_labels_[landmark]) {
+  for (const InLabel& il : build_in_labels_[landmark]) {
     hub_dist[il.node] = il.dist;
     touched_hubs.push_back(il.node);
   }
@@ -110,7 +183,7 @@ void TwoHopIndex::ProcessLandmarkBackward(NodeId landmark,
   auto query = [&](NodeId s, NodeId u) -> std::pair<uint32_t, bool> {
     uint32_t dmin = kInf;
     bool has_u = false;
-    for (const OutLabel& ol : out_labels_[s]) {
+    for (const BuildOutLabel& ol : build_out_labels_[s]) {
       uint32_t hd = hub_dist[ol.node];
       if (hd == kInf) continue;
       uint32_t total = ol.dist + hd;
@@ -138,7 +211,7 @@ void TwoHopIndex::ProcessLandmarkBackward(NodeId landmark,
       if (len < d) {
         // A strictly shorter path s -> u ~> landmark: record the landmark
         // as a hub of s, remembering followee u (Algorithm 2 lines 11-19).
-        out_labels_[s].push_back(OutLabel{landmark, len, {u}});
+        build_out_labels_[s].push_back(BuildOutLabel{landmark, len, {u}});
         if (len < max_hops_ && !in_queue[s]) {
           in_queue[s] = 1;
           queue.emplace_back(s, len);
@@ -148,12 +221,12 @@ void TwoHopIndex::ProcessLandmarkBackward(NodeId landmark,
         // of s's ancestors are unchanged, so s is not re-enqueued.
         // Entries for this landmark are only appended during this BFS, so
         // if one exists it is the most recent.
-        if (!out_labels_[s].empty() &&
-            out_labels_[s].back().node == landmark) {
-          MEL_CHECK(out_labels_[s].back().dist == len);
-          out_labels_[s].back().followees.push_back(u);
+        if (!build_out_labels_[s].empty() &&
+            build_out_labels_[s].back().node == landmark) {
+          MEL_CHECK(build_out_labels_[s].back().dist == len);
+          build_out_labels_[s].back().followees.push_back(u);
         } else {
-          out_labels_[s].push_back(OutLabel{landmark, len, {u}});
+          build_out_labels_[s].push_back(BuildOutLabel{landmark, len, {u}});
         }
       }
     }
@@ -168,7 +241,7 @@ void TwoHopIndex::ProcessLandmarkForward(NodeId landmark,
   auto& hub_dist = scratch.hub_dist;
   auto& in_queue = scratch.in_queue;
   std::vector<NodeId> touched_hubs;
-  for (const OutLabel& ol : out_labels_[landmark]) {
+  for (const BuildOutLabel& ol : build_out_labels_[landmark]) {
     hub_dist[ol.node] = ol.dist;
     touched_hubs.push_back(ol.node);
   }
@@ -177,7 +250,7 @@ void TwoHopIndex::ProcessLandmarkForward(NodeId landmark,
 
   auto query = [&](NodeId t) -> uint32_t {
     uint32_t dmin = kInf;
-    for (const InLabel& il : in_labels_[t]) {
+    for (const InLabel& il : build_in_labels_[t]) {
       uint32_t hd = hub_dist[il.node];
       if (hd == kInf) continue;
       dmin = std::min(dmin, hd + il.dist);
@@ -198,7 +271,7 @@ void TwoHopIndex::ProcessLandmarkForward(NodeId landmark,
       // L_in carries distances only; update when strictly shortened
       // (Algorithm 2 line 30).
       if (len < query(t)) {
-        in_labels_[t].push_back(InLabel{landmark, len});
+        build_in_labels_[t].push_back(InLabel{landmark, len});
         if (len < max_hops_ && !in_queue[t]) {
           in_queue[t] = 1;
           queue.emplace_back(t, len);
@@ -211,6 +284,81 @@ void TwoHopIndex::ProcessLandmarkForward(NodeId landmark,
   for (const auto& [node, len] : queue) in_queue[node] = 0;
 }
 
+uint32_t TwoHopIndex::CollectMinDistanceSpans(
+    NodeId u, NodeId v, std::vector<uint64_t>& spans) const {
+  spans.clear();
+  const auto outs = out_labels(u);
+  const auto ins = in_labels(v);
+  if (metrics::Enabled()) {
+    GetTwoHopMetrics().labels_scanned->Record(outs.size() + ins.size());
+  }
+
+  // Degenerate hub w = u as an entry of L_in(v): contributes a distance
+  // but no out-entry span. Labels are sorted by hub node, so it — and
+  // the w = v entry below — are binary searches, not linear scans.
+  // Seeding dmin with it first lets the main walk run the running-min
+  // collection without ever re-filtering.
+  uint32_t dmin = kInf;
+  {
+    auto it = std::lower_bound(
+        ins.begin(), ins.end(), u,
+        [](const InLabel& l, NodeId x) { return l.node < x; });
+    if (it != ins.end() && it->node == u) dmin = it->dist;
+  }
+
+  // Single fused walk over both sorted label lists (the old layout
+  // needed two passes — min, then collect — because labels lived in
+  // per-node vectors). Spans are collected against the running minimum:
+  // a strictly smaller distance resets the list, an equal one appends,
+  // so at the end `spans` holds exactly the hubs achieving dmin
+  // (Theorem 2) in walk order.
+  const uint64_t base = out_offsets_[u];
+  {
+    size_t i = 0, j = 0;
+    while (i < outs.size() && j < ins.size()) {
+      const NodeId a = outs[i].node;
+      const NodeId b = ins[j].node;
+      if (a == b) {
+        const uint32_t d = outs[i].dist + ins[j].dist;
+        if (d < dmin) {
+          dmin = d;
+          spans.clear();
+          spans.push_back(base + i);
+        } else if (d == dmin) {
+          spans.push_back(base + i);
+        }
+        ++i;
+        ++j;
+      } else {
+        // Branchless advance: the comparisons compile to conditional
+        // increments instead of an unpredictable two-way branch.
+        i += a < b;
+        j += b < a;
+      }
+    }
+  }
+  // Degenerate hub w = v as an entry of L_out(u). L_in(v) never lists v
+  // itself, so this entry cannot also have matched the intersection
+  // above — no duplicate span indices.
+  {
+    auto it = std::lower_bound(
+        outs.begin(), outs.end(), v,
+        [](const OutSpan& o, NodeId x) { return o.node < x; });
+    if (it != outs.end() && it->node == v && it->dist <= dmin) {
+      if (it->dist < dmin) {
+        dmin = it->dist;
+        spans.clear();
+      }
+      spans.push_back(base + static_cast<uint64_t>(it - outs.begin()));
+    }
+  }
+  if (dmin == kInf || dmin > max_hops_) {
+    spans.clear();
+    return kInf;
+  }
+  return dmin;
+}
+
 ReachQueryResult TwoHopIndex::Query(NodeId u, NodeId v) const {
   const TwoHopMetrics& hm = GetTwoHopMetrics();
   hm.lookups->Increment();
@@ -219,71 +367,103 @@ ReachQueryResult TwoHopIndex::Query(NodeId u, NodeId v) const {
     result.distance = 0;
     return result;
   }
-  const auto& outs = out_labels_[u];
-  const auto& ins = in_labels_[v];
-  if (metrics::Enabled()) {
-    hm.labels_scanned->Record(outs.size() + ins.size());
-  }
-
-  // Pass 1: minimum distance over all meeting hubs, including the two
-  // degenerate hubs w = v (entry of L_out(u)) and w = u (entry of L_in(v)).
-  uint32_t dmin = kInf;
-  {
-    size_t i = 0, j = 0;
-    while (i < outs.size() && j < ins.size()) {
-      if (outs[i].node < ins[j].node) {
-        ++i;
-      } else if (outs[i].node > ins[j].node) {
-        ++j;
-      } else {
-        dmin = std::min(dmin, outs[i].dist + ins[j].dist);
-        ++i;
-        ++j;
-      }
-    }
-  }
-  for (const OutLabel& ol : outs) {
-    if (ol.node == v) dmin = std::min(dmin, ol.dist);
-  }
-  for (const InLabel& il : ins) {
-    if (il.node == u) dmin = std::min(dmin, il.dist);
-  }
-  if (dmin == kInf || dmin > max_hops_) {
+  QueryScratch& scratch = TlsQueryScratch();
+  const uint32_t dmin = CollectMinDistanceSpans(u, v, scratch.spans);
+  if (dmin == kInf) {
     hm.unreachable->Increment();
     return result;
   }
   result.distance = dmin;
 
-  // Pass 2 (Theorem 2): union the followee sets of every hub achieving
-  // the minimum distance.
-  {
-    size_t i = 0, j = 0;
-    while (i < outs.size() && j < ins.size()) {
-      if (outs[i].node < ins[j].node) {
-        ++i;
-      } else if (outs[i].node > ins[j].node) {
-        ++j;
-      } else {
-        if (outs[i].dist + ins[j].dist == dmin) {
-          result.followees.insert(result.followees.end(),
-                                  outs[i].followees.begin(),
-                                  outs[i].followees.end());
-        }
-        ++i;
-        ++j;
+  const auto& spans = scratch.spans;
+  if (spans.empty()) return result;
+  if (spans.size() == 1) {
+    // Followees of one label are already sorted and duplicate-free.
+    const auto f = followees(spans[0]);
+    result.followees.assign(f.begin(), f.end());
+    return result;
+  }
+  // Single k-way merge over the sorted arena spans, skipping duplicates
+  // as it goes — replaces the old concat + sort + std::unique pass.
+  auto& cursors = scratch.cursors;
+  cursors.assign(spans.size(), 0);
+  for (;;) {
+    NodeId next = 0;
+    bool any = false;
+    for (size_t k = 0; k < spans.size(); ++k) {
+      const auto f = followees(spans[k]);
+      if (cursors[k] < f.size() && (!any || f[cursors[k]] < next)) {
+        next = f[cursors[k]];
+        any = true;
+      }
+    }
+    if (!any) break;
+    result.followees.push_back(next);
+    for (size_t k = 0; k < spans.size(); ++k) {
+      const auto f = followees(spans[k]);
+      if (cursors[k] < f.size() && f[cursors[k]] == next) ++cursors[k];
+    }
+  }
+  return result;
+}
+
+namespace {
+
+/// |union| over the collected arena spans, never materializing it.
+/// One span is its own union; two spans use |A| + |B| − |A ∩ B| with the
+/// merge/gallop kernel shared with the WLM inlink intersection; more
+/// spans mark an epoch-versioned seen array — O(1) per element instead
+/// of a k-way comparison per emitted node.
+uint32_t CountSpanUnion(const TwoHopIndex& index, QueryScratch& scratch,
+                        uint32_t num_nodes) {
+  const auto& spans = scratch.spans;
+  if (spans.empty()) return 0;
+  if (spans.size() == 1) {
+    return static_cast<uint32_t>(index.followees(spans[0]).size());
+  }
+  if (spans.size() == 2) {
+    const auto a = index.followees(spans[0]);
+    const auto b = index.followees(spans[1]);
+    return static_cast<uint32_t>(a.size() + b.size()) -
+           util::SortedIntersectCount(a, b);
+  }
+  if (scratch.seen.size() < num_nodes) scratch.seen.resize(num_nodes, 0);
+  if (++scratch.seen_epoch == 0) {
+    std::fill(scratch.seen.begin(), scratch.seen.end(), 0u);
+    scratch.seen_epoch = 1;
+  }
+  const uint32_t epoch = scratch.seen_epoch;
+  uint32_t count = 0;
+  for (uint64_t s : spans) {
+    for (NodeId t : index.followees(s)) {
+      if (scratch.seen[t] != epoch) {
+        scratch.seen[t] = epoch;
+        ++count;
       }
     }
   }
-  for (const OutLabel& ol : outs) {
-    if (ol.node == v && ol.dist == dmin) {
-      result.followees.insert(result.followees.end(), ol.followees.begin(),
-                              ol.followees.end());
-    }
+  return count;
+}
+
+}  // namespace
+
+ReachCountResult TwoHopIndex::CountQuery(NodeId u, NodeId v) const {
+  const ScoreOnlyMetrics& sm = GetScoreOnlyMetrics();
+  sm.lookups->Increment();
+  ReachCountResult result;
+  if (u == v) {
+    result.distance = 0;
+    return result;
   }
-  std::sort(result.followees.begin(), result.followees.end());
-  result.followees.erase(
-      std::unique(result.followees.begin(), result.followees.end()),
-      result.followees.end());
+  QueryScratch& scratch = TlsQueryScratch();
+  const uint32_t dmin = CollectMinDistanceSpans(u, v, scratch.spans);
+  if (dmin == kInf) {
+    sm.unreachable->Increment();
+    return result;
+  }
+  result.distance = dmin;
+  result.followee_count =
+      CountSpanUnion(*this, scratch, g_->num_nodes());
   return result;
 }
 
@@ -291,41 +471,64 @@ double TwoHopIndex::Score(NodeId u, NodeId v) const {
   return WeightedScore(Query(u, v), g_->OutDegree(u), u == v);
 }
 
+double TwoHopIndex::ScoreOnly(NodeId u, NodeId v) const {
+  const ScoreOnlyMetrics& sm = GetScoreOnlyMetrics();
+  sm.lookups->Increment();
+  if (u == v) return 1.0;
+  QueryScratch& scratch = TlsQueryScratch();
+  const uint32_t dmin = CollectMinDistanceSpans(u, v, scratch.spans);
+  if (dmin == kInf) {
+    sm.unreachable->Increment();
+    return 0.0;
+  }
+  // Eq. 4 ignores the followee count at distance 1 and for sink users,
+  // so the union is only ever counted when it contributes to the score.
+  if (dmin == 1) return 1.0;
+  const uint32_t out_degree = g_->OutDegree(u);
+  if (out_degree == 0) return 0.0;
+  return WeightedScoreFromCount(
+      dmin, CountSpanUnion(*this, scratch, g_->num_nodes()), out_degree,
+      /*same_node=*/false);
+}
+
 uint64_t TwoHopIndex::TotalLabelEntries() const {
-  uint64_t total = 0;
-  for (const auto& labels : in_labels_) total += labels.size();
-  for (const auto& labels : out_labels_) total += labels.size();
-  return total;
+  return in_entries_.size() + out_entries_.size();
 }
 
 namespace {
 constexpr uint32_t kTwoHopMagic = 0x4d454c32;  // "MEL2"
-constexpr uint32_t kTwoHopVersion = 1;
+constexpr uint32_t kTwoHopVersion = 2;  // v2: arena-flattened labels
 }  // namespace
 
 Status TwoHopIndex::Save(const std::string& path) const {
   BinaryWriter writer(path);
   writer.WriteU32(kTwoHopMagic);
   writer.WriteU32(kTwoHopVersion);
-  writer.WriteU32(static_cast<uint32_t>(in_labels_.size()));
+  writer.WriteU32(static_cast<uint32_t>(g_->num_nodes()));
   writer.WriteU32(max_hops_);
-  for (const auto& labels : in_labels_) {
-    writer.WriteU64(labels.size());
-    for (const InLabel& label : labels) {
-      writer.WriteU32(label.node);
-      writer.WriteU32(label.dist);
-    }
-  }
-  for (const auto& labels : out_labels_) {
-    writer.WriteU64(labels.size());
-    for (const OutLabel& label : labels) {
-      writer.WriteU32(label.node);
-      writer.WriteU32(label.dist);
-      writer.WriteVector(label.followees);
-    }
-  }
+  writer.WriteVector(in_offsets_);
+  writer.WriteVector(in_entries_);
+  writer.WriteVector(out_offsets_);
+  writer.WriteVector(out_entries_);
+  writer.WriteVector(followee_offsets_);
+  writer.WriteVector(followee_arena_);
   return writer.Finish();
 }
+
+namespace {
+
+// Offsets arrays must be monotone prefix sums covering their arena.
+bool ValidOffsets(const std::vector<uint64_t>& offsets, uint64_t expect_size,
+                  uint64_t arena_size) {
+  if (offsets.size() != expect_size) return false;
+  if (offsets.front() != 0 || offsets.back() != arena_size) return false;
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 Result<TwoHopIndex> TwoHopIndex::Load(const std::string& path,
                                       const graph::DirectedGraph* g) {
@@ -346,54 +549,63 @@ Result<TwoHopIndex> TwoHopIndex::Load(const std::string& path,
         "index was built for a graph with a different node count");
   }
   TwoHopIndex index(g, max_hops);
-  for (NodeId v = 0; v < n; ++v) {
-    uint64_t count = reader.ReadU64();
-    if (!reader.status().ok()) return reader.status();
-    if (count > BinaryReader::kMaxElements) {
-      return Status::InvalidArgument("corrupt label count");
-    }
-    index.in_labels_[v].resize(count);
-    for (auto& label : index.in_labels_[v]) {
-      label.node = reader.ReadU32();
-      label.dist = reader.ReadU32();
-      if (label.node >= n) {
-        return Status::InvalidArgument("corrupt label node id");
-      }
-    }
-  }
-  for (NodeId v = 0; v < n; ++v) {
-    uint64_t count = reader.ReadU64();
-    if (!reader.status().ok()) return reader.status();
-    if (count > BinaryReader::kMaxElements) {
-      return Status::InvalidArgument("corrupt label count");
-    }
-    index.out_labels_[v].resize(count);
-    for (auto& label : index.out_labels_[v]) {
-      label.node = reader.ReadU32();
-      label.dist = reader.ReadU32();
-      label.followees = reader.ReadVector<NodeId>();
-      if (label.node >= n) {
-        return Status::InvalidArgument("corrupt label node id");
-      }
-    }
-  }
+  index.build_in_labels_ = {};
+  index.build_out_labels_ = {};
+  // Each arena arrives as one block read; all that remains is validating
+  // the offsets (the "pointer fixup" of the load path).
+  reader.ReadVectorInto(&index.in_offsets_);
+  reader.ReadVectorInto(&index.in_entries_);
+  reader.ReadVectorInto(&index.out_offsets_);
+  reader.ReadVectorInto(&index.out_entries_);
+  reader.ReadVectorInto(&index.followee_offsets_);
+  reader.ReadVectorInto(&index.followee_arena_);
   if (!reader.status().ok()) return reader.status();
+  if (!ValidOffsets(index.in_offsets_, uint64_t{n} + 1,
+                    index.in_entries_.size()) ||
+      !ValidOffsets(index.out_offsets_, uint64_t{n} + 1,
+                    index.out_entries_.size()) ||
+      !ValidOffsets(index.followee_offsets_, index.out_entries_.size() + 1,
+                    index.followee_arena_.size())) {
+    return Status::InvalidArgument("corrupt arena offsets");
+  }
+  for (const InLabel& label : index.in_entries_) {
+    if (label.node >= n) {
+      return Status::InvalidArgument("corrupt label node id");
+    }
+  }
+  for (const OutSpan& label : index.out_entries_) {
+    if (label.node >= n) {
+      return Status::InvalidArgument("corrupt label node id");
+    }
+  }
+  for (NodeId id : index.followee_arena_) {
+    if (id >= n) {
+      return Status::InvalidArgument("corrupt followee node id");
+    }
+  }
+  index.PublishArenaMetrics();
   return index;
 }
 
 uint64_t TwoHopIndex::IndexSizeBytes() const {
-  uint64_t total = 0;
-  for (const auto& labels : in_labels_) {
-    total += labels.size() * sizeof(InLabel);
-  }
-  for (const auto& labels : out_labels_) {
-    total += labels.size() * (sizeof(NodeId) + sizeof(uint32_t) +
-                              sizeof(void*));
-    for (const auto& label : labels) {
-      total += label.followees.size() * sizeof(NodeId);
-    }
-  }
-  return total;
+  return in_offsets_.size() * sizeof(uint64_t) +
+         in_entries_.size() * sizeof(InLabel) +
+         out_offsets_.size() * sizeof(uint64_t) +
+         out_entries_.size() * sizeof(OutSpan) +
+         followee_offsets_.size() * sizeof(uint64_t) +
+         followee_arena_.size() * sizeof(NodeId);
+}
+
+uint64_t TwoHopIndex::LegacyIndexSizeBytes() const {
+  // Pre-arena layout: vector-of-vectors on both sides (24-byte vector
+  // header per node per side), 8-byte in-labels, out-labels carrying an
+  // inline std::vector<NodeId> (8 B node+dist plus a 24-byte vector
+  // header) with followee ids in per-label heap blocks.
+  const uint64_t vector_header = 3 * sizeof(void*);
+  const uint64_t n = g_->num_nodes();
+  return 2 * n * vector_header + in_entries_.size() * sizeof(InLabel) +
+         out_entries_.size() * (sizeof(OutSpan) + vector_header) +
+         followee_arena_.size() * sizeof(NodeId);
 }
 
 }  // namespace mel::reach

@@ -2,6 +2,7 @@
 #define MEL_REACH_TWO_HOP_INDEX_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -27,16 +28,26 @@ namespace mel::reach {
 /// A query unions the followee sets of every minimum-distance meeting
 /// landmark (Theorem 2), recovering the exact F_uv. Distances are bounded
 /// by H hops, matching the transitive-closure backend.
+///
+/// Storage is arena-flattened: labels live in three contiguous arrays
+/// (in-entries, out-entries, followee node ids) addressed by per-node
+/// prefix offsets — no per-label heap vectors. An out-label is the span
+/// record (node, dist) in `out_entries_` plus the half-open followee
+/// range [followee_offsets_[i], followee_offsets_[i+1]) into the id
+/// arena. Queries intersect spans in place; the count-only path
+/// (CountQuery/ScoreOnly) never materializes F_uv at all.
 class TwoHopIndex : public WeightedReachability {
  public:
   struct InLabel {
     NodeId node;
     uint32_t dist;
   };
-  struct OutLabel {
+  /// Arena span record of one out-label; the followee ids of entry i
+  /// (global index) occupy followee_arena_[followee_offsets_[i] ..
+  /// followee_offsets_[i + 1]).
+  struct OutSpan {
     NodeId node;
     uint32_t dist;
-    std::vector<NodeId> followees;  // sorted after Build
   };
 
   /// Builds the index; landmarks are processed in descending total-degree
@@ -47,35 +58,73 @@ class TwoHopIndex : public WeightedReachability {
   /// landmark the backward pass (which grows out-labels) and the forward
   /// pass (which grows in-labels) touch disjoint state and run
   /// concurrently on `pool` (nullptr = the shared pool), as does the
-  /// final per-node label sort/dedup pass. Output is bit-identical to a
-  /// 1-thread build.
+  /// final per-node label sort/dedup pass. Construction uses per-node
+  /// scratch vectors, then flattens them onto the arenas in node order —
+  /// output is bit-identical to a 1-thread build.
   static TwoHopIndex Build(const graph::DirectedGraph* g, uint32_t max_hops,
                            util::ThreadPool* pool = nullptr);
 
   double Score(NodeId u, NodeId v) const override;
   ReachQueryResult Query(NodeId u, NodeId v) const override;
+  ReachCountResult CountQuery(NodeId u, NodeId v) const override;
+  double ScoreOnly(NodeId u, NodeId v) const override;
   uint64_t IndexSizeBytes() const override;
   const char* Name() const override { return "2-hop-cover"; }
 
   /// Total number of in-label plus out-label entries (index-size metric).
   uint64_t TotalLabelEntries() const;
 
-  /// Persists the labels to disk.
+  uint64_t NumInEntries() const { return in_entries_.size(); }
+  uint64_t NumOutEntries() const { return out_entries_.size(); }
+  uint64_t NumFolloweeIds() const { return followee_arena_.size(); }
+
+  /// What the same labels cost in the pre-arena layout (one heap vector
+  /// per out-label, one vector-of-vectors per side): per-node vector
+  /// headers, per-label inline vector headers, and the followee heap
+  /// blocks. Reported by bench_reachability_index as the layout A/B
+  /// baseline.
+  uint64_t LegacyIndexSizeBytes() const;
+
+  /// Persists the labels to disk: a fixed header followed by the six
+  /// arena blocks, each streamed as one length-prefixed write.
   Status Save(const std::string& path) const;
 
-  /// Loads an index previously written by Save. The graph must be the
-  /// same one the index was built from (node count is validated).
+  /// Loads an index previously written by Save — one block read per
+  /// arena plus offset validation. The graph must be the same one the
+  /// index was built from (node count is validated).
   static Result<TwoHopIndex> Load(const std::string& path,
                                   const graph::DirectedGraph* g);
 
-  const std::vector<InLabel>& in_labels(NodeId v) const {
-    return in_labels_[v];
+  std::span<const InLabel> in_labels(NodeId v) const {
+    return std::span<const InLabel>(in_entries_)
+        .subspan(in_offsets_[v], in_offsets_[v + 1] - in_offsets_[v]);
   }
-  const std::vector<OutLabel>& out_labels(NodeId v) const {
-    return out_labels_[v];
+  std::span<const OutSpan> out_labels(NodeId v) const {
+    return std::span<const OutSpan>(out_entries_)
+        .subspan(out_offsets_[v], out_offsets_[v + 1] - out_offsets_[v]);
+  }
+  /// Global entry index of v's first out-label; add the position within
+  /// out_labels(v) to address its followee span below.
+  uint64_t out_offset(NodeId v) const { return out_offsets_[v]; }
+  /// Followee ids of the out-label with GLOBAL entry index i (i.e.
+  /// out_offset(v) + position within out_labels(v)).
+  std::span<const NodeId> followees(uint64_t out_entry_index) const {
+    return std::span<const NodeId>(followee_arena_)
+        .subspan(followee_offsets_[out_entry_index],
+                 followee_offsets_[out_entry_index + 1] -
+                     followee_offsets_[out_entry_index]);
   }
 
  private:
+  /// Construction-time out-label before flattening: followees still in a
+  /// per-label vector (append-heavy BFS phase), converted to arena spans
+  /// by FinalizeArenas.
+  struct BuildOutLabel {
+    NodeId node;
+    uint32_t dist;
+    std::vector<NodeId> followees;  // sorted after Build's sort pass
+  };
+
   /// Construction-time per-pass scratch, keyed by node id. The backward
   /// and forward passes of one landmark run concurrently, so each gets
   /// its own instance.
@@ -93,10 +142,34 @@ class TwoHopIndex : public WeightedReachability {
   void ProcessLandmarkBackward(NodeId landmark, LandmarkScratch& scratch);
   void ProcessLandmarkForward(NodeId landmark, LandmarkScratch& scratch);
 
+  /// Flattens the per-node build vectors onto the arenas (node order,
+  /// deterministic) and releases the construction scratch.
+  void FinalizeArenas();
+
+  /// Publishes reach.arena.* gauges for this index's arenas.
+  void PublishArenaMetrics() const;
+
+  /// Pass 1 + hub collection: returns d_uv (kUnreachableDistance when
+  /// none) and fills `spans` with the GLOBAL out-entry indices of every
+  /// hub achieving it, in ascending entry order.
+  uint32_t CollectMinDistanceSpans(NodeId u, NodeId v,
+                                   std::vector<uint64_t>& spans) const;
+
   const graph::DirectedGraph* g_;
   uint32_t max_hops_;
-  std::vector<std::vector<InLabel>> in_labels_;
-  std::vector<std::vector<OutLabel>> out_labels_;
+
+  // Construction scratch; empty after FinalizeArenas / in loaded indexes.
+  std::vector<std::vector<InLabel>> build_in_labels_;
+  std::vector<std::vector<BuildOutLabel>> build_out_labels_;
+
+  // Arena storage (see class comment). Offsets arrays have n + 1 /
+  // num-out-entries + 1 elements; entry arrays are contiguous.
+  std::vector<uint64_t> in_offsets_;
+  std::vector<InLabel> in_entries_;
+  std::vector<uint64_t> out_offsets_;
+  std::vector<OutSpan> out_entries_;
+  std::vector<uint64_t> followee_offsets_;
+  std::vector<NodeId> followee_arena_;
 };
 
 }  // namespace mel::reach

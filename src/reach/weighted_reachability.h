@@ -25,6 +25,30 @@ struct ReachQueryResult {
   bool reachable() const { return distance != kUnreachableDistance; }
 };
 
+/// \brief Count-only answer of a weighted reachability query: shortest
+/// distance plus |F_uv| with the followee set never materialized. Enough
+/// for the Eq.-4 score, which only divides the set's cardinality.
+struct ReachCountResult {
+  uint32_t distance = kUnreachableDistance;
+  uint32_t followee_count = 0;
+
+  bool reachable() const { return distance != kUnreachableDistance; }
+};
+
+/// \brief Eq.-4 score from (distance, |F_uv|) alone. Shares the exact
+/// branch structure and arithmetic of WeightedScore below so Score and
+/// ScoreOnly are bitwise equal on every backend.
+inline double WeightedScoreFromCount(uint32_t distance,
+                                     uint32_t followee_count,
+                                     uint32_t out_degree, bool same_node) {
+  if (same_node) return 1.0;
+  if (distance == kUnreachableDistance) return 0.0;
+  if (distance == 1) return 1.0;
+  if (out_degree == 0) return 0.0;
+  return (1.0 / distance) *
+         (static_cast<double>(followee_count) / out_degree);
+}
+
 /// \brief Converts a query result to the weighted reachability score of
 /// Eq. 4, with the conventions fixed by Algorithm 1 of the paper:
 ///   R(u, u)               = 1            (trivially reachable)
@@ -33,12 +57,9 @@ struct ReachQueryResult {
 ///   unreachable within H  = 0
 inline double WeightedScore(const ReachQueryResult& r, uint32_t out_degree,
                             bool same_node) {
-  if (same_node) return 1.0;
-  if (!r.reachable()) return 0.0;
-  if (r.distance == 1) return 1.0;
-  if (out_degree == 0) return 0.0;
-  return (1.0 / r.distance) *
-         (static_cast<double>(r.followees.size()) / out_degree);
+  return WeightedScoreFromCount(r.distance,
+                                static_cast<uint32_t>(r.followees.size()),
+                                out_degree, same_node);
 }
 
 /// \brief Common interface of the three weighted-reachability backends
@@ -57,6 +78,20 @@ class WeightedReachability {
   /// Raw distance + followee-set query (Eq. 5). Backends that only store
   /// scores (the transitive closure) do not implement this.
   virtual ReachQueryResult Query(NodeId u, NodeId v) const = 0;
+
+  /// Count-only query: (d_uv, |F_uv|) without materializing F_uv. The
+  /// default derives the pair from Query(); backends override it with an
+  /// allocation-free counting path.
+  virtual ReachCountResult CountQuery(NodeId u, NodeId v) const {
+    const ReachQueryResult r = Query(u, v);
+    return ReachCountResult{r.distance,
+                            static_cast<uint32_t>(r.followees.size())};
+  }
+
+  /// Eq.-4 score via the count-only path. Bitwise equal to Score() on
+  /// every backend (both funnel through WeightedScoreFromCount); the
+  /// default simply forwards so existing subclasses stay correct.
+  virtual double ScoreOnly(NodeId u, NodeId v) const { return Score(u, v); }
 
   /// Approximate index footprint in bytes (0 for index-free backends).
   virtual uint64_t IndexSizeBytes() const = 0;

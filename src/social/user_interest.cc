@@ -24,7 +24,9 @@ double UserInterestScorer::InterestOver(
   if (influential.empty()) return 0;
   double total = 0;
   for (const InfluentialUser& v : influential) {
-    total += reach_->Score(u, v.user);
+    // Eq. 4 only divides |F_uv|, so the count-only fast path suffices;
+    // ScoreOnly is bitwise-equal to Score on every backend.
+    total += reach_->ScoreOnly(u, v.user);
   }
   return total / static_cast<double>(influential.size());
 }

@@ -9,6 +9,7 @@
 
 #include "core/entity_linker.h"
 #include "kb/wlm.h"
+#include "reach/distance_label_index.h"
 #include "reach/naive_reachability.h"
 #include "reach/pruned_online_search.h"
 #include "reach/reach_cache.h"
@@ -137,6 +138,7 @@ void CheckReachability(const RandomWorkload& w, const DiffOptions& opts,
       reach::TransitiveClosureIndex::Construction::kIncremental,
       &serial_pool);
   auto two_hop = reach::TwoHopIndex::Build(&g, w.max_hops);
+  auto dli = reach::DistanceLabelIndex::Build(&g, w.max_hops);
   auto pruned = reach::PrunedOnlineSearch::Build(
       &g, w.max_hops, 3, DeriveSeed(w.seed, kPrunedBuildStream));
   reach::CachedReachability cached(&naive, &g);
@@ -193,9 +195,24 @@ void CheckReachability(const RandomWorkload& w, const DiffOptions& opts,
       rec.Check(s == oracle_s, std::string(name) + "-score-mismatch" +
                                    where + " got " + std::to_string(s) +
                                    " oracle " + std::to_string(oracle_s));
+      // Count-only fast path: (distance, |F_uv|) must match the oracle
+      // set exactly, and ScoreOnly must be bitwise-equal to Score (both
+      // funnel through WeightedScoreFromCount).
+      const auto cq = backend.CountQuery(u, v);
+      rec.Check(cq.distance == oracle_q.distance &&
+                    cq.followee_count == oracle_q.followees.size(),
+                std::string(name) + "-count-query-mismatch" + where +
+                    " got {d=" + std::to_string(cq.distance) + " n=" +
+                    std::to_string(cq.followee_count) + "} oracle " +
+                    DescribeQueryResult(oracle_q));
+      const double so = backend.ScoreOnly(u, v);
+      rec.Check(so == s, std::string(name) + "-score-only-mismatch" +
+                             where + " got " + std::to_string(so) +
+                             " score " + std::to_string(s));
     };
     check_exact("naive", naive);
     check_exact("two-hop", two_hop);
+    check_exact("dist-label", dli);
     check_exact("pruned-online", pruned);
     check_exact("cached", cached);
     check_exact("cached-hit", cached);  // second call exercises the hit path
@@ -209,6 +226,18 @@ void CheckReachability(const RandomWorkload& w, const DiffOptions& opts,
               "tc-score-mismatch" + where + " got " +
                   std::to_string(tc_inc.Score(u, v)) + " oracle " +
                   std::to_string(oracle_s));
+    // TC count path: distances and counts are integers, so exact even
+    // though the stored scores are floats; ScoreOnly reads the same
+    // matrix cell as Score, hence bitwise equality.
+    const auto tc_cq = tc_inc.CountQuery(u, v);
+    rec.Check(tc_cq.distance == oracle_q.distance &&
+                  tc_cq.followee_count == oracle_q.followees.size(),
+              "tc-count-query-mismatch" + where + " got {d=" +
+                  std::to_string(tc_cq.distance) + " n=" +
+                  std::to_string(tc_cq.followee_count) + "} oracle " +
+                  DescribeQueryResult(oracle_q));
+    rec.Check(tc_inc.ScoreOnly(u, v) == tc_inc.Score(u, v),
+              "tc-score-only-mismatch" + where);
   }
 }
 
@@ -541,6 +570,7 @@ void CheckFullPipeline(const RandomWorkload& w, Recorder& rec) {
       &g, w.max_hops,
       reach::TransitiveClosureIndex::Construction::kIncremental);
   auto two_hop = reach::TwoHopIndex::Build(&g, w.max_hops);
+  auto dli = reach::DistanceLabelIndex::Build(&g, w.max_hops);
   auto pruned = reach::PrunedOnlineSearch::Build(
       &g, w.max_hops, 3, DeriveSeed(w.seed, kPrunedBuildStream));
   reach::CachedReachability cached(&naive, &g);
@@ -558,6 +588,7 @@ void CheckFullPipeline(const RandomWorkload& w, Recorder& rec) {
       {"naive+online+nocache", &naive, false, false, kOracleTol},
       {"tc-incremental", &tc, true, true, kPipelineFloatTol},
       {"two-hop", &two_hop, true, true, kOracleTol},
+      {"dist-label", &dli, true, true, kOracleTol},
       {"pruned-online", &pruned, true, true, kOracleTol},
       {"cached-naive", &cached, false, true, kOracleTol},
   };
@@ -608,7 +639,7 @@ void CheckFullPipeline(const RandomWorkload& w, Recorder& rec) {
                  w, qi, rec);
     // cached(naive) serves naive's exact query results: bitwise identical
     // to the uncached naive configuration with the same index setting.
-    CompareExact(results[1], configs[1].name, results[5], configs[5].name,
+    CompareExact(results[1], configs[1].name, results[6], configs[6].name,
                  w, qi, rec);
 
     // Everything against the oracle pipeline, tolerance per backend.

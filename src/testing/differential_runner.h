@@ -41,9 +41,11 @@ struct DiffReport {
 /// configuration pair and the mel::testing oracles:
 ///
 ///  * reachability — naive BFS, TC-incremental, TC-naive, TC built on a
-///    1-thread pool, 2-hop cover, pruned-online-search, and the sharded
-///    read-through cache, all against the forward-BFS oracle (full V^2
-///    for the TC variants, sampled pairs elsewhere);
+///    1-thread pool, 2-hop cover, distance-label ablation,
+///    pruned-online-search, and the sharded read-through cache, all
+///    against the forward-BFS oracle (full V^2 for the TC variants,
+///    sampled pairs elsewhere); every backend additionally proves
+///    CountQuery == |oracle F_uv| and ScoreOnly bitwise-equal to Score;
 ///  * fuzzy candidate generation — SegmentFuzzyIndex::Lookup against the
 ///    brute-force edit-distance scan;
 ///  * WLM — CSR merge/gallop intersection against std::set_intersection;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <fstream>
 #include <ostream>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -33,6 +34,13 @@ class BinaryWriter {
   /// Length-prefixed vector of fixed-width elements.
   template <typename T>
   void WriteVector(const std::vector<T>& v) {
+    WriteSpan(std::span<const T>(v));
+  }
+
+  /// Length-prefixed contiguous block: the whole span leaves as ONE raw
+  /// write. Same wire format as WriteVector — arenas stream through here.
+  template <typename T>
+  void WriteSpan(std::span<const T> v) {
     static_assert(std::is_trivially_copyable_v<T>);
     WriteU64(v.size());
     if (!v.empty()) WriteRaw(v.data(), v.size() * sizeof(T));
@@ -65,19 +73,34 @@ class BinaryReader {
 
   template <typename T>
   std::vector<T> ReadVector() {
+    std::vector<T> v;
+    ReadVectorInto(&v);
+    return v;
+  }
+
+  /// Reads a block written by WriteVector/WriteSpan into `*out` (resized
+  /// to fit): one length read plus ONE raw read for the payload, so arena
+  /// loads cost a single I/O pass plus pointer fixup in the caller.
+  /// Returns false (and clears `*out`) on error; status() is sticky.
+  template <typename T>
+  bool ReadVectorInto(std::vector<T>* out) {
     static_assert(std::is_trivially_copyable_v<T>);
+    out->clear();
     uint64_t size = ReadU64();
     // Guard against absurd sizes from corrupt headers.
     if (!status_.ok() || size > kMaxElements) {
       if (status_.ok()) {
         status_ = Status::InvalidArgument("corrupt vector length");
       }
-      return {};
+      return false;
     }
-    std::vector<T> v(size);
-    if (size > 0) ReadRaw(v.data(), size * sizeof(T));
-    if (!status_.ok()) v.clear();
-    return v;
+    out->resize(size);
+    if (size > 0) ReadRaw(out->data(), size * sizeof(T));
+    if (!status_.ok()) {
+      out->clear();
+      return false;
+    }
+    return true;
   }
 
   const Status& status() const { return status_; }

@@ -568,6 +568,131 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
+// Count-only fast path: CountQuery must report exactly (distance,
+// |F_uv|) of the materializing Query, and ScoreOnly must be bitwise
+// equal to Score, on every backend (both funnel through
+// WeightedScoreFromCount, so any divergence is a counting bug).
+TEST_P(GraphFamilyTest, CountQueryAndScoreOnlyMatchQueryEverywhere) {
+  const GraphFamily family = GetParam();
+  DirectedGraph g = MakeFamily(family, 18);
+  NaiveReachability naive(&g, 6);
+  auto tc = TransitiveClosureIndex::Build(
+      &g, 6, TransitiveClosureIndex::Construction::kIncremental);
+  auto two_hop = TwoHopIndex::Build(&g, 6);
+  auto dist_only = DistanceLabelIndex::Build(&g, 6);
+  auto pruned = PrunedOnlineSearch::Build(&g, 6, 2, 3);
+  CachedReachability cached(&naive, &g);
+
+  for (const reach::WeightedReachability* backend :
+       {static_cast<const reach::WeightedReachability*>(&naive),
+        static_cast<const reach::WeightedReachability*>(&tc),
+        static_cast<const reach::WeightedReachability*>(&two_hop),
+        static_cast<const reach::WeightedReachability*>(&dist_only),
+        static_cast<const reach::WeightedReachability*>(&pruned),
+        static_cast<const reach::WeightedReachability*>(&cached)}) {
+    for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+      for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+        auto full = backend->Query(u, v);
+        auto count = backend->CountQuery(u, v);
+        ASSERT_EQ(full.distance, count.distance)
+            << FamilyName(family) << " " << backend->Name() << " " << u
+            << "->" << v;
+        ASSERT_EQ(full.followees.size(), count.followee_count)
+            << FamilyName(family) << " " << backend->Name() << " " << u
+            << "->" << v;
+        ASSERT_EQ(backend->Score(u, v), backend->ScoreOnly(u, v))
+            << FamilyName(family) << " " << backend->Name() << " " << u
+            << "->" << v;
+      }
+    }
+  }
+}
+
+TEST(TwoHopIndexTest, CountQueryMatchesQueryOnRandomGraphs) {
+  for (uint64_t seed : {71ULL, 72ULL, 73ULL}) {
+    DirectedGraph g = RandomGraph(50, 3.0, seed);
+    auto index = TwoHopIndex::Build(&g, 5);
+    for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+      for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+        auto full = index.Query(u, v);
+        auto count = index.CountQuery(u, v);
+        ASSERT_EQ(full.distance, count.distance)
+            << "seed " << seed << " " << u << "->" << v;
+        ASSERT_EQ(full.followees.size(), count.followee_count)
+            << "seed " << seed << " " << u << "->" << v;
+        ASSERT_EQ(index.Score(u, v), index.ScoreOnly(u, v))
+            << "seed " << seed << " " << u << "->" << v;
+      }
+    }
+  }
+}
+
+// Regression for the k-way merge that replaced concat+sort+unique: the
+// union over several overlapping min-distance hub spans must come out
+// sorted and duplicate-free. Dense graphs give every pair many meeting
+// hubs whose followee spans overlap heavily.
+TEST(TwoHopIndexTest, KWayMergeYieldsSortedDupFreeFollowees) {
+  for (uint64_t seed : {81ULL, 82ULL}) {
+    DirectedGraph g = RandomGraph(30, 6.0, seed);
+    auto index = TwoHopIndex::Build(&g, 4);
+    NaiveReachability naive(&g, 4);
+    for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+      for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+        auto q = index.Query(u, v);
+        for (size_t i = 1; i < q.followees.size(); ++i) {
+          ASSERT_LT(q.followees[i - 1], q.followees[i])
+              << "seed " << seed << " " << u << "->" << v
+              << ": followees not strictly increasing";
+        }
+        ASSERT_EQ(naive.Query(u, v).followees, q.followees)
+            << "seed " << seed << " " << u << "->" << v;
+      }
+    }
+  }
+}
+
+// Arena layout invariants: offsets bracket the arenas, accessors agree
+// with the aggregate counters, and the legacy-layout model is strictly
+// larger (the whole point of flattening).
+TEST(TwoHopIndexTest, ArenaAccountingAndSpans) {
+  DirectedGraph g = RandomGraph(60, 3.0, 91);
+  auto index = TwoHopIndex::Build(&g, 5);
+  uint64_t in_total = 0, out_total = 0, followee_total = 0;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    in_total += index.in_labels(v).size();
+    auto outs = index.out_labels(v);
+    out_total += outs.size();
+    for (size_t i = 0; i < outs.size(); ++i) {
+      followee_total +=
+          index.followees(index.out_offset(v) + i).size();
+    }
+  }
+  EXPECT_EQ(in_total, index.NumInEntries());
+  EXPECT_EQ(out_total, index.NumOutEntries());
+  EXPECT_EQ(followee_total, index.NumFolloweeIds());
+  EXPECT_EQ(index.TotalLabelEntries(), in_total + out_total);
+  EXPECT_GT(index.LegacyIndexSizeBytes(), index.IndexSizeBytes());
+}
+
+// Empty graph: every per-node label list is empty, offsets are all zero,
+// and queries stay well-defined.
+TEST(TwoHopIndexTest, EmptyLabelGraph) {
+  GraphBuilder b(5);
+  DirectedGraph g = std::move(b).Build();
+  auto index = TwoHopIndex::Build(&g, 5);
+  EXPECT_EQ(index.NumFolloweeIds(), 0u);
+  for (graph::NodeId u = 0; u < 5; ++u) {
+    for (graph::NodeId v = 0; v < 5; ++v) {
+      EXPECT_EQ(index.Score(u, v), u == v ? 1.0 : 0.0);
+      EXPECT_EQ(index.ScoreOnly(u, v), u == v ? 1.0 : 0.0);
+      auto count = index.CountQuery(u, v);
+      if (u != v) {
+        EXPECT_FALSE(count.reachable());
+      }
+    }
+  }
+}
+
 // Scores must always be inside [0, 1].
 TEST(WeightedScoreTest, RangeProperty) {
   DirectedGraph g = RandomGraph(80, 3.0, 99);
@@ -690,6 +815,31 @@ TEST(ParallelBuildTest, NaiveReachabilityConcurrentQueriesAreSafe) {
   EXPECT_EQ(mismatches.load(), 0);
 }
 
+// The 2-hop query path keeps per-thread span scratch; concurrent
+// ScoreOnly/CountQuery readers on one instance must agree with serial
+// answers (exercised under TSan via the Parallel filter in verify.sh).
+TEST(ParallelBuildTest, TwoHopConcurrentScoreOnlyReadersAgree) {
+  DirectedGraph g = RandomGraph(60, 3.0, 23);
+  auto index = TwoHopIndex::Build(&g, 5);
+  std::vector<double> expected(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    expected[v] = index.Score(7, v);
+  }
+  util::ThreadPool pool(4);
+  std::atomic<int> mismatches{0};
+  pool.ParallelFor(0, g.num_nodes() * 8u, 1, [&](size_t i) {
+    auto v = static_cast<graph::NodeId>(i % g.num_nodes());
+    if (index.ScoreOnly(7, v) != expected[v]) mismatches.fetch_add(1);
+    auto count = index.CountQuery(7, v);
+    auto full = index.Query(7, v);
+    if (count.distance != full.distance ||
+        count.followee_count != full.followees.size()) {
+      mismatches.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
 // --------------------------------------------------- CachedReachability
 
 TEST(CachedReachabilityTest, MatchesBaseBackend) {
@@ -753,6 +903,65 @@ TEST(CachedReachabilityTest, InvalidateEmptiesTheCache) {
   cached.Invalidate();
   EXPECT_EQ(cached.ApproxEntries(), 0u);
   EXPECT_EQ(cached.Score(0, 3), base.Score(0, 3));
+}
+
+TEST(CachedReachabilityTest, CountQueryUsesCacheAndMatchesBase) {
+  DirectedGraph g = RandomGraph(40, 3.0, 51);
+  NaiveReachability base(&g, 5);
+  CachedReachability cached(&base, &g);
+  auto& reg = metrics::Registry();
+  uint64_t hits0 = reg.GetCounter("reach.cache.hits_total")->Value();
+  for (graph::NodeId u = 0; u < g.num_nodes(); u += 4) {
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      auto a = cached.CountQuery(u, v);  // miss (or derived from full)
+      auto b = base.CountQuery(u, v);
+      ASSERT_EQ(a.distance, b.distance) << u << "->" << v;
+      ASSERT_EQ(a.followee_count, b.followee_count) << u << "->" << v;
+      ASSERT_EQ(cached.ScoreOnly(u, v), base.ScoreOnly(u, v))
+          << u << "->" << v;  // hit on the count cache
+    }
+  }
+  EXPECT_GT(reg.GetCounter("reach.cache.hits_total")->Value(), hits0);
+}
+
+// A full Query result already carries (distance, |F_uv|); a later
+// CountQuery for the same pair must be served from it, not from a second
+// base computation.
+TEST(CachedReachabilityTest, CountQueryDerivesFromFullEntry) {
+  DirectedGraph g = Diamond();
+  NaiveReachability base(&g, 5);
+  CachedReachability cached(&base, &g);
+  auto& reg = metrics::Registry();
+  cached.Query(0, 4);  // miss, populates the full cache
+  uint64_t misses0 = reg.GetCounter("reach.cache.misses_total")->Value();
+  auto count = cached.CountQuery(0, 4);
+  EXPECT_EQ(count.distance, 3u);
+  EXPECT_EQ(count.followee_count, 2u);
+  EXPECT_EQ(reg.GetCounter("reach.cache.misses_total")->Value(), misses0);
+}
+
+TEST(CachedReachabilityTest, BytesGaugeTracksLivePayload) {
+  DirectedGraph g = RandomGraph(40, 3.0, 61);
+  NaiveReachability base(&g, 5);
+  auto* gauge = metrics::Registry().GetGauge("reach.cache.bytes");
+  const int64_t before = gauge->Value();
+  {
+    CachedReachability cached(&base, &g);
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      cached.Query(0, v);
+      cached.CountQuery(1, v);
+    }
+    EXPECT_GT(cached.ApproxPayloadBytes(), 0u);
+    EXPECT_EQ(gauge->Value() - before,
+              static_cast<int64_t>(cached.ApproxPayloadBytes()));
+    EXPECT_LE(cached.ApproxPayloadBytes(), cached.IndexSizeBytes());
+    cached.Invalidate();
+    EXPECT_EQ(cached.ApproxPayloadBytes(), 0u);
+    EXPECT_EQ(gauge->Value(), before);
+    cached.Query(2, 3);  // repopulate, then let the destructor release it
+    EXPECT_GT(gauge->Value(), before);
+  }
+  EXPECT_EQ(gauge->Value(), before);
 }
 
 TEST(CachedReachabilityTest, ConcurrentQueriesAgree) {

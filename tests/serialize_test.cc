@@ -8,6 +8,7 @@
 #include "graph/graph_builder.h"
 #include "kb/complemented_kb.h"
 #include "kb/knowledgebase.h"
+#include "reach/distance_label_index.h"
 #include "reach/transitive_closure.h"
 #include "reach/two_hop_index.h"
 #include "util/random.h"
@@ -143,6 +144,153 @@ TEST(IndexSerializationTest, TwoHopRoundTrip) {
       ASSERT_EQ(a.followees, b.followees);
     }
   }
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>{});
+}
+
+// Arena serialization is canonical: Save -> Load -> Save must reproduce
+// the file byte for byte (the load path is a block read plus offset
+// validation, no re-derivation that could reorder anything).
+TEST(IndexSerializationTest, TwoHopSaveLoadSaveBytesIdentical) {
+  auto g = RandomGraph(60, 240, 9);
+  auto original = reach::TwoHopIndex::Build(&g, 5);
+  TempFile first("mel_2hop_first.bin");
+  TempFile second("mel_2hop_second.bin");
+  ASSERT_TRUE(original.Save(first.path()).ok());
+  auto loaded = reach::TwoHopIndex::Load(first.path(), &g);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded.value().Save(second.path()).ok());
+  std::string a = ReadFileBytes(first.path());
+  std::string b = ReadFileBytes(second.path());
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+// Edgeless graph: every label list is empty, so all offsets collapse to
+// zero and the arenas are empty blocks — the round trip must survive it.
+TEST(IndexSerializationTest, TwoHopEmptyLabelRoundTrip) {
+  graph::GraphBuilder b(7);
+  auto g = std::move(b).Build();
+  auto original = reach::TwoHopIndex::Build(&g, 5);
+  EXPECT_EQ(original.NumFolloweeIds(), 0u);
+  TempFile file("mel_2hop_empty.bin");
+  TempFile resave("mel_2hop_empty2.bin");
+  ASSERT_TRUE(original.Save(file.path()).ok());
+  auto loaded = reach::TwoHopIndex::Load(file.path(), &g);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().NumInEntries(), 0u);
+  EXPECT_EQ(loaded.value().NumOutEntries(), 0u);
+  for (graph::NodeId u = 0; u < 7; ++u) {
+    for (graph::NodeId v = 0; v < 7; ++v) {
+      EXPECT_EQ(loaded.value().Score(u, v), u == v ? 1.0 : 0.0);
+    }
+  }
+  ASSERT_TRUE(loaded.value().Save(resave.path()).ok());
+  EXPECT_EQ(ReadFileBytes(file.path()), ReadFileBytes(resave.path()));
+}
+
+// Hand-crafted files with plausible headers but broken offset arrays:
+// the loader must reject them instead of indexing out of bounds.
+TEST(IndexSerializationTest, TwoHopCorruptOffsetsRejected) {
+  constexpr uint32_t kMagic = 0x4d454c32;  // "MEL2"
+  auto g = RandomGraph(3, 6, 10);
+  struct Case {
+    const char* name;
+    std::vector<uint64_t> in_offsets;
+  };
+  // Expected shape for n=3 with no entries: {0, 0, 0, 0}.
+  const Case cases[] = {
+      {"back exceeds arena", {0, 0, 0, 9}},
+      {"non-monotone", {0, 2, 1, 0}},
+      {"wrong length", {0, 0, 0}},
+  };
+  for (const Case& c : cases) {
+    TempFile file("mel_2hop_corrupt.bin");
+    {
+      BinaryWriter writer(file.path());
+      writer.WriteU32(kMagic);
+      writer.WriteU32(2);  // version
+      writer.WriteU32(3);  // node count
+      writer.WriteU32(5);  // max hops
+      writer.WriteVector(c.in_offsets);
+      writer.WriteVector(std::vector<reach::TwoHopIndex::InLabel>{});
+      writer.WriteVector(std::vector<uint64_t>{0, 0, 0, 0});
+      writer.WriteVector(std::vector<reach::TwoHopIndex::OutSpan>{});
+      writer.WriteVector(std::vector<uint64_t>{0});
+      writer.WriteVector(std::vector<graph::NodeId>{});
+      ASSERT_TRUE(writer.Finish().ok());
+    }
+    auto loaded = reach::TwoHopIndex::Load(file.path(), &g);
+    EXPECT_FALSE(loaded.ok()) << c.name;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument)
+        << c.name;
+  }
+}
+
+TEST(IndexSerializationTest, TwoHopOutOfRangeNodeIdRejected) {
+  constexpr uint32_t kMagic = 0x4d454c32;
+  auto g = RandomGraph(3, 6, 10);
+  TempFile file("mel_2hop_badnode.bin");
+  {
+    BinaryWriter writer(file.path());
+    writer.WriteU32(kMagic);
+    writer.WriteU32(2);
+    writer.WriteU32(3);
+    writer.WriteU32(5);
+    writer.WriteVector(std::vector<uint64_t>{0, 1, 1, 1});
+    // Node id 7 does not exist in a 3-node graph.
+    writer.WriteVector(
+        std::vector<reach::TwoHopIndex::InLabel>{{7, 1}});
+    writer.WriteVector(std::vector<uint64_t>{0, 0, 0, 0});
+    writer.WriteVector(std::vector<reach::TwoHopIndex::OutSpan>{});
+    writer.WriteVector(std::vector<uint64_t>{0});
+    writer.WriteVector(std::vector<graph::NodeId>{});
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  auto loaded = reach::TwoHopIndex::Load(file.path(), &g);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IndexSerializationTest, DistanceLabelRoundTrip) {
+  auto g = RandomGraph(50, 200, 11);
+  auto original = reach::DistanceLabelIndex::Build(&g, 5);
+  TempFile file("mel_dli_index.bin");
+  TempFile resave("mel_dli_index2.bin");
+  ASSERT_TRUE(original.Save(file.path()).ok());
+  auto loaded = reach::DistanceLabelIndex::Load(file.path(), &g);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_EQ(original.Distance(u, v), loaded.value().Distance(u, v));
+      ASSERT_EQ(original.Score(u, v), loaded.value().Score(u, v));
+      ASSERT_EQ(original.ScoreOnly(u, v), loaded.value().ScoreOnly(u, v));
+    }
+  }
+  ASSERT_TRUE(loaded.value().Save(resave.path()).ok());
+  EXPECT_EQ(ReadFileBytes(file.path()), ReadFileBytes(resave.path()));
+}
+
+TEST(IndexSerializationTest, DistanceLabelRejectsForeignFiles) {
+  auto g = RandomGraph(30, 100, 12);
+  auto two_hop = reach::TwoHopIndex::Build(&g, 5);
+  TempFile file("mel_dli_foreign.bin");
+  ASSERT_TRUE(two_hop.Save(file.path()).ok());
+  // A 2-hop file is not a distance-label file (distinct magics).
+  auto loaded = reach::DistanceLabelIndex::Load(file.path(), &g);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  // Truncation is caught by the reader's sticky status.
+  auto dli = reach::DistanceLabelIndex::Build(&g, 5);
+  ASSERT_TRUE(dli.Save(file.path()).ok());
+  auto size = std::filesystem::file_size(file.path());
+  std::filesystem::resize_file(file.path(), size / 2);
+  auto truncated = reach::DistanceLabelIndex::Load(file.path(), &g);
+  EXPECT_FALSE(truncated.ok());
 }
 
 TEST(IndexSerializationTest, WrongMagicRejected) {
