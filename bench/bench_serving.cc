@@ -1,0 +1,425 @@
+// Serving-loop benchmark: sustained QPS and tail latency of the online
+// LinkService (src/serve/) under the interactive-feedback workload of
+// Sec. 3.2.2 — every second link is confirmed by its author, so the
+// knowledgebase (and with it the recency/influence caches) evolves while
+// queries are in flight.
+//
+// Three phases:
+//   1. identity   — batched responses must be BIT-identical to calling
+//                   LinkMention one at a time (asserted, not eyeballed).
+//   2. closed A/B — one-at-a-time serving (max_batch=1, every feedback is
+//                   its own epoch barrier) vs micro-batched serving
+//                   (max_batch=32, barriers amortized across the batch).
+//                   Both modes replay the same links and the same
+//                   confirmations; afterwards both knowledge states must
+//                   answer probe queries bit-identically. The speedup
+//                   floor is asserted.
+//   3. open loop  — Poisson-free constant-rate arrivals at ~1.5x the
+//                   measured capacity with the shed policy: reports
+//                   goodput, shed fraction, and latency tails.
+//
+// Writes two sidecars:
+//   bench_serving.metrics.json  — full registry export (as every bench)
+//   BENCH_serving.json          — the serving trajectory summary
+//                                 (schema: docs/PERFORMANCE.md)
+//
+// Run:   ./bench/bench_serving [--smoke] [--scale=X] [--batch=N]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "eval/harness.h"
+#include "eval/runner.h"
+#include "serve/link_service.h"
+#include "util/metrics.h"
+#include "util/serialize.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace mel;
+
+bool BitIdentical(const core::MentionLinkResult& a,
+                  const core::MentionLinkResult& b) {
+  if (a.ranked.size() != b.ranked.size()) return false;
+  if (a.probable_new_entity != b.probable_new_entity) return false;
+  for (size_t i = 0; i < a.ranked.size(); ++i) {
+    if (a.ranked[i].entity != b.ranked[i].entity) return false;
+    if (a.ranked[i].score != b.ranked[i].score) return false;
+    if (a.ranked[i].interest != b.ranked[i].interest) return false;
+    if (a.ranked[i].recency != b.ranked[i].recency) return false;
+    if (a.ranked[i].popularity != b.ranked[i].popularity) return false;
+  }
+  return true;
+}
+
+struct Confirmation {
+  kb::EntityId entity;
+  kb::Tweet tweet;
+};
+
+struct Percentiles {
+  double p50 = 0, p95 = 0, p99 = 0;
+};
+
+Percentiles HistogramPercentiles(const char* name) {
+  auto snapshot = metrics::Registry().Snapshot();
+  for (const auto& [n, h] : snapshot.histograms) {
+    if (n == name && h.count > 0) {
+      return {h.Percentile(50), h.Percentile(95), h.Percentile(99)};
+    }
+  }
+  return {};
+}
+
+core::EntityLinker FreshLinker(eval::Harness* harness,
+                               kb::ComplementedKnowledgebase* ckb) {
+  return core::EntityLinker(&harness->kb(), ckb, &harness->reachability(),
+                            &harness->network(),
+                            harness->DefaultLinkerOptions());
+}
+
+// Replays `requests` with a confirmation after every `feedback_every`-th
+// link, in waves of `wave` asynchronous submissions (wave=1 degenerates
+// to fully closed-loop one-at-a-time serving). Returns links/second.
+double RunClosedLoop(serve::LinkService* service,
+                     const std::vector<serve::LinkRequest>& requests,
+                     const std::vector<Confirmation>& confirmations,
+                     size_t feedback_every, size_t wave) {
+  WallTimer timer;
+  std::vector<std::future<serve::LinkResponse>> futures;
+  std::vector<std::future<uint64_t>> acks;
+  size_t next_feedback = 0;
+  for (size_t i = 0; i < requests.size();) {
+    const size_t end = std::min(requests.size(), i + wave);
+    for (; i < end; ++i) {
+      futures.push_back(service->Submit(requests[i]));
+      if ((i + 1) % feedback_every == 0 &&
+          next_feedback < confirmations.size()) {
+        const Confirmation& c = confirmations[next_feedback++];
+        acks.push_back(service->SubmitFeedback(c.entity, c.tweet));
+      }
+    }
+    for (auto& f : futures) {
+      if (f.get().status != serve::ServeStatus::kOk) {
+        std::printf("FAIL: closed-loop request not served\n");
+        std::exit(1);
+      }
+    }
+    futures.clear();
+  }
+  for (auto& a : acks) {
+    if (a.get() == serve::kFeedbackRejected) {
+      std::printf("FAIL: feedback rejected during closed loop\n");
+      std::exit(1);
+    }
+  }
+  return requests.size() / timer.ElapsedSeconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  double scale = 0;
+  uint32_t max_batch = 32;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      scale = std::atof(argv[i] + 8);
+    }
+    if (std::strncmp(argv[i], "--batch=", 8) == 0) {
+      max_batch = static_cast<uint32_t>(std::atoi(argv[i] + 8));
+    }
+  }
+  if (scale <= 0) scale = smoke ? 0.4 : 1.0;
+  const size_t feedback_every = 2;
+
+  std::printf("=== serving: micro-batched epochs vs one-at-a-time ===\n");
+  std::printf("mode=%s scale=%.2f max_batch=%u feedback_every=%zu\n",
+              smoke ? "smoke" : "full", scale, max_batch, feedback_every);
+
+  eval::HarnessOptions hopts;
+  hopts.scale = scale;
+  eval::Harness harness(hopts);
+
+  // Workload: every test-split mention issued at a single evaluation
+  // instant just past the corpus, confirmations drawn from ground truth.
+  const auto& tweets = harness.world().corpus.tweets;
+  kb::Timestamp eval_now = 0;
+  for (const auto& lt : tweets) {
+    eval_now = std::max(eval_now, lt.tweet.time);
+  }
+  eval_now += 60;
+
+  std::vector<serve::LinkRequest> requests;
+  std::vector<Confirmation> confirmations;
+  kb::TweetId next_tweet_id = 10000000;
+  for (uint32_t idx : harness.test_split().tweet_indices) {
+    for (const auto& m : tweets[idx].mentions) {
+      serve::LinkRequest r;
+      r.mention = m.surface;
+      r.user = tweets[idx].tweet.user;
+      r.now = eval_now;
+      requests.push_back(std::move(r));
+      if (requests.size() % feedback_every == 0) {
+        kb::Tweet t = tweets[idx].tweet;
+        t.id = next_tweet_id++;
+        t.time = eval_now - 30;
+        confirmations.push_back({m.truth, t});
+      }
+    }
+  }
+  const size_t limit = smoke ? 240 : requests.size();
+  if (requests.size() > limit) requests.resize(limit);
+  if (confirmations.size() > limit / feedback_every) {
+    confirmations.resize(limit / feedback_every);
+  }
+  std::printf("workload: %zu links + %zu confirmations\n", requests.size(),
+              confirmations.size());
+
+  // ---- Phase 1: batched == sequential, bit for bit ----------------
+  bool identity_ok = true;
+  {
+    core::EntityLinker linker =
+        harness.MakeLinker(harness.DefaultLinkerOptions());
+    linker.WarmUp();
+    const size_t probe_n = std::min<size_t>(requests.size(), 200);
+    std::vector<core::MentionLinkResult> reference;
+    reference.reserve(probe_n);
+    for (size_t i = 0; i < probe_n; ++i) {
+      reference.push_back(linker.LinkMention(
+          requests[i].mention, requests[i].user, requests[i].now));
+    }
+    serve::ServeOptions sopts;
+    sopts.max_batch = max_batch;
+    sopts.queue_capacity = probe_n;
+    serve::LinkService service(&linker, sopts);
+    std::vector<std::future<serve::LinkResponse>> futures;
+    for (size_t i = 0; i < probe_n; ++i) {
+      futures.push_back(service.Submit(requests[i]));
+    }
+    for (size_t i = 0; i < probe_n; ++i) {
+      serve::LinkResponse r = futures[i].get();
+      if (r.status != serve::ServeStatus::kOk ||
+          !BitIdentical(reference[i], r.result)) {
+        identity_ok = false;
+      }
+    }
+    std::printf("\nbatched bit-identical to sequential: %s (%zu probes)\n",
+                identity_ok ? "yes" : "NO", probe_n);
+  }
+
+  // ---- Phase 2: closed-loop A/B under interactive feedback --------
+  // Both modes start from an EMPTY complemented KB and replay the same
+  // confirmation schedule, so the knowledge states must converge.
+  metrics::Registry().Reset();
+  kb::ComplementedKnowledgebase ckb_one(&harness.kb());
+  core::EntityLinker linker_one = FreshLinker(&harness, &ckb_one);
+  double qps_one = 0;
+  {
+    serve::ServeOptions sopts;
+    sopts.max_batch = 1;
+    sopts.queue_capacity = 4;
+    serve::LinkService service(&linker_one, sopts);
+    RunClosedLoop(&service, requests, confirmations, feedback_every,
+                  /*wave=*/1);  // warm pass
+    qps_one = RunClosedLoop(&service, requests, confirmations,
+                            feedback_every, /*wave=*/1);
+  }
+
+  metrics::Registry().Reset();
+  kb::ComplementedKnowledgebase ckb_batched(&harness.kb());
+  core::EntityLinker linker_batched = FreshLinker(&harness, &ckb_batched);
+  double qps_batched = 0;
+  Percentiles link_latency, queue_wait;
+  uint64_t barriers = 0;
+  {
+    serve::ServeOptions sopts;
+    sopts.max_batch = max_batch;
+    sopts.queue_capacity = 2 * max_batch;
+    serve::LinkService service(&linker_batched, sopts);
+    const size_t wave = 2 * max_batch;
+    RunClosedLoop(&service, requests, confirmations, feedback_every,
+                  wave);  // warm pass
+    const uint64_t barriers_before =
+        metrics::Registry().GetCounter("serve.barriers_total")->Value();
+    qps_batched = RunClosedLoop(&service, requests, confirmations,
+                                feedback_every, wave);
+    barriers =
+        metrics::Registry().GetCounter("serve.barriers_total")->Value() -
+        barriers_before;
+    link_latency = HistogramPercentiles("serve.link_latency_ns");
+    queue_wait = HistogramPercentiles("serve.queue_wait_ns");
+  }
+  const double speedup = qps_batched / qps_one;
+
+  // Same confirmations -> same complemented knowledge: probe both final
+  // states and require bit-identical answers.
+  bool state_identical = true;
+  {
+    linker_one.WarmUp();
+    linker_batched.WarmUp();
+    const size_t probe_n = std::min<size_t>(requests.size(), 100);
+    for (size_t i = 0; i < probe_n; ++i) {
+      auto a = linker_one.LinkMention(requests[i].mention, requests[i].user,
+                                      requests[i].now);
+      auto b = linker_batched.LinkMention(
+          requests[i].mention, requests[i].user, requests[i].now);
+      if (!BitIdentical(a, b)) state_identical = false;
+    }
+  }
+
+  std::printf("\n%-34s %10.0f links/s\n", "one-at-a-time (max_batch=1)",
+              qps_one);
+  std::printf("%-34s %10.0f links/s\n", "micro-batched", qps_batched);
+  std::printf("%-34s %9.2fx\n", "speedup", speedup);
+  std::printf("%-34s %10llu\n", "epoch barriers (batched run)",
+              static_cast<unsigned long long>(barriers));
+  std::printf("%-34s %10s\n", "final states bit-identical",
+              state_identical ? "yes" : "NO");
+  std::printf("link latency p50/p95/p99: %.0f / %.0f / %.0f us\n",
+              link_latency.p50 / 1e3, link_latency.p95 / 1e3,
+              link_latency.p99 / 1e3);
+
+  // ---- Phase 3: open loop with load shedding ----------------------
+  const double target_qps = 1.5 * qps_batched;
+  const size_t open_n = smoke ? 300 : 2000;
+  uint64_t open_ok = 0, open_shed = 0;
+  double open_goodput = 0;
+  Percentiles open_latency;
+  {
+    metrics::Registry().Reset();
+    kb::ComplementedKnowledgebase ckb(&harness.kb());
+    core::EntityLinker linker = FreshLinker(&harness, &ckb);
+    serve::ServeOptions sopts;
+    sopts.max_batch = max_batch;
+    sopts.queue_capacity = 64;
+    sopts.policy = serve::AdmissionPolicy::kShed;
+    serve::LinkService service(&linker, sopts);
+
+    const auto interarrival = std::chrono::nanoseconds(
+        static_cast<int64_t>(1e9 / std::max(target_qps, 1.0)));
+    std::vector<std::future<serve::LinkResponse>> futures;
+    futures.reserve(open_n);
+    WallTimer timer;
+    auto next_arrival = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < open_n; ++i) {
+      std::this_thread::sleep_until(next_arrival);
+      next_arrival += interarrival;
+      futures.push_back(service.Submit(requests[i % requests.size()]));
+      // Same feedback mix as the closed loop: without the barrier work
+      // the service would absorb any offered rate and nothing would shed.
+      if ((i + 1) % feedback_every == 0) {
+        const Confirmation& c = confirmations[(i / feedback_every) %
+                                              confirmations.size()];
+        kb::Tweet t = c.tweet;
+        t.id = next_tweet_id++;
+        service.SubmitFeedback(c.entity, t);
+      }
+    }
+    for (auto& f : futures) {
+      switch (f.get().status) {
+        case serve::ServeStatus::kOk: ++open_ok; break;
+        case serve::ServeStatus::kOverloaded: ++open_shed; break;
+        default: break;
+      }
+    }
+    open_goodput = open_ok / timer.ElapsedSeconds();
+    open_latency = HistogramPercentiles("serve.link_latency_ns");
+  }
+  std::printf("\n=== open loop @ %.0f links/s offered (shed policy) ===\n",
+              target_qps);
+  std::printf("%-34s %10llu\n", "served ok",
+              static_cast<unsigned long long>(open_ok));
+  std::printf("%-34s %10llu (%.1f%%)\n", "shed",
+              static_cast<unsigned long long>(open_shed),
+              100.0 * open_shed / open_n);
+  std::printf("%-34s %10.0f links/s\n", "goodput", open_goodput);
+  std::printf("served latency p50/p95/p99: %.0f / %.0f / %.0f us\n",
+              open_latency.p50 / 1e3, open_latency.p95 / 1e3,
+              open_latency.p99 / 1e3);
+
+  // ---- Sidecars ---------------------------------------------------
+  auto& reg = metrics::Registry();
+  reg.GetGauge("bench.serving.qps_one_at_a_time")
+      ->Set(static_cast<int64_t>(qps_one));
+  reg.GetGauge("bench.serving.qps_batched")
+      ->Set(static_cast<int64_t>(qps_batched));
+  reg.GetGauge("bench.serving.speedup_x100")
+      ->Set(static_cast<int64_t>(speedup * 100));
+  reg.GetGauge("bench.serving.identity_ok")->Set(identity_ok ? 1 : 0);
+  const char* metrics_path = "bench_serving.metrics.json";
+  if (eval::ExportMetricsJson(metrics_path)) {
+    std::printf("\nmetrics JSON written to %s\n", metrics_path);
+  }
+
+  {
+    std::ofstream out("BENCH_serving.json");
+    JsonWriter w(&out);
+    w.BeginObject();
+    w.KeyValue("bench", std::string_view("serving"));
+    w.KeyValue("schema_version", uint64_t{1});
+    w.KeyValue("mode", std::string_view(smoke ? "smoke" : "full"));
+    w.KeyValue("scale", scale);
+    w.KeyValue("max_batch", uint64_t{max_batch});
+    w.KeyValue("feedback_every", uint64_t{feedback_every});
+    w.KeyValue("links", uint64_t{requests.size()});
+    w.KeyValue("identity_ok", identity_ok);
+    w.KeyValue("state_identical", state_identical);
+    w.KeyValue("qps_one_at_a_time", qps_one);
+    w.KeyValue("qps_batched", qps_batched);
+    w.KeyValue("speedup", speedup);
+    w.KeyValue("epoch_barriers", barriers);
+    w.Key("link_latency_ns");
+    w.BeginObject();
+    w.KeyValue("p50", link_latency.p50);
+    w.KeyValue("p95", link_latency.p95);
+    w.KeyValue("p99", link_latency.p99);
+    w.EndObject();
+    w.Key("queue_wait_ns");
+    w.BeginObject();
+    w.KeyValue("p50", queue_wait.p50);
+    w.KeyValue("p95", queue_wait.p95);
+    w.KeyValue("p99", queue_wait.p99);
+    w.EndObject();
+    w.Key("open_loop");
+    w.BeginObject();
+    w.KeyValue("target_qps", target_qps);
+    w.KeyValue("offered", uint64_t{open_n});
+    w.KeyValue("served_ok", open_ok);
+    w.KeyValue("shed", open_shed);
+    w.KeyValue("goodput_qps", open_goodput);
+    w.KeyValue("p99_latency_ns", open_latency.p99);
+    w.EndObject();
+    w.EndObject();
+    out << "\n";
+    std::printf("trajectory written to BENCH_serving.json\n");
+  }
+
+  // ---- Acceptance gates -------------------------------------------
+  const double floor = smoke ? 1.05 : 1.3;
+  bool ok = true;
+  if (!identity_ok) {
+    std::printf("FAIL: batched results diverged from sequential\n");
+    ok = false;
+  }
+  if (!state_identical) {
+    std::printf("FAIL: final knowledge states diverged across modes\n");
+    ok = false;
+  }
+  if (speedup < floor) {
+    std::printf("FAIL: speedup %.2fx below the %.2fx floor\n", speedup,
+                floor);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

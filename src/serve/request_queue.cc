@@ -1,0 +1,139 @@
+#include "serve/request_queue.h"
+
+#include <utility>
+
+#include "util/metrics.h"
+
+namespace mel::serve {
+
+namespace {
+
+struct QueueMetrics {
+  metrics::Gauge* depth;
+  metrics::Counter* shed;
+};
+
+const QueueMetrics& GetQueueMetrics() {
+  static const QueueMetrics m = [] {
+    auto& reg = metrics::Registry();
+    QueueMetrics qm;
+    qm.depth = reg.GetGauge("serve.queue_depth");
+    qm.shed = reg.GetCounter("serve.shed_total");
+    return qm;
+  }();
+  return m;
+}
+
+}  // namespace
+
+RequestQueue::RequestQueue(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+RequestQueue::PushResult RequestQueue::Push(PendingLink&& item,
+                                            AdmissionPolicy policy) {
+  const QueueMetrics& qm = GetQueueMetrics();
+  std::unique_lock lock(mu_);
+  if (closed_) return PushResult::kClosed;
+
+  if (links_.size() >= capacity_) {
+    switch (policy) {
+      case AdmissionPolicy::kShed:
+        qm.shed->Increment();
+        return PushResult::kOverloaded;
+      case AdmissionPolicy::kBlock:
+        not_full_.wait(lock, [this] {
+          return closed_ || links_.size() < capacity_;
+        });
+        break;
+      case AdmissionPolicy::kDeadline: {
+        auto has_room = [this] {
+          return closed_ || links_.size() < capacity_;
+        };
+        if (item.deadline ==
+            std::chrono::steady_clock::time_point::max()) {
+          not_full_.wait(lock, has_room);
+        } else if (!not_full_.wait_until(lock, item.deadline, has_room)) {
+          return PushResult::kExpired;
+        }
+        break;
+      }
+    }
+    if (closed_) return PushResult::kClosed;
+  }
+
+  links_.push_back(std::move(item));
+  qm.depth->Set(static_cast<int64_t>(links_.size()));
+  dispatch_.notify_one();
+  return PushResult::kAccepted;
+}
+
+bool RequestQueue::PushFeedback(PendingFeedback&& feedback) {
+  std::lock_guard lock(mu_);
+  if (closed_) return false;
+  feedback_.push_back(std::move(feedback));
+  dispatch_.notify_one();
+  return true;
+}
+
+bool RequestQueue::WaitDispatch(size_t max_batch,
+                                std::vector<PendingLink>* batch,
+                                std::vector<PendingLink>* expired) {
+  batch->clear();
+  expired->clear();
+  std::unique_lock lock(mu_);
+  dispatch_.wait(lock, [this] {
+    if (paused_ && !closed_) return false;
+    return closed_ || !links_.empty() || !feedback_.empty();
+  });
+  if (links_.empty() && feedback_.empty()) return !closed_;
+
+  const auto now = std::chrono::steady_clock::now();
+  while (!links_.empty() && batch->size() < max_batch) {
+    PendingLink& front = links_.front();
+    if (front.deadline <= now) {
+      expired->push_back(std::move(front));
+    } else {
+      batch->push_back(std::move(front));
+    }
+    links_.pop_front();
+  }
+  GetQueueMetrics().depth->Set(static_cast<int64_t>(links_.size()));
+  not_full_.notify_all();
+  return true;
+}
+
+void RequestQueue::TakeFeedback(std::vector<PendingFeedback>* out) {
+  out->clear();
+  std::lock_guard lock(mu_);
+  while (!feedback_.empty()) {
+    out->push_back(std::move(feedback_.front()));
+    feedback_.pop_front();
+  }
+}
+
+void RequestQueue::SetPaused(bool paused) {
+  std::lock_guard lock(mu_);
+  if (closed_) return;  // shutdown always drains
+  paused_ = paused;
+  if (!paused_) dispatch_.notify_all();
+}
+
+void RequestQueue::Close() {
+  std::lock_guard lock(mu_);
+  closed_ = true;
+  paused_ = false;
+  dispatch_.notify_all();
+  not_full_.notify_all();
+}
+
+size_t RequestQueue::Depth() const {
+  std::lock_guard lock(mu_);
+  return links_.size();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard lock(mu_);
+  return closed_;
+}
+
+}  // namespace mel::serve

@@ -1,0 +1,108 @@
+#ifndef MEL_SERVE_REQUEST_QUEUE_H_
+#define MEL_SERVE_REQUEST_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "kb/types.h"
+#include "serve/types.h"
+
+namespace mel::serve {
+
+/// \brief A link request waiting for dispatch, with its completion
+/// promise and wall-clock bookkeeping.
+struct PendingLink {
+  LinkRequest request;
+  std::promise<LinkResponse> promise;
+  std::chrono::steady_clock::time_point enqueued;
+  /// steady_clock::time_point::max() when the request has no deadline.
+  std::chrono::steady_clock::time_point deadline;
+};
+
+/// \brief A ConfirmLink write waiting for the next epoch barrier.
+struct PendingFeedback {
+  kb::EntityId entity = kb::kInvalidEntity;
+  kb::Tweet tweet;
+  /// Resolved with the epoch from which the write is visible
+  /// (kFeedbackRejected if the service stopped first).
+  std::promise<uint64_t> ack;
+};
+
+/// \brief Bounded MPMC queue feeding the LinkService dispatcher.
+///
+/// Producers (any number of client threads) push link requests under an
+/// admission policy and feedback writes without a bound (feedback is a
+/// few dozen bytes and must never be dropped — it is the paper's online
+/// learning signal). The single consumer (the dispatcher) pops link
+/// requests up to a batch cap and takes the pending feedback separately,
+/// so the service can order writes behind the epoch barrier.
+///
+/// The queue is the admission controller: kBlock producers wait on the
+/// not-full condition, kShed producers fail fast, kDeadline producers
+/// wait with a timeout. Expired entries are separated out at dispatch
+/// time so they never consume linker time.
+class RequestQueue {
+ public:
+  explicit RequestQueue(size_t capacity);
+
+  enum class PushResult : uint8_t {
+    kAccepted,
+    kOverloaded,  // kShed and the queue was full
+    kExpired,     // kDeadline and the deadline passed while waiting
+    kClosed,      // Close() was called before admission
+  };
+
+  /// Admits one link request under `policy`. May block (kBlock /
+  /// kDeadline). On kAccepted the queue owns the promise.
+  PushResult Push(PendingLink&& item, AdmissionPolicy policy);
+
+  /// Queues one feedback write (unbounded). Returns false when closed.
+  bool PushFeedback(PendingFeedback&& feedback);
+
+  /// Blocks until link requests or feedback are dispatchable (or the
+  /// queue is closed and fully drained, in which case it returns false).
+  /// Pops up to `max_batch` link requests whose deadline has not passed
+  /// into `batch` and every already-expired entry into `expired`; either
+  /// may come back empty when only feedback is pending. While paused
+  /// (SetPaused(true)) nothing is dispatched until Resume or Close.
+  bool WaitDispatch(size_t max_batch, std::vector<PendingLink>* batch,
+                    std::vector<PendingLink>* expired);
+
+  /// Moves every pending feedback write into `out` (FIFO submission
+  /// order), without blocking. Called by the dispatcher at the barrier.
+  void TakeFeedback(std::vector<PendingFeedback>* out);
+
+  /// Pauses / resumes dispatch (admission is unaffected). Used by tests
+  /// to control batch boundaries deterministically and by operators to
+  /// quiesce the linker. Close() clears the pause so shutdown drains.
+  void SetPaused(bool paused);
+
+  /// Stops admission (Push* fail from now on), clears any pause, and
+  /// wakes every waiter. Already-admitted requests and feedback remain
+  /// dispatchable so the service drains them.
+  void Close();
+
+  size_t capacity() const { return capacity_; }
+  size_t Depth() const;
+  bool closed() const;
+
+ private:
+  const size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;   // producers under kBlock/kDeadline
+  std::condition_variable dispatch_;   // the dispatcher
+  std::deque<PendingLink> links_;
+  std::deque<PendingFeedback> feedback_;
+  bool paused_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace mel::serve
+
+#endif  // MEL_SERVE_REQUEST_QUEUE_H_

@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/thread_pool.h"
 
 namespace mel::metrics {
 namespace {
@@ -231,6 +234,38 @@ TEST(ConcurrencyTest, RegistryLookupsAreSafeFromManyThreads) {
   for (auto& thread : threads) thread.join();
   for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
   EXPECT_GE(seen[0]->Value(), static_cast<uint64_t>(kThreads));
+}
+
+// The serving loop records latencies from pool workers while an operator
+// thread exports the registry: recording and ToJson snapshotting must be
+// safe to interleave (the snapshot sees a consistent-enough view; the
+// final totals are exact).
+TEST(ConcurrencyTest, RecordingFromPoolWhileExportingJsonIsSafe) {
+  Histogram* h =
+      Registry().GetHistogram("test.concurrent.export_histogram");
+  Counter* c = Registry().GetCounter("test.concurrent.export_counter");
+  const uint64_t count_before = h->GetSnapshot().count;
+  const uint64_t value_before = c->Value();
+
+  constexpr uint64_t kItems = 20000;
+  std::atomic<bool> done{false};
+  std::thread exporter([&done] {
+    while (!done.load(std::memory_order_acquire)) {
+      std::string json = Registry().Snapshot().ToJson();
+      EXPECT_NE(json.find("test.concurrent.export_histogram"),
+                std::string::npos);
+    }
+  });
+  util::ThreadPool::Shared().ParallelFor(0, kItems, /*grain=*/64,
+                                         [&](size_t i) {
+                                           h->Record(i + 1);
+                                           c->Increment();
+                                         });
+  done.store(true, std::memory_order_release);
+  exporter.join();
+
+  EXPECT_EQ(h->GetSnapshot().count, count_before + kItems);
+  EXPECT_EQ(c->Value(), value_before + kItems);
 }
 
 TEST(ScopedStageTimerTest, RecordsOneSampleWhenEnabled) {
