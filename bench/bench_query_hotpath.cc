@@ -20,13 +20,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "eval/harness.h"
 #include "eval/runner.h"
 #include "util/metrics.h"
 #include "util/random.h"
+#include "util/serialize.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -187,6 +190,27 @@ int main(int argc, char** argv) {
   const char* metrics_path = "bench_query_hotpath.metrics.json";
   if (eval::ExportMetricsJson(metrics_path)) {
     std::printf("\nmetrics JSON written to %s\n", metrics_path);
+  }
+
+  // Per-PR trajectory sidecar (schema v1; keys checked by verify.sh).
+  {
+    std::ofstream sidecar("BENCH_hotpath.json");
+    JsonWriter w(&sidecar);
+    w.BeginObject();
+    w.KeyValue("bench", std::string_view("hotpath"));
+    w.KeyValue("schema_version", uint64_t{1});
+    w.KeyValue("mode", std::string_view(smoke ? "smoke" : "full"));
+    w.KeyValue("scale", hopts.scale);
+    w.KeyValue("theta2", hopts.theta2);
+    w.KeyValue("mentions", uint64_t{queries.size()});
+    w.KeyValue("rounds", uint64_t{rounds});
+    w.KeyValue("baseline_mentions_per_sec", base_qps);
+    w.KeyValue("optimized_mentions_per_sec", opt_qps);
+    w.KeyValue("speedup", speedup);
+    w.KeyValue("parallel_build_identical", identical);
+    w.EndObject();
+    sidecar << "\n";
+    std::printf("trajectory written to BENCH_hotpath.json\n");
   }
   if (!identical) {
     std::printf("FAIL: parallel network build diverged from serial\n");

@@ -15,7 +15,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "gen/social_graph_generator.h"
@@ -26,6 +28,7 @@
 #include "reach/two_hop_index.h"
 #include "util/metrics.h"
 #include "util/random.h"
+#include "util/serialize.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -221,12 +224,24 @@ double MeasureLegacyScoreNanos(const LegacyTwoHop& legacy,
   return nanos / w.sources.size();
 }
 
+struct ArenaAbResult {
+  uint32_t users = 0;
+  size_t queries = 0;
+  double legacy_score_ns = 0;
+  double arena_score_ns = 0;
+  double score_only_ns = 0;
+  uint64_t arena_bytes = 0;
+  uint64_t legacy_bytes = 0;
+};
+
 // Arena layout + count-only fast path A/B on the 2-hop cover: legacy
 // (vector-of-vectors) vs arena index bytes, and the legacy materializing
 // Score vs arena Score vs arena ScoreOnly query latencies. Results go
-// to bench.reach.* gauges in the metrics sidecar; scripts/verify.sh runs
-// this section alone via --smoke.
-void RunArenaAb(uint32_t users, size_t queries, mel::util::ThreadPool* pool) {
+// to bench.reach.* gauges in the metrics sidecar and, via the returned
+// struct, to the BENCH_reach.json trajectory sidecar; scripts/verify.sh
+// runs this section alone via --smoke.
+ArenaAbResult RunArenaAb(uint32_t users, size_t queries,
+                         mel::util::ThreadPool* pool) {
   using namespace mel;
   gen::SocialGenOptions sopts;
   sopts.num_users = users;
@@ -290,6 +305,36 @@ void RunArenaAb(uint32_t users, size_t queries, mel::util::ThreadPool* pool) {
       ->Set(static_cast<int64_t>(arena_bytes));
   reg.GetGauge("bench.reach.legacy_index_bytes")
       ->Set(static_cast<int64_t>(legacy_bytes));
+
+  ArenaAbResult result;
+  result.users = users;
+  result.queries = queries;
+  result.legacy_score_ns = legacy_score_ns;
+  result.arena_score_ns = arena_score_ns;
+  result.score_only_ns = score_only_ns;
+  result.arena_bytes = arena_bytes;
+  result.legacy_bytes = legacy_bytes;
+  return result;
+}
+
+// Per-PR trajectory sidecar (schema v1; keys checked by verify.sh).
+void WriteReachSidecar(const ArenaAbResult& ab, bool smoke) {
+  std::ofstream sidecar("BENCH_reach.json");
+  mel::JsonWriter w(&sidecar);
+  w.BeginObject();
+  w.KeyValue("bench", std::string_view("reach"));
+  w.KeyValue("schema_version", uint64_t{1});
+  w.KeyValue("mode", std::string_view(smoke ? "smoke" : "full"));
+  w.KeyValue("users", uint64_t{ab.users});
+  w.KeyValue("queries", uint64_t{ab.queries});
+  w.KeyValue("legacy_score_ns", ab.legacy_score_ns);
+  w.KeyValue("arena_score_ns", ab.arena_score_ns);
+  w.KeyValue("score_only_ns", ab.score_only_ns);
+  w.KeyValue("arena_index_bytes", ab.arena_bytes);
+  w.KeyValue("legacy_index_bytes", ab.legacy_bytes);
+  w.EndObject();
+  sidecar << "\n";
+  std::printf("trajectory written to BENCH_reach.json\n");
 }
 
 }  // namespace
@@ -314,7 +359,8 @@ int main(int argc, char** argv) {
   const char* metrics_path = "bench_reachability_index.metrics.json";
   if (smoke) {
     // CI-sized run: just the arena/count-only A/B, small graph.
-    RunArenaAb(/*users=*/800, /*queries=*/40000, &pool);
+    const auto ab = RunArenaAb(/*users=*/800, /*queries=*/40000, &pool);
+    WriteReachSidecar(ab, /*smoke=*/true);
     if (mel::metrics::WriteJsonFile(metrics_path).ok()) {
       std::printf("metrics JSON written to %s\n", metrics_path);
     }
@@ -457,7 +503,8 @@ int main(int argc, char** argv) {
         base_ns / cached_ns, cached.ApproxEntries());
   }
 
-  RunArenaAb(/*users=*/4000, /*queries=*/kQueries, &pool);
+  const auto ab = RunArenaAb(/*users=*/4000, /*queries=*/kQueries, &pool);
+  WriteReachSidecar(ab, /*smoke=*/false);
 
   if (mel::metrics::WriteJsonFile(metrics_path).ok()) {
     std::printf("metrics JSON written to %s\n", metrics_path);

@@ -4,20 +4,25 @@
 #
 # A second stage runs a Release-mode bench smoke: the hot-path A/B bench,
 # the reachability arena/count-only A/B, the serving micro-batch A/B
-# (which also asserts batched == sequential bit-identity), and a short
-# bench_micro filter, then checks that all metrics sidecars are valid
-# JSON and that the BENCH_serving.json trajectory carries its required
-# keys (docs/PERFORMANCE.md). Skip it (e.g. on very slow machines) with
+# (which also asserts batched == sequential bit-identity), the scheduler
+# A/B (chunk-pull vs work-stealing; speedup floors assert only in full
+# mode on >= 4 hardware threads), and a short bench_micro filter, then
+# checks that all metrics sidecars are valid JSON and that the
+# BENCH_serving.json / BENCH_scheduler.json / BENCH_hotpath.json /
+# BENCH_reach.json trajectories carry their required keys
+# (docs/PERFORMANCE.md). Skip it (e.g. on very slow machines) with
 # MEL_SKIP_BENCH=1.
 #
 # A third stage rebuilds the threaded code under ThreadSanitizer and
-# runs the suites that exercise the thread pool, the parallel index and
-# network constructions, the recency-cache fill, the reach-score cache,
-# the batch linker, the serving loop (producers + feedback racing the
-# dispatcher, epoch-schedule replay, drain-on-shutdown), the
-# metrics-export concurrency test, and the differential concurrency
-# tests (ConfirmLink epoch bumps racing the recency cache). Skip it
-# (e.g. on machines without TSan runtime support) with MEL_SKIP_TSAN=1.
+# runs the suites that exercise the thread pool (including the
+# work-stealing deque protocol and the many-submitters steal stress
+# test), the parallel index and network constructions, the
+# recency-cache fill, the reach-score cache, the batch linker, the
+# serving loop (producers + feedback racing the dispatcher,
+# epoch-schedule replay, drain-on-shutdown), the metrics-export
+# concurrency test, and the differential concurrency tests (ConfirmLink
+# epoch bumps racing the recency cache). Skip it (e.g. on machines
+# without TSan runtime support) with MEL_SKIP_TSAN=1.
 #
 # A fourth stage, `differential`, rebuilds under AddressSanitizer and
 # replays a scaled-up randomized differential sweep (see docs/TESTING.md)
@@ -32,12 +37,13 @@ cd "$(dirname "$0")/.."
 cmake -B build -S . && cmake --build build -j && (cd build && ctest --output-on-failure -j)
 
 if [ "${MEL_SKIP_BENCH:-0}" != "1" ]; then
-  echo "=== Bench smoke: query hot path A/B + reach arena A/B + serving + micro (Release) ==="
+  echo "=== Bench smoke: query hot path A/B + reach arena A/B + serving + scheduler + micro (Release) ==="
   cmake --build build -j --target bench_query_hotpath bench_micro \
-    bench_reachability_index bench_serving
+    bench_reachability_index bench_serving bench_scheduler
   (cd build/bench && ./bench_query_hotpath --smoke)
   (cd build/bench && ./bench_reachability_index --smoke)
   (cd build/bench && ./bench_serving --smoke)
+  (cd build/bench && ./bench_scheduler --smoke)
   (cd build/bench && ./bench_micro \
     --benchmark_filter='BM_LinkMention$|BM_LinkMentionRecencyCacheOff|BM_RecencyCandidateScores' \
     --benchmark_min_time=0.05)
@@ -46,19 +52,39 @@ import json, sys
 for path in ("build/bench/bench_query_hotpath.metrics.json",
              "build/bench/bench_reachability_index.metrics.json",
              "build/bench/bench_serving.metrics.json",
+             "build/bench/bench_scheduler.metrics.json",
              "build/bench/bench_micro.metrics.json"):
     with open(path) as f:
         json.load(f)
     print(path, "parses")
-# The serving trajectory sidecar (docs/PERFORMANCE.md) must carry its
-# required keys so committed BENCH_serving.json files stay comparable.
-with open("build/bench/BENCH_serving.json") as f:
-    t = json.load(f)
-for key in ("bench", "schema_version", "qps_batched", "speedup",
-            "identity_ok", "link_latency_ns"):
-    assert key in t, "BENCH_serving.json missing key: " + key
-assert t["bench"] == "serving" and t["identity_ok"] is True
-print("build/bench/BENCH_serving.json carries the required keys")
+# The trajectory sidecars (docs/PERFORMANCE.md) must carry their
+# required keys so the committed BENCH_*.json files stay comparable
+# across PRs.
+required = {
+    "BENCH_serving.json": ("bench", "schema_version", "qps_batched",
+                           "speedup", "identity_ok", "link_latency_ns"),
+    "BENCH_scheduler.json": ("bench", "schema_version", "mode", "threads",
+                             "skew_speedup", "uniform_ratio",
+                             "twohop_speedup", "skew_steals", "asserted"),
+    "BENCH_hotpath.json": ("bench", "schema_version", "mode",
+                           "baseline_mentions_per_sec",
+                           "optimized_mentions_per_sec", "speedup",
+                           "parallel_build_identical"),
+    "BENCH_reach.json": ("bench", "schema_version", "mode",
+                         "legacy_score_ns", "arena_score_ns",
+                         "score_only_ns", "arena_index_bytes",
+                         "legacy_index_bytes"),
+}
+for name, keys in required.items():
+    with open("build/bench/" + name) as f:
+        t = json.load(f)
+    for key in keys:
+        assert key in t, name + " missing key: " + key
+    print("build/bench/" + name, "carries the required keys")
+    if name == "BENCH_serving.json":
+        assert t["bench"] == "serving" and t["identity_ok"] is True
+    if name == "BENCH_hotpath.json":
+        assert t["parallel_build_identical"] is True
 '
 fi
 
@@ -69,7 +95,7 @@ if [ "${MEL_SKIP_TSAN:-0}" != "1" ]; then
     extensions_test recency_test text_test differential_test \
     metrics_test serve_test
   (cd build-tsan && ctest --output-on-failure \
-    -R 'ThreadPool|Parallel|CachedReachability|DifferentialConcurrency|ServeFixture|ConcurrencyTest' -j)
+    -R 'ThreadPool|StealDeque|Parallel|CachedReachability|DifferentialConcurrency|ServeFixture|ConcurrencyTest' -j)
   echo "=== TSan stage: reduced differential sweep ==="
   (cd build-tsan/tests && MEL_DIFF_CASES="${MEL_DIFF_CASES_TSAN:-40}" \
     ./differential_test --gtest_filter='DifferentialShards.Shard*')

@@ -1,0 +1,115 @@
+#ifndef MEL_UTIL_STEAL_DEQUE_H_
+#define MEL_UTIL_STEAL_DEQUE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace mel::util {
+
+/// \brief Fixed-capacity Chase-Lev work-stealing deque of 64-bit values.
+///
+/// One owner pushes and pops at the bottom (LIFO); any number of thieves
+/// take from the top (FIFO), so the oldest — in the thread pool's usage,
+/// the *largest* — range is the one that gets stolen. The protocol
+/// follows Le, Pop, Cohen & Nardelli, "Correct and Efficient
+/// Work-Stealing for Weak Memory Models" (PPoPP'13), with two deliberate
+/// deviations:
+///
+///  * Slots are relaxed atomics. A thief may read a slot the owner is
+///    concurrently recycling, but its CAS on top_ then fails and the
+///    value is discarded; making the read atomic keeps that benign race
+///    out of undefined-behaviour (and ThreadSanitizer-report) territory.
+///  * top_/bottom_ use seq_cst operations instead of standalone fences,
+///    because TSan does not model atomic_thread_fence and the scheduler
+///    runs under TSan in CI. The extra ordering costs nothing next to a
+///    grain of real work per deque operation.
+///
+/// Capacity is fixed rather than growable: the pool pushes at most one
+/// entry per binary split of a range, so the owner's depth is bounded by
+/// log2(range_size) <= 64 (a successful steal moves all *further*
+/// splitting of the stolen half into the thief's own deque). Push
+/// reports failure instead of resizing; the pool then simply runs the
+/// oversized range without splitting it further.
+class StealDeque {
+ public:
+  static constexpr uint32_t kCapacity = 256;
+  static_assert((kCapacity & (kCapacity - 1)) == 0,
+                "capacity must be a power of two");
+
+  /// Owner only. Returns false when the deque is full.
+  bool Push(uint64_t value) {
+    const int64_t b = bottom_.load(std::memory_order_relaxed);
+    const int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t >= static_cast<int64_t>(kCapacity)) return false;
+    slots_[static_cast<uint64_t>(b) & kMask].store(value,
+                                                   std::memory_order_relaxed);
+    // seq_cst release-publishes the slot to thieves reading bottom_.
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+    return true;
+  }
+
+  /// Owner only. Pops the most recently pushed value (LIFO).
+  bool Pop(uint64_t* out) {
+    const int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    // The decrement must be ordered before the top_ read (StoreLoad);
+    // seq_cst on both provides it without a standalone fence.
+    bottom_.store(b, std::memory_order_seq_cst);
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // empty: restore the canonical empty shape
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    const uint64_t value =
+        slots_[static_cast<uint64_t>(b) & kMask].load(
+            std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race the thieves for it via top_.
+      const bool won = top_.compare_exchange_strong(
+          t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      if (!won) return false;
+      *out = value;
+      return true;
+    }
+    *out = value;
+    return true;
+  }
+
+  /// Any thread. Takes the oldest value (FIFO). Returns false when the
+  /// deque looks empty or another thief (or the owner taking the last
+  /// element) won the race.
+  bool Steal(uint64_t* out) {
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    const int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return false;
+    const uint64_t value =
+        slots_[static_cast<uint64_t>(t) & kMask].load(
+            std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return false;
+    }
+    *out = value;
+    return true;
+  }
+
+  /// Racy size hint for victim scanning; never a correctness signal.
+  bool MaybeEmpty() const {
+    return top_.load(std::memory_order_relaxed) >=
+           bottom_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr uint64_t kMask = kCapacity - 1;
+
+  // top_ and bottom_ on separate cache lines: thieves hammer top_, the
+  // owner hammers bottom_.
+  alignas(64) std::atomic<int64_t> top_{0};
+  alignas(64) std::atomic<int64_t> bottom_{0};
+  std::array<std::atomic<uint64_t>, kCapacity> slots_{};
+};
+
+}  // namespace mel::util
+
+#endif  // MEL_UTIL_STEAL_DEQUE_H_
