@@ -11,20 +11,33 @@
 //                                       about this entity (now = latest)
 //   entity <entity_id>                  show entity details
 //   surfaces                            list a few ambiguous surfaces
+//   save-index <path>                   build the 2-hop reachability index
+//                                       over the world's social graph and
+//                                       save it as a MEL3 container
+//   load-mmap <path>                    memory-map a saved MEL3 index
+//                                       (zero-copy; see docs/PERFORMANCE.md)
 //   stats [path]                        dump the metrics registry as JSON
-//                                       (to stdout, or to a file)
+//                                       (to stdout, or to a file); includes
+//                                       mapped-index stats when one is live
 //   stats-reset                         zero all pipeline metrics
 //   quit                                exit
 // EOF exits, so the binary is safe to run non-interactively.
 
 #include <cstdio>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "core/personalized_search.h"
 #include "eval/harness.h"
+#include "reach/reach_metrics.h"
+#include "reach/two_hop_index.h"
 #include "util/metrics.h"
+#include "util/mmap_file.h"
+#include "util/string_util.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -55,6 +68,9 @@ int main() {
   core::PersonalizedSearch search(&linker, &harness.ckb());
   const kb::Timestamp now = 90 * kb::kSecondsPerDay;
   kb::TweetId next_tweet_id = 10000000;
+  // Held across commands so the mapping's lifetime can be poked at
+  // interactively; replaced wholesale by each `load-mmap`.
+  std::optional<reach::TwoHopIndex> mapped_index;
 
   std::printf(
       "Ready. %u entities, %zu surface forms, %u users. Type 'surfaces' "
@@ -112,6 +128,73 @@ int main() {
               counter("candgen.fuzzy.fallbacks_total")),
           static_cast<unsigned long long>(
               counter("candgen.fuzzy.unmatched_total")));
+      // Mapped-index tier (docs/PERFORMANCE.md): what the reach.mmap.*
+      // gauges say about the most recent index load in this process.
+      auto gauge = [](const char* name) {
+        return metrics::Registry().GetGauge(name)->Value();
+      };
+      const int64_t load_mode = gauge("reach.mmap.load_mode");
+      const char* mode_name =
+          load_mode == reach::kLoadModeMapped
+              ? "mapped"
+              : (load_mode == reach::kLoadModeCopied ? "copied" : "built");
+      std::printf("  index load mode: %s", mode_name);
+      if (mapped_index.has_value() && mapped_index->IsMapped()) {
+        std::printf(", %s mapped (advice=%s)",
+                    HumanBytes(mapped_index->MappedBytes()).c_str(),
+                    util::MmapFile::AdviceName(
+                        static_cast<util::MmapFile::Advice>(
+                            gauge("reach.mmap.advice"))));
+      }
+      std::printf("\n");
+      continue;
+    }
+
+    if (command == "save-index") {
+      std::string path;
+      if (!(in >> path)) {
+        std::printf("  usage: save-index <path>\n");
+        continue;
+      }
+      WallTimer timer;
+      auto index =
+          reach::TwoHopIndex::Build(&harness.world().social.graph, 5);
+      const double build_ns = static_cast<double>(timer.ElapsedNanos());
+      timer.Restart();
+      auto status = index.Save(path);
+      if (!status.ok()) {
+        std::printf("  save failed: %s\n", status.message().c_str());
+        continue;
+      }
+      std::printf(
+          "  built 2-hop index (%s arenas) in %s, saved MEL3 container "
+          "to %s in %s\n",
+          HumanBytes(index.IndexSizeBytes()).c_str(),
+          HumanNanos(build_ns).c_str(), path.c_str(),
+          HumanNanos(static_cast<double>(timer.ElapsedNanos())).c_str());
+      continue;
+    }
+
+    if (command == "load-mmap") {
+      std::string path;
+      if (!(in >> path)) {
+        std::printf("  usage: load-mmap <path>\n");
+        continue;
+      }
+      WallTimer timer;
+      auto loaded = reach::TwoHopIndex::LoadMapped(
+          path, &harness.world().social.graph);
+      if (!loaded.ok()) {
+        std::printf("  load-mmap failed: %s\n",
+                    loaded.status().message().c_str());
+        continue;
+      }
+      mapped_index.emplace(std::move(loaded).value());
+      std::printf(
+          "  mapped %s in %s (zero-copy; pages fault in on demand). "
+          "'stats' shows the reach.mmap.* gauges.\n",
+          HumanBytes(mapped_index->MappedBytes()).c_str(),
+          HumanNanos(static_cast<double>(timer.ElapsedNanos())).c_str());
       continue;
     }
 

@@ -6,12 +6,13 @@
 # the reachability arena/count-only A/B, the serving micro-batch A/B
 # (which also asserts batched == sequential bit-identity), the scheduler
 # A/B (chunk-pull vs work-stealing; speedup floors assert only in full
-# mode on >= 4 hardware threads), and a short bench_micro filter, then
-# checks that all metrics sidecars are valid JSON and that the
-# BENCH_serving.json / BENCH_scheduler.json / BENCH_hotpath.json /
-# BENCH_reach.json trajectories carry their required keys
-# (docs/PERFORMANCE.md). Skip it (e.g. on very slow machines) with
-# MEL_SKIP_BENCH=1.
+# mode on >= 4 hardware threads), the MEL3 startup A/B (mmap vs
+# deserializing load; the >= 10x floor asserts only in full mode), and a
+# short bench_micro filter, then checks that all metrics sidecars are
+# valid JSON and that the BENCH_serving.json / BENCH_scheduler.json /
+# BENCH_hotpath.json / BENCH_reach.json / BENCH_startup.json
+# trajectories carry their required keys (docs/PERFORMANCE.md). Skip it
+# (e.g. on very slow machines) with MEL_SKIP_BENCH=1.
 #
 # A third stage rebuilds the threaded code under ThreadSanitizer and
 # runs the suites that exercise the thread pool (including the
@@ -20,7 +21,8 @@
 # recency-cache fill, the reach-score cache, the batch linker, the
 # serving loop (producers + feedback racing the dispatcher,
 # epoch-schedule replay, drain-on-shutdown), the metrics-export
-# concurrency test, and the differential concurrency tests (ConfirmLink
+# concurrency test, the concurrent mapped-index query test, and the
+# differential concurrency tests (ConfirmLink
 # epoch bumps racing the recency cache). Skip it (e.g. on machines
 # without TSan runtime support) with MEL_SKIP_TSAN=1.
 #
@@ -39,11 +41,13 @@ cmake -B build -S . && cmake --build build -j && (cd build && ctest --output-on-
 if [ "${MEL_SKIP_BENCH:-0}" != "1" ]; then
   echo "=== Bench smoke: query hot path A/B + reach arena A/B + serving + scheduler + micro (Release) ==="
   cmake --build build -j --target bench_query_hotpath bench_micro \
-    bench_reachability_index bench_serving bench_scheduler
+    bench_reachability_index bench_serving bench_scheduler \
+    bench_index_startup
   (cd build/bench && ./bench_query_hotpath --smoke)
   (cd build/bench && ./bench_reachability_index --smoke)
   (cd build/bench && ./bench_serving --smoke)
   (cd build/bench && ./bench_scheduler --smoke)
+  (cd build/bench && ./bench_index_startup --smoke)
   (cd build/bench && ./bench_micro \
     --benchmark_filter='BM_LinkMention$|BM_LinkMentionRecencyCacheOff|BM_RecencyCandidateScores' \
     --benchmark_min_time=0.05)
@@ -53,6 +57,7 @@ for path in ("build/bench/bench_query_hotpath.metrics.json",
              "build/bench/bench_reachability_index.metrics.json",
              "build/bench/bench_serving.metrics.json",
              "build/bench/bench_scheduler.metrics.json",
+             "build/bench/bench_index_startup.metrics.json",
              "build/bench/bench_micro.metrics.json"):
     with open(path) as f:
         json.load(f)
@@ -74,6 +79,11 @@ required = {
                          "legacy_score_ns", "arena_score_ns",
                          "score_only_ns", "arena_index_bytes",
                          "legacy_index_bytes"),
+    "BENCH_startup.json": ("bench", "schema_version", "mode", "users",
+                           "file_bytes", "deserialize_warm_ns",
+                           "deserialize_cold_ns", "mmap_warm_ns",
+                           "mmap_cold_ns", "mmap_first_query_ns",
+                           "warm_speedup"),
 }
 for name, keys in required.items():
     with open("build/bench/" + name) as f:
@@ -93,18 +103,19 @@ if [ "${MEL_SKIP_TSAN:-0}" != "1" ]; then
   cmake -B build-tsan -S . -DMEL_SANITIZE=thread
   cmake --build build-tsan -j --target util_test reach_test core_test \
     extensions_test recency_test text_test differential_test \
-    metrics_test serve_test
+    metrics_test serve_test mmap_test
   (cd build-tsan && ctest --output-on-failure \
-    -R 'ThreadPool|StealDeque|Parallel|CachedReachability|DifferentialConcurrency|ServeFixture|ConcurrencyTest' -j)
+    -R 'ThreadPool|StealDeque|Parallel|CachedReachability|DifferentialConcurrency|ServeFixture|ConcurrencyTest|MmapConcurrency' -j)
   echo "=== TSan stage: reduced differential sweep ==="
   (cd build-tsan/tests && MEL_DIFF_CASES="${MEL_DIFF_CASES_TSAN:-40}" \
     ./differential_test --gtest_filter='DifferentialShards.Shard*')
 fi
 
 if [ "${MEL_SKIP_DIFF:-0}" != "1" ]; then
-  echo "=== Differential stage: oracle sweep under ASan ==="
+  echo "=== Differential stage: oracle sweep + mmap tier under ASan ==="
   cmake -B build-asan -S . -DMEL_SANITIZE=address
-  cmake --build build-asan -j --target differential_test
+  cmake --build build-asan -j --target differential_test mmap_test
+  (cd build-asan/tests && ./mmap_test)
   (cd build-asan/tests && MEL_DIFF_CASES="${MEL_DIFF_CASES:-400}" \
     ./differential_test)
 fi

@@ -1,6 +1,8 @@
 #include "reach/distance_label_index.h"
 
 #include <algorithm>
+#include <type_traits>
+#include <utility>
 
 #include "graph/stats.h"
 #include "reach/reach_metrics.h"
@@ -15,16 +17,15 @@ constexpr uint32_t kInf = kUnreachableDistance;
 
 DistanceLabelIndex::DistanceLabelIndex(const graph::DirectedGraph* g,
                                        uint32_t max_hops)
-    : g_(g), max_hops_(max_hops) {
-  build_in_labels_.resize(g->num_nodes());
-  build_out_labels_.resize(g->num_nodes());
-  hub_dist_.assign(g->num_nodes(), kInf);
-  in_queue_.assign(g->num_nodes(), 0);
-}
+    : g_(g), max_hops_(max_hops) {}
 
 DistanceLabelIndex DistanceLabelIndex::Build(const graph::DirectedGraph* g,
                                              uint32_t max_hops) {
   DistanceLabelIndex index(g, max_hops);
+  index.build_in_labels_.resize(g->num_nodes());
+  index.build_out_labels_.resize(g->num_nodes());
+  index.hub_dist_.assign(g->num_nodes(), kInf);
+  index.in_queue_.assign(g->num_nodes(), 0);
   const auto degrees = graph::TotalDegrees(*g);
   for (NodeId landmark : graph::NodesByDegreeDescending(*g, degrees)) {
     index.ProcessLandmark(landmark, /*forward=*/false);
@@ -44,20 +45,24 @@ DistanceLabelIndex DistanceLabelIndex::Build(const graph::DirectedGraph* g,
 
 void DistanceLabelIndex::FinalizeArenas() {
   const uint32_t n = g_->num_nodes();
-  in_offsets_.assign(n + 1, 0);
-  out_offsets_.assign(n + 1, 0);
+  std::vector<uint64_t> in_offsets(n + 1, 0);
+  std::vector<uint64_t> out_offsets(n + 1, 0);
   for (NodeId v = 0; v < n; ++v) {
-    in_offsets_[v + 1] = in_offsets_[v] + build_in_labels_[v].size();
-    out_offsets_[v + 1] = out_offsets_[v] + build_out_labels_[v].size();
+    in_offsets[v + 1] = in_offsets[v] + build_in_labels_[v].size();
+    out_offsets[v + 1] = out_offsets[v] + build_out_labels_[v].size();
   }
-  in_entries_.resize(in_offsets_[n]);
-  out_entries_.resize(out_offsets_[n]);
+  std::vector<Label> in_entries(in_offsets[n]);
+  std::vector<Label> out_entries(out_offsets[n]);
   for (NodeId v = 0; v < n; ++v) {
     std::copy(build_in_labels_[v].begin(), build_in_labels_[v].end(),
-              in_entries_.begin() + static_cast<ptrdiff_t>(in_offsets_[v]));
+              in_entries.begin() + static_cast<ptrdiff_t>(in_offsets[v]));
     std::copy(build_out_labels_[v].begin(), build_out_labels_[v].end(),
-              out_entries_.begin() + static_cast<ptrdiff_t>(out_offsets_[v]));
+              out_entries.begin() + static_cast<ptrdiff_t>(out_offsets[v]));
   }
+  in_offsets_.Own(std::move(in_offsets));
+  in_entries_.Own(std::move(in_entries));
+  out_offsets_.Own(std::move(out_offsets));
+  out_entries_.Own(std::move(out_entries));
   build_in_labels_ = {};
   build_out_labels_ = {};
   hub_dist_ = {};
@@ -200,7 +205,7 @@ namespace {
 constexpr uint32_t kDliMagic = 0x4d454c44;  // "MELD"
 constexpr uint32_t kDliVersion = 1;
 
-bool ValidOffsets(const std::vector<uint64_t>& offsets, uint64_t expect_size,
+bool ValidOffsets(std::span<const uint64_t> offsets, uint64_t expect_size,
                   uint64_t arena_size) {
   if (offsets.size() != expect_size) return false;
   if (offsets.front() != 0 || offsets.back() != arena_size) return false;
@@ -213,29 +218,69 @@ bool ValidOffsets(const std::vector<uint64_t>& offsets, uint64_t expect_size,
 }  // namespace
 
 Status DistanceLabelIndex::Save(const std::string& path) const {
-  BinaryWriter writer(path);
-  writer.WriteU32(kDliMagic);
-  writer.WriteU32(kDliVersion);
-  writer.WriteU32(static_cast<uint32_t>(g_->num_nodes()));
-  writer.WriteU32(max_hops_);
-  writer.WriteVector(in_offsets_);
-  writer.WriteVector(in_entries_);
-  writer.WriteVector(out_offsets_);
-  writer.WriteVector(out_entries_);
-  return writer.Finish();
+  const Mel3BlockDesc blocks[] = {
+      Mel3BlockDesc::Of(Mel3BlockKind::kInOffsets, in_offsets_.view()),
+      Mel3BlockDesc::Of(Mel3BlockKind::kInEntries, in_entries_.view()),
+      Mel3BlockDesc::Of(Mel3BlockKind::kOutOffsets, out_offsets_.view()),
+      Mel3BlockDesc::Of(Mel3BlockKind::kOutEntries, out_entries_.view()),
+  };
+  return WriteMel3File(path, kDliMagic, kDliVersion,
+                       static_cast<uint32_t>(g_->num_nodes()), max_hops_,
+                       blocks);
+}
+
+Status DistanceLabelIndex::ValidateOffsets() const {
+  const uint64_t n = g_->num_nodes();
+  if (!ValidOffsets(in_offsets_.view(), n + 1, in_entries_.size()) ||
+      !ValidOffsets(out_offsets_.view(), n + 1, out_entries_.size())) {
+    return Status::InvalidArgument("corrupt arena offsets");
+  }
+  return Status::OK();
+}
+
+Status DistanceLabelIndex::ValidateNodeIds() const {
+  const uint32_t n = g_->num_nodes();
+  for (const Label& label : in_entries_) {
+    if (label.node >= n) {
+      return Status::InvalidArgument("corrupt label node id");
+    }
+  }
+  for (const Label& label : out_entries_) {
+    if (label.node >= n) {
+      return Status::InvalidArgument("corrupt label node id");
+    }
+  }
+  return Status::OK();
 }
 
 Result<DistanceLabelIndex> DistanceLabelIndex::Load(
     const std::string& path, const graph::DirectedGraph* g) {
+  uint32_t magic = 0;
+  {
+    BinaryReader sniff(path);
+    magic = sniff.ReadU32();
+    if (!sniff.status().ok()) return sniff.status();
+  }
+  if (magic == kMel3Magic) {
+    util::MmapLoadOptions opts;
+    opts.map.advice = util::MmapFile::Advice::kSequential;
+    opts.verify_checksums = true;
+    auto mapped = LoadMapped(path, g, opts);
+    if (!mapped.ok()) return mapped.status();
+    DistanceLabelIndex index = std::move(mapped).value();
+    index.MaterializeOwned();
+    return index;
+  }
+  if (magic != kDliMagic) {
+    return Status::InvalidArgument("not a distance-label index file");
+  }
+  // Legacy "MELD" copying load (pre-MEL3 wire format).
   BinaryReader reader(path);
-  uint32_t magic = reader.ReadU32();
+  reader.ReadU32();  // magic, already sniffed
   uint32_t version = reader.ReadU32();
   uint32_t n = reader.ReadU32();
   uint32_t max_hops = reader.ReadU32();
   if (!reader.status().ok()) return reader.status();
-  if (magic != kDliMagic) {
-    return Status::InvalidArgument("not a distance-label index file");
-  }
   if (version != kDliVersion) {
     return Status::InvalidArgument("unsupported index version");
   }
@@ -244,32 +289,89 @@ Result<DistanceLabelIndex> DistanceLabelIndex::Load(
         "index was built for a graph with a different node count");
   }
   DistanceLabelIndex index(g, max_hops);
-  index.build_in_labels_ = {};
-  index.build_out_labels_ = {};
-  index.hub_dist_ = {};
-  index.in_queue_ = {};
-  reader.ReadVectorInto(&index.in_offsets_);
-  reader.ReadVectorInto(&index.in_entries_);
-  reader.ReadVectorInto(&index.out_offsets_);
-  reader.ReadVectorInto(&index.out_entries_);
+  std::vector<uint64_t> in_offsets, out_offsets;
+  std::vector<Label> in_entries, out_entries;
+  reader.ReadVectorInto(&in_offsets);
+  reader.ReadVectorInto(&in_entries);
+  reader.ReadVectorInto(&out_offsets);
+  reader.ReadVectorInto(&out_entries);
   if (!reader.status().ok()) return reader.status();
-  if (!ValidOffsets(index.in_offsets_, uint64_t{n} + 1,
-                    index.in_entries_.size()) ||
-      !ValidOffsets(index.out_offsets_, uint64_t{n} + 1,
-                    index.out_entries_.size())) {
-    return Status::InvalidArgument("corrupt arena offsets");
-  }
-  for (const Label& label : index.in_entries_) {
-    if (label.node >= n) {
-      return Status::InvalidArgument("corrupt label node id");
-    }
-  }
-  for (const Label& label : index.out_entries_) {
-    if (label.node >= n) {
-      return Status::InvalidArgument("corrupt label node id");
-    }
-  }
+  index.in_offsets_.Own(std::move(in_offsets));
+  index.in_entries_.Own(std::move(in_entries));
+  index.out_offsets_.Own(std::move(out_offsets));
+  index.out_entries_.Own(std::move(out_entries));
+  Status valid = index.ValidateOffsets();
+  if (!valid.ok()) return valid;
+  valid = index.ValidateNodeIds();
+  if (!valid.ok()) return valid;
+  PublishMmapLoadMetrics(kLoadModeCopied, 0,
+                         util::MmapFile::Advice::kNormal);
   return index;
+}
+
+Result<DistanceLabelIndex> DistanceLabelIndex::LoadMapped(
+    const std::string& path, const graph::DirectedGraph* g,
+    const util::MmapLoadOptions& opts) {
+  auto file = util::MmapFile::Open(path, opts.map);
+  if (!file.ok()) return file.status();
+  auto shared = std::make_shared<const util::MmapFile>(
+      std::move(file).value());
+  auto parsed = Mel3View::Parse(shared, kDliMagic);
+  if (!parsed.ok()) return parsed.status();
+  const Mel3View& view = parsed.value();
+  if (view.header().inner_version != kDliVersion) {
+    return Status::InvalidArgument("unsupported index version");
+  }
+  if (view.header().num_nodes != g->num_nodes()) {
+    return Status::FailedPrecondition(
+        "index was built for a graph with a different node count");
+  }
+
+  auto in_offsets = view.Block<uint64_t>(Mel3BlockKind::kInOffsets);
+  auto in_entries = view.Block<Label>(Mel3BlockKind::kInEntries);
+  auto out_offsets = view.Block<uint64_t>(Mel3BlockKind::kOutOffsets);
+  auto out_entries = view.Block<Label>(Mel3BlockKind::kOutEntries);
+  for (const Status& s :
+       {in_offsets.status(), in_entries.status(), out_offsets.status(),
+        out_entries.status()}) {
+    if (!s.ok()) return s;
+  }
+
+  DistanceLabelIndex index(g, view.header().max_hops);
+  index.in_offsets_.BindView(in_offsets.value());
+  index.in_entries_.BindView(in_entries.value());
+  index.out_offsets_.BindView(out_offsets.value());
+  index.out_entries_.BindView(out_entries.value());
+  index.mapping_ = shared;
+
+  Status valid = index.ValidateOffsets();
+  if (!valid.ok()) return valid;
+  if (opts.verify_checksums) {
+    valid = view.VerifyBlockChecksums();
+    if (!valid.ok()) return valid;
+    valid = index.ValidateNodeIds();
+    if (!valid.ok()) return valid;
+  }
+  PublishMmapLoadMetrics(kLoadModeMapped, shared->size(),
+                         opts.map.advice);
+  return index;
+}
+
+void DistanceLabelIndex::MaterializeOwned() {
+  auto copy = [](auto& arena) {
+    using T = std::remove_const_t<
+        typename decltype(arena.view())::element_type>;
+    if (!arena.owns_storage()) {
+      arena.Own(std::vector<T>(arena.begin(), arena.end()));
+    }
+  };
+  copy(in_offsets_);
+  copy(in_entries_);
+  copy(out_offsets_);
+  copy(out_entries_);
+  mapping_.reset();
+  PublishMmapLoadMetrics(kLoadModeCopied, 0,
+                         util::MmapFile::Advice::kNormal);
 }
 
 }  // namespace mel::reach

@@ -2,12 +2,15 @@
 #define MEL_REACH_DISTANCE_LABEL_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "graph/directed_graph.h"
 #include "reach/weighted_reachability.h"
+#include "util/arena_ref.h"
+#include "util/mmap_file.h"
 #include "util/status.h"
 
 namespace mel::reach {
@@ -50,21 +53,39 @@ class DistanceLabelIndex : public WeightedReachability {
 
   uint64_t TotalLabelEntries() const;
 
-  /// Persists the arenas to disk (header + four blocks, each one write).
+  /// Persists the arenas as a MEL3 container (sector-aligned checksummed
+  /// blocks, wrapping inner format "MELD").
   Status Save(const std::string& path) const;
 
-  /// Loads an index previously written by Save. The graph must be the
+  /// Copying load. Accepts both MEL3 containers (written by Save) and
+  /// legacy length-prefixed "MELD" files; either way the arenas land in
+  /// owned heap storage and are fully validated. The graph must be the
   /// same one the index was built from (node count is validated).
   static Result<DistanceLabelIndex> Load(const std::string& path,
                                          const graph::DirectedGraph* g);
 
+  /// Zero-deserialization load: binds the arena spans straight into a
+  /// read-only mapping of the MEL3 file. See TwoHopIndex::LoadMapped for
+  /// the validation contract.
+  static Result<DistanceLabelIndex> LoadMapped(
+      const std::string& path, const graph::DirectedGraph* g,
+      const util::MmapLoadOptions& opts = {});
+
+  /// True when the arenas view a file mapping instead of owned heap
+  /// storage.
+  bool IsMapped() const { return mapping_ != nullptr; }
+  /// Size of the backing mapping (0 for heap-resident indexes).
+  uint64_t MappedBytes() const {
+    return mapping_ ? mapping_->size() : 0;
+  }
+
   std::span<const Label> in_labels(NodeId v) const {
-    return std::span<const Label>(in_entries_)
-        .subspan(in_offsets_[v], in_offsets_[v + 1] - in_offsets_[v]);
+    return in_entries_.view().subspan(
+        in_offsets_[v], in_offsets_[v + 1] - in_offsets_[v]);
   }
   std::span<const Label> out_labels(NodeId v) const {
-    return std::span<const Label>(out_entries_)
-        .subspan(out_offsets_[v], out_offsets_[v + 1] - out_offsets_[v]);
+    return out_entries_.view().subspan(
+        out_offsets_[v], out_offsets_[v + 1] - out_offsets_[v]);
   }
 
  private:
@@ -76,14 +97,28 @@ class DistanceLabelIndex : public WeightedReachability {
   /// them (plus the BFS scratch).
   void FinalizeArenas();
 
+  /// Structural / content validation shared by every load path; see
+  /// TwoHopIndex for the split.
+  Status ValidateOffsets() const;
+  Status ValidateNodeIds() const;
+
+  /// Copies any view-state arenas into owned heap storage and drops the
+  /// mapping (the final step of the MEL3 copying load).
+  void MaterializeOwned();
+
   const graph::DirectedGraph* g_;
   uint32_t max_hops_;
 
   // Arena storage: entries sorted by hub node within each node's span.
-  std::vector<uint64_t> in_offsets_;   // n + 1
-  std::vector<Label> in_entries_;
-  std::vector<uint64_t> out_offsets_;  // n + 1
-  std::vector<Label> out_entries_;
+  // Each arena either owns heap storage (Build / copying Load) or views
+  // the file mapping below (LoadMapped).
+  util::ArenaRef<uint64_t> in_offsets_;   // n + 1
+  util::ArenaRef<Label> in_entries_;
+  util::ArenaRef<uint64_t> out_offsets_;  // n + 1
+  util::ArenaRef<Label> out_entries_;
+
+  // Keeps the MEL3 mapping alive while any arena views it.
+  std::shared_ptr<const util::MmapFile> mapping_;
 
   // Construction scratch (empty after Build / in loaded indexes).
   std::vector<std::vector<Label>> build_in_labels_;

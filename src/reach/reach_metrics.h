@@ -2,6 +2,7 @@
 #define MEL_REACH_REACH_METRICS_H_
 
 #include "util/metrics.h"
+#include "util/mmap_file.h"
 
 namespace mel::reach {
 
@@ -45,6 +46,41 @@ inline const ArenaMetrics& GetArenaMetrics() {
     return am;
   }();
   return m;
+}
+
+/// Gauges describing how the most recent arena index got its bytes:
+/// heap-built, copy-deserialized from a file, or zero-copy mapped — and,
+/// for mappings, how big the mapping is and which madvise mode drives
+/// its page faults. See docs/METRICS.md.
+struct MmapMetrics {
+  metrics::Gauge* mapped_bytes;
+  metrics::Gauge* advice;
+  metrics::Gauge* load_mode;
+};
+
+/// Values of `reach.mmap.load_mode`.
+inline constexpr int64_t kLoadModeBuilt = 0;
+inline constexpr int64_t kLoadModeCopied = 1;
+inline constexpr int64_t kLoadModeMapped = 2;
+
+inline const MmapMetrics& GetMmapMetrics() {
+  static const MmapMetrics m = [] {
+    auto& reg = metrics::Registry();
+    MmapMetrics mm;
+    mm.mapped_bytes = reg.GetGauge("reach.mmap.mapped_bytes");
+    mm.advice = reg.GetGauge("reach.mmap.advice");
+    mm.load_mode = reg.GetGauge("reach.mmap.load_mode");
+    return mm;
+  }();
+  return m;
+}
+
+inline void PublishMmapLoadMetrics(int64_t load_mode, uint64_t mapped_bytes,
+                                   util::MmapFile::Advice advice) {
+  const MmapMetrics& mm = GetMmapMetrics();
+  mm.load_mode->Set(load_mode);
+  mm.mapped_bytes->Set(static_cast<int64_t>(mapped_bytes));
+  mm.advice->Set(static_cast<int64_t>(advice));
 }
 
 }  // namespace mel::reach

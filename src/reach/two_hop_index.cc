@@ -1,6 +1,7 @@
 #include "reach/two_hop_index.h"
 
 #include <algorithm>
+#include <type_traits>
 #include <utility>
 
 #include "graph/stats.h"
@@ -59,15 +60,14 @@ QueryScratch& TlsQueryScratch() {
 }  // namespace
 
 TwoHopIndex::TwoHopIndex(const graph::DirectedGraph* g, uint32_t max_hops)
-    : g_(g), max_hops_(max_hops) {
-  build_in_labels_.resize(g->num_nodes());
-  build_out_labels_.resize(g->num_nodes());
-}
+    : g_(g), max_hops_(max_hops) {}
 
 TwoHopIndex TwoHopIndex::Build(const graph::DirectedGraph* g,
                                uint32_t max_hops, util::ThreadPool* pool) {
   if (pool == nullptr) pool = &util::ThreadPool::Shared();
   TwoHopIndex index(g, max_hops);
+  index.build_in_labels_.resize(g->num_nodes());
+  index.build_out_labels_.resize(g->num_nodes());
   metrics::ScopedStageTimer build_timer(GetTwoHopMetrics().build_ns);
   // The backward pass reads build_in_labels_[landmark] and appends to
   // out-labels of other nodes; the forward pass reads
@@ -113,47 +113,56 @@ TwoHopIndex TwoHopIndex::Build(const graph::DirectedGraph* g,
 
 void TwoHopIndex::FinalizeArenas() {
   const uint32_t n = g_->num_nodes();
-  in_offsets_.assign(n + 1, 0);
-  out_offsets_.assign(n + 1, 0);
+  std::vector<uint64_t> in_offsets(n + 1, 0);
+  std::vector<uint64_t> out_offsets(n + 1, 0);
   for (NodeId v = 0; v < n; ++v) {
-    in_offsets_[v + 1] = in_offsets_[v] + build_in_labels_[v].size();
-    out_offsets_[v + 1] = out_offsets_[v] + build_out_labels_[v].size();
+    in_offsets[v + 1] = in_offsets[v] + build_in_labels_[v].size();
+    out_offsets[v + 1] = out_offsets[v] + build_out_labels_[v].size();
   }
-  in_entries_.resize(in_offsets_[n]);
-  out_entries_.resize(out_offsets_[n]);
-  followee_offsets_.assign(out_offsets_[n] + 1, 0);
+  std::vector<InLabel> in_entries(in_offsets[n]);
+  std::vector<OutSpan> out_entries(out_offsets[n]);
+  std::vector<uint64_t> followee_offsets(out_offsets[n] + 1, 0);
 
   uint64_t followee_total = 0;
   {
     uint64_t e = 0;
     for (NodeId v = 0; v < n; ++v) {
       for (const BuildOutLabel& label : build_out_labels_[v]) {
-        followee_offsets_[e] = followee_total;
+        followee_offsets[e] = followee_total;
         followee_total += label.followees.size();
         ++e;
       }
     }
-    followee_offsets_[out_offsets_[n]] = followee_total;
+    followee_offsets[out_offsets[n]] = followee_total;
   }
-  followee_arena_.resize(followee_total);
+  std::vector<NodeId> followee_arena(followee_total);
 
   for (NodeId v = 0; v < n; ++v) {
     std::copy(build_in_labels_[v].begin(), build_in_labels_[v].end(),
-              in_entries_.begin() + static_cast<ptrdiff_t>(in_offsets_[v]));
-    uint64_t e = out_offsets_[v];
+              in_entries.begin() + static_cast<ptrdiff_t>(in_offsets[v]));
+    uint64_t e = out_offsets[v];
     for (const BuildOutLabel& label : build_out_labels_[v]) {
-      out_entries_[e] = OutSpan{label.node, label.dist};
+      out_entries[e] = OutSpan{label.node, label.dist};
       std::copy(label.followees.begin(), label.followees.end(),
-                followee_arena_.begin() +
-                    static_cast<ptrdiff_t>(followee_offsets_[e]));
+                followee_arena.begin() +
+                    static_cast<ptrdiff_t>(followee_offsets[e]));
       ++e;
     }
   }
+
+  in_offsets_.Own(std::move(in_offsets));
+  in_entries_.Own(std::move(in_entries));
+  out_offsets_.Own(std::move(out_offsets));
+  out_entries_.Own(std::move(out_entries));
+  followee_offsets_.Own(std::move(followee_offsets));
+  followee_arena_.Own(std::move(followee_arena));
 
   // Release the construction scratch; the arenas are the index now.
   build_in_labels_ = {};
   build_out_labels_ = {};
   PublishArenaMetrics();
+  PublishMmapLoadMetrics(kLoadModeBuilt, 0,
+                         util::MmapFile::Advice::kNormal);
 }
 
 void TwoHopIndex::PublishArenaMetrics() const {
@@ -498,27 +507,9 @@ uint64_t TwoHopIndex::TotalLabelEntries() const {
 namespace {
 constexpr uint32_t kTwoHopMagic = 0x4d454c32;  // "MEL2"
 constexpr uint32_t kTwoHopVersion = 2;  // v2: arena-flattened labels
-}  // namespace
-
-Status TwoHopIndex::Save(const std::string& path) const {
-  BinaryWriter writer(path);
-  writer.WriteU32(kTwoHopMagic);
-  writer.WriteU32(kTwoHopVersion);
-  writer.WriteU32(static_cast<uint32_t>(g_->num_nodes()));
-  writer.WriteU32(max_hops_);
-  writer.WriteVector(in_offsets_);
-  writer.WriteVector(in_entries_);
-  writer.WriteVector(out_offsets_);
-  writer.WriteVector(out_entries_);
-  writer.WriteVector(followee_offsets_);
-  writer.WriteVector(followee_arena_);
-  return writer.Finish();
-}
-
-namespace {
 
 // Offsets arrays must be monotone prefix sums covering their arena.
-bool ValidOffsets(const std::vector<uint64_t>& offsets, uint64_t expect_size,
+bool ValidOffsets(std::span<const uint64_t> offsets, uint64_t expect_size,
                   uint64_t arena_size) {
   if (offsets.size() != expect_size) return false;
   if (offsets.front() != 0 || offsets.back() != arena_size) return false;
@@ -530,17 +521,86 @@ bool ValidOffsets(const std::vector<uint64_t>& offsets, uint64_t expect_size,
 
 }  // namespace
 
+Status TwoHopIndex::Save(const std::string& path) const {
+  const Mel3BlockDesc blocks[] = {
+      Mel3BlockDesc::Of(Mel3BlockKind::kInOffsets, in_offsets_.view()),
+      Mel3BlockDesc::Of(Mel3BlockKind::kInEntries, in_entries_.view()),
+      Mel3BlockDesc::Of(Mel3BlockKind::kOutOffsets, out_offsets_.view()),
+      Mel3BlockDesc::Of(Mel3BlockKind::kOutEntries, out_entries_.view()),
+      Mel3BlockDesc::Of(Mel3BlockKind::kFolloweeOffsets,
+                        followee_offsets_.view()),
+      Mel3BlockDesc::Of(Mel3BlockKind::kFolloweeArena,
+                        followee_arena_.view()),
+  };
+  return WriteMel3File(path, kTwoHopMagic, kTwoHopVersion,
+                       static_cast<uint32_t>(g_->num_nodes()), max_hops_,
+                       blocks);
+}
+
+Status TwoHopIndex::ValidateOffsets() const {
+  const uint64_t n = g_->num_nodes();
+  if (!ValidOffsets(in_offsets_.view(), n + 1, in_entries_.size()) ||
+      !ValidOffsets(out_offsets_.view(), n + 1, out_entries_.size()) ||
+      !ValidOffsets(followee_offsets_.view(), out_entries_.size() + 1,
+                    followee_arena_.size())) {
+    return Status::InvalidArgument("corrupt arena offsets");
+  }
+  return Status::OK();
+}
+
+Status TwoHopIndex::ValidateNodeIds() const {
+  const uint32_t n = g_->num_nodes();
+  for (const InLabel& label : in_entries_) {
+    if (label.node >= n) {
+      return Status::InvalidArgument("corrupt label node id");
+    }
+  }
+  for (const OutSpan& label : out_entries_) {
+    if (label.node >= n) {
+      return Status::InvalidArgument("corrupt label node id");
+    }
+  }
+  for (NodeId id : followee_arena_) {
+    if (id >= n) {
+      return Status::InvalidArgument("corrupt followee node id");
+    }
+  }
+  return Status::OK();
+}
+
 Result<TwoHopIndex> TwoHopIndex::Load(const std::string& path,
                                       const graph::DirectedGraph* g) {
+  uint32_t magic = 0;
+  {
+    BinaryReader sniff(path);
+    magic = sniff.ReadU32();
+    if (!sniff.status().ok()) return sniff.status();
+  }
+  if (magic == kMel3Magic) {
+    // MEL3 copying load: map + fully verify (checksums, node ids), then
+    // materialize the arenas into owned heap storage and drop the
+    // mapping.
+    util::MmapLoadOptions opts;
+    opts.map.advice = util::MmapFile::Advice::kSequential;
+    opts.verify_checksums = true;
+    auto mapped = LoadMapped(path, g, opts);
+    if (!mapped.ok()) return mapped.status();
+    TwoHopIndex index = std::move(mapped).value();
+    index.MaterializeOwned();
+    return index;
+  }
+  if (magic != kTwoHopMagic) {
+    return Status::InvalidArgument("not a 2-hop index file");
+  }
+  // Legacy "MEL2" copying load: length-prefixed blocks behind a 16-byte
+  // header, exactly the pre-MEL3 wire format. Kept so indexes saved by
+  // earlier builds keep loading.
   BinaryReader reader(path);
-  uint32_t magic = reader.ReadU32();
+  reader.ReadU32();  // magic, already sniffed
   uint32_t version = reader.ReadU32();
   uint32_t n = reader.ReadU32();
   uint32_t max_hops = reader.ReadU32();
   if (!reader.status().ok()) return reader.status();
-  if (magic != kTwoHopMagic) {
-    return Status::InvalidArgument("not a 2-hop index file");
-  }
   if (version != kTwoHopVersion) {
     return Status::InvalidArgument("unsupported index version");
   }
@@ -549,42 +609,108 @@ Result<TwoHopIndex> TwoHopIndex::Load(const std::string& path,
         "index was built for a graph with a different node count");
   }
   TwoHopIndex index(g, max_hops);
-  index.build_in_labels_ = {};
-  index.build_out_labels_ = {};
-  // Each arena arrives as one block read; all that remains is validating
-  // the offsets (the "pointer fixup" of the load path).
-  reader.ReadVectorInto(&index.in_offsets_);
-  reader.ReadVectorInto(&index.in_entries_);
-  reader.ReadVectorInto(&index.out_offsets_);
-  reader.ReadVectorInto(&index.out_entries_);
-  reader.ReadVectorInto(&index.followee_offsets_);
-  reader.ReadVectorInto(&index.followee_arena_);
+  std::vector<uint64_t> in_offsets, out_offsets, followee_offsets;
+  std::vector<InLabel> in_entries;
+  std::vector<OutSpan> out_entries;
+  std::vector<NodeId> followee_arena;
+  reader.ReadVectorInto(&in_offsets);
+  reader.ReadVectorInto(&in_entries);
+  reader.ReadVectorInto(&out_offsets);
+  reader.ReadVectorInto(&out_entries);
+  reader.ReadVectorInto(&followee_offsets);
+  reader.ReadVectorInto(&followee_arena);
   if (!reader.status().ok()) return reader.status();
-  if (!ValidOffsets(index.in_offsets_, uint64_t{n} + 1,
-                    index.in_entries_.size()) ||
-      !ValidOffsets(index.out_offsets_, uint64_t{n} + 1,
-                    index.out_entries_.size()) ||
-      !ValidOffsets(index.followee_offsets_, index.out_entries_.size() + 1,
-                    index.followee_arena_.size())) {
-    return Status::InvalidArgument("corrupt arena offsets");
+  index.in_offsets_.Own(std::move(in_offsets));
+  index.in_entries_.Own(std::move(in_entries));
+  index.out_offsets_.Own(std::move(out_offsets));
+  index.out_entries_.Own(std::move(out_entries));
+  index.followee_offsets_.Own(std::move(followee_offsets));
+  index.followee_arena_.Own(std::move(followee_arena));
+  Status valid = index.ValidateOffsets();
+  if (!valid.ok()) return valid;
+  valid = index.ValidateNodeIds();
+  if (!valid.ok()) return valid;
+  index.PublishArenaMetrics();
+  PublishMmapLoadMetrics(kLoadModeCopied, 0,
+                         util::MmapFile::Advice::kNormal);
+  return index;
+}
+
+Result<TwoHopIndex> TwoHopIndex::LoadMapped(
+    const std::string& path, const graph::DirectedGraph* g,
+    const util::MmapLoadOptions& opts) {
+  auto file = util::MmapFile::Open(path, opts.map);
+  if (!file.ok()) return file.status();
+  auto shared = std::make_shared<const util::MmapFile>(
+      std::move(file).value());
+  auto parsed = Mel3View::Parse(shared, kTwoHopMagic);
+  if (!parsed.ok()) return parsed.status();
+  const Mel3View& view = parsed.value();
+  if (view.header().inner_version != kTwoHopVersion) {
+    return Status::InvalidArgument("unsupported index version");
   }
-  for (const InLabel& label : index.in_entries_) {
-    if (label.node >= n) {
-      return Status::InvalidArgument("corrupt label node id");
-    }
+  if (view.header().num_nodes != g->num_nodes()) {
+    return Status::FailedPrecondition(
+        "index was built for a graph with a different node count");
   }
-  for (const OutSpan& label : index.out_entries_) {
-    if (label.node >= n) {
-      return Status::InvalidArgument("corrupt label node id");
-    }
+
+  auto in_offsets = view.Block<uint64_t>(Mel3BlockKind::kInOffsets);
+  auto in_entries = view.Block<InLabel>(Mel3BlockKind::kInEntries);
+  auto out_offsets = view.Block<uint64_t>(Mel3BlockKind::kOutOffsets);
+  auto out_entries = view.Block<OutSpan>(Mel3BlockKind::kOutEntries);
+  auto followee_offsets =
+      view.Block<uint64_t>(Mel3BlockKind::kFolloweeOffsets);
+  auto followee_arena = view.Block<NodeId>(Mel3BlockKind::kFolloweeArena);
+  for (const Status& s :
+       {in_offsets.status(), in_entries.status(), out_offsets.status(),
+        out_entries.status(), followee_offsets.status(),
+        followee_arena.status()}) {
+    if (!s.ok()) return s;
   }
-  for (NodeId id : index.followee_arena_) {
-    if (id >= n) {
-      return Status::InvalidArgument("corrupt followee node id");
-    }
+
+  // Zero-copy bind: the spans point straight into the mapping. Only the
+  // offset arrays are walked for validation — arena payload pages stay
+  // untouched until queries fault them in.
+  TwoHopIndex index(g, view.header().max_hops);
+  index.in_offsets_.BindView(in_offsets.value());
+  index.in_entries_.BindView(in_entries.value());
+  index.out_offsets_.BindView(out_offsets.value());
+  index.out_entries_.BindView(out_entries.value());
+  index.followee_offsets_.BindView(followee_offsets.value());
+  index.followee_arena_.BindView(followee_arena.value());
+  index.mapping_ = shared;
+
+  Status valid = index.ValidateOffsets();
+  if (!valid.ok()) return valid;
+  if (opts.verify_checksums) {
+    valid = view.VerifyBlockChecksums();
+    if (!valid.ok()) return valid;
+    valid = index.ValidateNodeIds();
+    if (!valid.ok()) return valid;
   }
   index.PublishArenaMetrics();
+  PublishMmapLoadMetrics(kLoadModeMapped, shared->size(),
+                         opts.map.advice);
   return index;
+}
+
+void TwoHopIndex::MaterializeOwned() {
+  auto copy = [](auto& arena) {
+    using T = std::remove_const_t<
+        typename decltype(arena.view())::element_type>;
+    if (!arena.owns_storage()) {
+      arena.Own(std::vector<T>(arena.begin(), arena.end()));
+    }
+  };
+  copy(in_offsets_);
+  copy(in_entries_);
+  copy(out_offsets_);
+  copy(out_entries_);
+  copy(followee_offsets_);
+  copy(followee_arena_);
+  mapping_.reset();
+  PublishMmapLoadMetrics(kLoadModeCopied, 0,
+                         util::MmapFile::Advice::kNormal);
 }
 
 uint64_t TwoHopIndex::IndexSizeBytes() const {

@@ -2,12 +2,15 @@
 #define MEL_REACH_TWO_HOP_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "graph/directed_graph.h"
 #include "reach/weighted_reachability.h"
+#include "util/arena_ref.h"
+#include "util/mmap_file.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -85,23 +88,47 @@ class TwoHopIndex : public WeightedReachability {
   /// baseline.
   uint64_t LegacyIndexSizeBytes() const;
 
-  /// Persists the labels to disk: a fixed header followed by the six
-  /// arena blocks, each streamed as one length-prefixed write.
+  /// Persists the labels as a MEL3 container: fixed 64-byte header +
+  /// block table, then the six arenas as sector-aligned (4096 B)
+  /// checksummed blocks. Deterministic — save/load/save is
+  /// byte-identical.
   Status Save(const std::string& path) const;
 
-  /// Loads an index previously written by Save — one block read per
-  /// arena plus offset validation. The graph must be the same one the
+  /// Copying load. Accepts both MEL3 containers (written by Save) and
+  /// legacy length-prefixed "MEL2" files; either way the arenas land in
+  /// owned heap storage and are fully validated (offsets, node ids, and
+  /// — for MEL3 — block checksums). The graph must be the same one the
   /// index was built from (node count is validated).
   static Result<TwoHopIndex> Load(const std::string& path,
                                   const graph::DirectedGraph* g);
 
+  /// Zero-deserialization load: maps the MEL3 file read-only and binds
+  /// the arena spans straight into the mapping — no copies, no arena
+  /// allocation. Validates the header, block table, and offset arrays;
+  /// block payloads are trusted unless `opts.verify_checksums` is set
+  /// (which additionally checksums every block and range-checks every
+  /// node id, touching all pages like the copying load would).
+  /// Queries are bit-identical to the heap-built index; the mapping is
+  /// released when the last index sharing it is destroyed.
+  static Result<TwoHopIndex> LoadMapped(
+      const std::string& path, const graph::DirectedGraph* g,
+      const util::MmapLoadOptions& opts = {});
+
+  /// True when the arenas view a file mapping instead of owned heap
+  /// storage.
+  bool IsMapped() const { return mapping_ != nullptr; }
+  /// Size of the backing mapping (0 for heap-resident indexes).
+  uint64_t MappedBytes() const {
+    return mapping_ ? mapping_->size() : 0;
+  }
+
   std::span<const InLabel> in_labels(NodeId v) const {
-    return std::span<const InLabel>(in_entries_)
-        .subspan(in_offsets_[v], in_offsets_[v + 1] - in_offsets_[v]);
+    return in_entries_.view().subspan(
+        in_offsets_[v], in_offsets_[v + 1] - in_offsets_[v]);
   }
   std::span<const OutSpan> out_labels(NodeId v) const {
-    return std::span<const OutSpan>(out_entries_)
-        .subspan(out_offsets_[v], out_offsets_[v + 1] - out_offsets_[v]);
+    return out_entries_.view().subspan(
+        out_offsets_[v], out_offsets_[v + 1] - out_offsets_[v]);
   }
   /// Global entry index of v's first out-label; add the position within
   /// out_labels(v) to address its followee span below.
@@ -109,10 +136,10 @@ class TwoHopIndex : public WeightedReachability {
   /// Followee ids of the out-label with GLOBAL entry index i (i.e.
   /// out_offset(v) + position within out_labels(v)).
   std::span<const NodeId> followees(uint64_t out_entry_index) const {
-    return std::span<const NodeId>(followee_arena_)
-        .subspan(followee_offsets_[out_entry_index],
-                 followee_offsets_[out_entry_index + 1] -
-                     followee_offsets_[out_entry_index]);
+    return followee_arena_.view().subspan(
+        followee_offsets_[out_entry_index],
+        followee_offsets_[out_entry_index + 1] -
+            followee_offsets_[out_entry_index]);
   }
 
  private:
@@ -155,6 +182,16 @@ class TwoHopIndex : public WeightedReachability {
   uint32_t CollectMinDistanceSpans(NodeId u, NodeId v,
                                    std::vector<uint64_t>& spans) const;
 
+  /// Structural validation shared by every load path: offsets arrays
+  /// must be monotone prefix sums covering their arenas. Content (node
+  /// id) validation is separate — see ValidateNodeIds.
+  Status ValidateOffsets() const;
+  Status ValidateNodeIds() const;
+
+  /// Copies any view-state arenas into owned heap storage and drops the
+  /// mapping (the final step of the MEL3 copying load).
+  void MaterializeOwned();
+
   const graph::DirectedGraph* g_;
   uint32_t max_hops_;
 
@@ -163,13 +200,20 @@ class TwoHopIndex : public WeightedReachability {
   std::vector<std::vector<BuildOutLabel>> build_out_labels_;
 
   // Arena storage (see class comment). Offsets arrays have n + 1 /
-  // num-out-entries + 1 elements; entry arrays are contiguous.
-  std::vector<uint64_t> in_offsets_;
-  std::vector<InLabel> in_entries_;
-  std::vector<uint64_t> out_offsets_;
-  std::vector<OutSpan> out_entries_;
-  std::vector<uint64_t> followee_offsets_;
-  std::vector<NodeId> followee_arena_;
+  // num-out-entries + 1 elements; entry arrays are contiguous. Each
+  // arena either owns heap storage (Build / copying Load) or views the
+  // file mapping below (LoadMapped).
+  util::ArenaRef<uint64_t> in_offsets_;
+  util::ArenaRef<InLabel> in_entries_;
+  util::ArenaRef<uint64_t> out_offsets_;
+  util::ArenaRef<OutSpan> out_entries_;
+  util::ArenaRef<uint64_t> followee_offsets_;
+  util::ArenaRef<NodeId> followee_arena_;
+
+  // Keeps the MEL3 mapping alive while any arena views it; shared so
+  // copies of a mapped index stay valid and re-mapping the same file
+  // twice yields independent lifetimes.
+  std::shared_ptr<const util::MmapFile> mapping_;
 };
 
 }  // namespace mel::reach

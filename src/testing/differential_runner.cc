@@ -19,6 +19,7 @@
 #include "recency/sliding_window.h"
 #include "testing/oracle.h"
 #include "text/qgram_index.h"
+#include "util/logging.h"
 #include "util/metrics.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -143,6 +144,24 @@ void CheckReachability(const RandomWorkload& w, const DiffOptions& opts,
       &g, w.max_hops, 3, DeriveSeed(w.seed, kPrunedBuildStream));
   reach::CachedReachability cached(&naive, &g);
 
+  // Save -> mmap-load -> query round trip: the zero-copy mapped views of
+  // both arena backends must be query-for-query identical to the
+  // heap-built indexes (and hence to the oracle below).
+  const std::string two_hop_path =
+      "/tmp/mel_diff_2hop_" + Hex(w.seed) + ".mel3";
+  const std::string dli_path =
+      "/tmp/mel_diff_dli_" + Hex(w.seed) + ".mel3";
+  MEL_CHECK(two_hop.Save(two_hop_path).ok());
+  MEL_CHECK(dli.Save(dli_path).ok());
+  auto two_hop_mapped_r = reach::TwoHopIndex::LoadMapped(two_hop_path, &g);
+  auto dli_mapped_r = reach::DistanceLabelIndex::LoadMapped(dli_path, &g);
+  MEL_CHECK(two_hop_mapped_r.ok());
+  MEL_CHECK(dli_mapped_r.ok());
+  const auto& two_hop_mapped = two_hop_mapped_r.value();
+  const auto& dli_mapped = dli_mapped_r.value();
+  MEL_CHECK(two_hop_mapped.IsMapped());
+  MEL_CHECK(dli_mapped.IsMapped());
+
   // Full V^2 agreement of the three TC constructions. Identical math on
   // identical inputs — scores must match bit for bit, distances exactly.
   for (graph::NodeId u = 0; u < n && !rec.full(); ++u) {
@@ -212,7 +231,9 @@ void CheckReachability(const RandomWorkload& w, const DiffOptions& opts,
     };
     check_exact("naive", naive);
     check_exact("two-hop", two_hop);
+    check_exact("two-hop-mmap", two_hop_mapped);
     check_exact("dist-label", dli);
+    check_exact("dist-label-mmap", dli_mapped);
     check_exact("pruned-online", pruned);
     check_exact("cached", cached);
     check_exact("cached-hit", cached);  // second call exercises the hit path
@@ -239,6 +260,10 @@ void CheckReachability(const RandomWorkload& w, const DiffOptions& opts,
     rec.Check(tc_inc.ScoreOnly(u, v) == tc_inc.Score(u, v),
               "tc-score-only-mismatch" + where);
   }
+
+  // Unlink the round-trip files; the live mappings keep their pages.
+  std::remove(two_hop_path.c_str());
+  std::remove(dli_path.c_str());
 }
 
 // ---------------------------------------------------------------------------

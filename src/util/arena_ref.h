@@ -1,0 +1,98 @@
+#ifndef MEL_UTIL_ARENA_REF_H_
+#define MEL_UTIL_ARENA_REF_H_
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace mel::util {
+
+/// \brief A contiguous read-only arena that either owns its storage
+/// (heap-built or copy-loaded indexes) or views someone else's (a
+/// read-only file mapping).
+///
+/// Query code sees one thing — `std::span<const T>` — regardless of
+/// where the bytes live, which is what lets the zero-copy MEL3 load bind
+/// the label arenas straight into an `MmapFile` without touching the hot
+/// path. Whoever binds a view is responsible for keeping the backing
+/// storage alive (indexes pin the mapping with a `shared_ptr`).
+///
+/// Copy/move are well-defined in both states: moving an owned arena
+/// transfers the vector's heap buffer (so the view stays valid), copying
+/// one deep-copies and rebinds; view-state arenas copy/move the span.
+template <typename T>
+class ArenaRef {
+ public:
+  ArenaRef() = default;
+
+  /// Takes ownership of `storage`; the view covers it.
+  void Own(std::vector<T> storage) {
+    owned_ = std::move(storage);
+    owns_ = true;
+    view_ = owned_;
+  }
+
+  /// Binds an external view (e.g. into a file mapping) and releases any
+  /// owned storage.
+  void BindView(std::span<const T> view) {
+    owned_ = {};
+    owns_ = false;
+    view_ = view;
+  }
+
+  ArenaRef(const ArenaRef& other) { CopyFrom(other); }
+  ArenaRef& operator=(const ArenaRef& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  ArenaRef(ArenaRef&& other) noexcept { MoveFrom(std::move(other)); }
+  ArenaRef& operator=(ArenaRef&& other) noexcept {
+    if (this != &other) MoveFrom(std::move(other));
+    return *this;
+  }
+
+  std::span<const T> view() const { return view_; }
+  const T* data() const { return view_.data(); }
+  size_t size() const { return view_.size(); }
+  bool empty() const { return view_.empty(); }
+  const T& operator[](size_t i) const { return view_[i]; }
+  const T& front() const { return view_.front(); }
+  const T& back() const { return view_.back(); }
+  auto begin() const { return view_.begin(); }
+  auto end() const { return view_.end(); }
+
+  /// True when this arena owns its bytes (empty arenas trivially do).
+  bool owns_storage() const { return owns_ || view_.empty(); }
+
+ private:
+  void CopyFrom(const ArenaRef& other) {
+    if (other.owns_) {
+      Own(std::vector<T>(other.owned_));
+    } else {
+      owned_ = {};
+      owns_ = false;
+      view_ = other.view_;
+    }
+  }
+
+  void MoveFrom(ArenaRef&& other) noexcept {
+    // A moved std::vector keeps its heap buffer, so re-deriving the view
+    // from the landed vector is equivalent to copying the span — but
+    // doing it explicitly keeps the invariant obvious.
+    owned_ = std::move(other.owned_);
+    owns_ = other.owns_;
+    view_ = owns_ ? std::span<const T>(owned_) : other.view_;
+    other.owned_ = {};
+    other.owns_ = false;
+    other.view_ = {};
+  }
+
+  std::vector<T> owned_;
+  std::span<const T> view_;
+  bool owns_ = false;
+};
+
+}  // namespace mel::util
+
+#endif  // MEL_UTIL_ARENA_REF_H_

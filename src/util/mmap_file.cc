@@ -1,0 +1,108 @@
+#include "util/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace mel::util {
+
+namespace {
+
+int AdviceFlag(MmapFile::Advice advice) {
+  switch (advice) {
+    case MmapFile::Advice::kNormal:
+      return MADV_NORMAL;
+    case MmapFile::Advice::kRandom:
+      return MADV_RANDOM;
+    case MmapFile::Advice::kSequential:
+      return MADV_SEQUENTIAL;
+    case MmapFile::Advice::kWillNeed:
+      return MADV_WILLNEED;
+  }
+  return MADV_NORMAL;
+}
+
+}  // namespace
+
+const char* MmapFile::AdviceName(Advice advice) {
+  switch (advice) {
+    case Advice::kNormal:
+      return "normal";
+    case Advice::kRandom:
+      return "random";
+    case Advice::kSequential:
+      return "sequential";
+    case Advice::kWillNeed:
+      return "willneed";
+  }
+  return "unknown";
+}
+
+Result<MmapFile> MmapFile::Open(const std::string& path,
+                                const Options& options) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::NotFound("cannot open for mapping: " + path + " (" +
+                            std::strerror(errno) + ")");
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::Internal("fstat failed: " + path);
+  }
+  MmapFile file;
+  file.path_ = path;
+  file.advice_ = options.advice;
+  file.size_ = static_cast<size_t>(st.st_size);
+  if (file.size_ == 0) {
+    ::close(fd);
+    return file;  // empty mapping: data() == nullptr, size() == 0
+  }
+  int flags = MAP_SHARED;
+#ifdef MAP_POPULATE
+  if (options.prefault) flags |= MAP_POPULATE;
+#endif
+  void* addr = ::mmap(nullptr, file.size_, PROT_READ, flags, fd, 0);
+  ::close(fd);  // the mapping holds its own reference to the pages
+  if (addr == MAP_FAILED) {
+    return Status::Internal("mmap failed: " + path + " (" +
+                            std::strerror(errno) + ")");
+  }
+  file.data_ = static_cast<uint8_t*>(addr);
+  // Advisory only: a failed madvise never fails the load.
+  ::madvise(addr, file.size_, AdviceFlag(options.advice));
+  return file;
+}
+
+Status MmapFile::Advise(Advice advice) {
+  advice_ = advice;
+  if (data_ == nullptr) return Status::OK();
+  if (::madvise(data_, size_, AdviceFlag(advice)) != 0) {
+    return Status::Internal(std::string("madvise failed: ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this == &other) return *this;
+  if (data_ != nullptr) ::munmap(data_, size_);
+  data_ = std::exchange(other.data_, nullptr);
+  size_ = std::exchange(other.size_, 0);
+  path_ = std::move(other.path_);
+  advice_ = other.advice_;
+  return *this;
+}
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+}  // namespace mel::util

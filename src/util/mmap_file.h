@@ -1,0 +1,88 @@
+#ifndef MEL_UTIL_MMAP_FILE_H_
+#define MEL_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "util/status.h"
+
+namespace mel::util {
+
+/// \brief RAII read-only memory mapping of a whole file.
+///
+/// Opens the file, maps it `PROT_READ` / `MAP_SHARED`, applies the
+/// requested `madvise` hint, and closes the descriptor immediately (the
+/// mapping keeps the pages alive). The destructor unmaps. Move-only:
+/// index loaders hold one mapping per file in a `shared_ptr` so any
+/// number of zero-copy views can pin it.
+///
+/// `MAP_SHARED` means concurrent processes mapping the same index file
+/// share one copy of the page cache — the multi-process serving story of
+/// the ROADMAP's mmap tier.
+class MmapFile {
+ public:
+  /// Paging hint forwarded to `madvise` at map time.
+  enum class Advice : uint32_t {
+    kNormal = 0,      // kernel default readahead
+    kRandom = 1,      // point queries: disable readahead (index serving)
+    kSequential = 2,  // linear scans: aggressive readahead
+    kWillNeed = 3,    // prefetch everything asynchronously
+  };
+
+  struct Options {
+    Advice advice = Advice::kRandom;
+    /// `MAP_POPULATE`: fault every page in at map time (warm start at
+    /// the cost of load latency; the startup bench A/Bs this).
+    bool prefault = false;
+  };
+
+  /// Maps `path` read-only. Empty files map to a null/zero view.
+  static Result<MmapFile> Open(const std::string& path,
+                               const Options& options);
+  static Result<MmapFile> Open(const std::string& path) {
+    return Open(path, Options());
+  }
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  ~MmapFile();
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  std::span<const uint8_t> bytes() const { return {data_, size_}; }
+  const std::string& path() const { return path_; }
+  Advice advice() const { return advice_; }
+
+  /// Re-advises the live mapping (e.g. switch to kSequential before a
+  /// full-file checksum pass, back to kRandom for serving).
+  Status Advise(Advice advice);
+
+  static const char* AdviceName(Advice advice);
+
+ private:
+  MmapFile() = default;
+
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  std::string path_;
+  Advice advice_ = Advice::kNormal;
+};
+
+/// \brief Options shared by the zero-copy `LoadMapped` index paths.
+struct MmapLoadOptions {
+  MmapFile::Options map;
+  /// When true the loader also checksums every arena block against the
+  /// MEL3 block table and validates per-entry node ids — touching every
+  /// page, like the copying load. The default trusts block payloads and
+  /// validates the header, block table, and offset arrays only, so load
+  /// time is independent of arena size.
+  bool verify_checksums = false;
+};
+
+}  // namespace mel::util
+
+#endif  // MEL_UTIL_MMAP_FILE_H_

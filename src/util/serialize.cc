@@ -1,7 +1,9 @@
 #include "util/serialize.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
 namespace mel {
 
@@ -16,7 +18,27 @@ void BinaryWriter::WriteRaw(const void* data, size_t size) {
   if (!status_.ok()) return;
   out_.write(static_cast<const char*>(data),
              static_cast<std::streamsize>(size));
-  if (!out_.good()) status_ = Status::Internal("write failed");
+  if (!out_.good()) {
+    status_ = Status::Internal("write failed");
+    return;
+  }
+  bytes_written_ += size;
+}
+
+void BinaryWriter::PadTo(uint64_t offset) {
+  if (!status_.ok()) return;
+  if (offset < bytes_written_) {
+    status_ = Status::Internal("PadTo would seek backwards");
+    return;
+  }
+  static constexpr char kZeros[4096] = {};
+  uint64_t remaining = offset - bytes_written_;
+  while (remaining > 0 && status_.ok()) {
+    const size_t chunk =
+        static_cast<size_t>(std::min<uint64_t>(remaining, sizeof(kZeros)));
+    WriteRaw(kZeros, chunk);
+    remaining -= chunk;
+  }
 }
 
 void BinaryWriter::WriteString(const std::string& s) {
@@ -90,6 +112,194 @@ std::string BinaryReader::ReadString() {
   if (size > 0) ReadRaw(s.data(), size);
   if (!status_.ok()) s.clear();
   return s;
+}
+
+// ------------------------------------------------------------------ MEL3
+
+uint64_t Mel3Checksum(const void* data, size_t size) {
+  // 8 bytes per step with a multiply/xor-shift mix (xorshift-multiply in
+  // the style of splitmix64). Word-wise so checksumming runs at memory
+  // bandwidth rather than byte-at-a-time FNV speed.
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0x9e3779b97f4a7c15ull ^ size;
+  while (size >= 8) {
+    uint64_t w;
+    std::memcpy(&w, p, 8);
+    h ^= w;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 27;
+    p += 8;
+    size -= 8;
+  }
+  if (size > 0) {
+    uint64_t w = 0;
+    std::memcpy(&w, p, size);
+    h ^= w;
+    h *= 0x94d049bb133111ebull;
+    h ^= h >> 31;
+  }
+  return h;
+}
+
+namespace {
+
+uint64_t AlignUp(uint64_t v, uint64_t alignment) {
+  return (v + alignment - 1) / alignment * alignment;
+}
+
+/// Serializes the header (checksum field zeroed) plus the table into one
+/// buffer — the byte range `header_checksum` covers on disk.
+std::vector<uint8_t> HeaderAndTableBytes(
+    const Mel3Header& header, std::span<const Mel3BlockRecord> table) {
+  Mel3Header h = header;
+  h.header_checksum = 0;
+  std::vector<uint8_t> bytes(sizeof(Mel3Header) +
+                             table.size() * sizeof(Mel3BlockRecord));
+  std::memcpy(bytes.data(), &h, sizeof(h));
+  if (!table.empty()) {
+    std::memcpy(bytes.data() + sizeof(h), table.data(),
+                table.size() * sizeof(Mel3BlockRecord));
+  }
+  return bytes;
+}
+
+}  // namespace
+
+Status WriteMel3File(const std::string& path, uint32_t inner_magic,
+                     uint32_t inner_version, uint32_t num_nodes,
+                     uint32_t max_hops,
+                     std::span<const Mel3BlockDesc> blocks) {
+  if (blocks.size() > kMel3MaxBlocks) {
+    return Status::InvalidArgument("too many MEL3 blocks");
+  }
+  // Lay the blocks out first: payloads at ascending sector-aligned
+  // offsets, file padded out to a whole sector at the end.
+  std::vector<Mel3BlockRecord> table(blocks.size());
+  uint64_t cursor = AlignUp(
+      sizeof(Mel3Header) + blocks.size() * sizeof(Mel3BlockRecord),
+      kMel3Alignment);
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    const Mel3BlockDesc& b = blocks[i];
+    Mel3BlockRecord& rec = table[i];
+    rec.offset = cursor;
+    rec.length = b.count * b.elem_size;
+    rec.count = b.count;
+    rec.elem_size = b.elem_size;
+    rec.kind = static_cast<uint32_t>(b.kind);
+    rec.checksum = Mel3Checksum(b.data, static_cast<size_t>(rec.length));
+    cursor = AlignUp(cursor + rec.length, kMel3Alignment);
+  }
+
+  Mel3Header header = {};
+  header.magic = kMel3Magic;
+  header.container_version = kMel3Version;
+  header.inner_magic = inner_magic;
+  header.inner_version = inner_version;
+  header.num_nodes = num_nodes;
+  header.max_hops = max_hops;
+  header.block_count = static_cast<uint32_t>(blocks.size());
+  header.file_size = cursor;
+  header.header_checksum = Mel3Checksum(
+      HeaderAndTableBytes(header, table).data(),
+      sizeof(Mel3Header) + table.size() * sizeof(Mel3BlockRecord));
+
+  BinaryWriter writer(path);
+  writer.WriteBytes(&header, sizeof(header));
+  if (!table.empty()) {
+    writer.WriteBytes(table.data(),
+                      table.size() * sizeof(Mel3BlockRecord));
+  }
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    writer.PadTo(table[i].offset);
+    if (table[i].length > 0) {
+      writer.WriteBytes(blocks[i].data,
+                        static_cast<size_t>(table[i].length));
+    }
+  }
+  writer.PadTo(header.file_size);
+  return writer.Finish();
+}
+
+Result<Mel3View> Mel3View::Parse(
+    std::shared_ptr<const util::MmapFile> file,
+    uint32_t expect_inner_magic) {
+  if (file == nullptr) {
+    return Status::InvalidArgument("null mapping");
+  }
+  if (file->size() < sizeof(Mel3Header)) {
+    return Status::InvalidArgument("truncated MEL3 header");
+  }
+  Mel3View view;
+  std::memcpy(&view.header_, file->data(), sizeof(Mel3Header));
+  const Mel3Header& h = view.header_;
+  if (h.magic != kMel3Magic) {
+    return Status::InvalidArgument("not a MEL3 container");
+  }
+  if (h.container_version != kMel3Version) {
+    return Status::InvalidArgument("unsupported MEL3 container version " +
+                                   std::to_string(h.container_version));
+  }
+  if (h.block_count > kMel3MaxBlocks) {
+    return Status::InvalidArgument("corrupt MEL3 block count");
+  }
+  const uint64_t table_end =
+      sizeof(Mel3Header) + uint64_t{h.block_count} * sizeof(Mel3BlockRecord);
+  if (table_end > file->size()) {
+    return Status::InvalidArgument("truncated MEL3 block table");
+  }
+  if (h.file_size != file->size()) {
+    return Status::InvalidArgument(
+        "MEL3 file size mismatch (header says " +
+        std::to_string(h.file_size) + ", file is " +
+        std::to_string(file->size()) + " bytes)");
+  }
+  view.table_.resize(h.block_count);
+  if (h.block_count > 0) {
+    std::memcpy(view.table_.data(), file->data() + sizeof(Mel3Header),
+                h.block_count * sizeof(Mel3BlockRecord));
+  }
+  const auto covered = HeaderAndTableBytes(view.header_, view.table_);
+  if (Mel3Checksum(covered.data(), covered.size()) != h.header_checksum) {
+    return Status::InvalidArgument("corrupt MEL3 header checksum");
+  }
+  for (const Mel3BlockRecord& rec : view.table_) {
+    if (rec.offset % kMel3Alignment != 0) {
+      return Status::InvalidArgument("misaligned MEL3 block offset");
+    }
+    if (rec.elem_size == 0 || rec.length != rec.count * rec.elem_size) {
+      return Status::InvalidArgument("corrupt MEL3 block length");
+    }
+    if (rec.offset > file->size() ||
+        rec.length > file->size() - rec.offset) {
+      return Status::InvalidArgument("MEL3 block out of bounds");
+    }
+  }
+  if (h.inner_magic != expect_inner_magic) {
+    return Status::InvalidArgument(
+        "MEL3 container wraps a different index kind");
+  }
+  view.file_ = std::move(file);
+  return view;
+}
+
+const Mel3BlockRecord* Mel3View::Find(Mel3BlockKind kind) const {
+  for (const Mel3BlockRecord& rec : table_) {
+    if (rec.kind == static_cast<uint32_t>(kind)) return &rec;
+  }
+  return nullptr;
+}
+
+Status Mel3View::VerifyBlockChecksums() const {
+  for (const Mel3BlockRecord& rec : table_) {
+    const uint64_t got = Mel3Checksum(file_->data() + rec.offset,
+                                      static_cast<size_t>(rec.length));
+    if (got != rec.checksum) {
+      return Status::InvalidArgument(
+          "MEL3 block checksum mismatch (kind " +
+          std::to_string(rec.kind) + ")");
+    }
+  }
+  return Status::OK();
 }
 
 void JsonWriter::Separate() {
