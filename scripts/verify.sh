@@ -7,10 +7,13 @@
 # (which also asserts batched == sequential bit-identity), the scheduler
 # A/B (chunk-pull vs work-stealing; speedup floors assert only in full
 # mode on >= 4 hardware threads), the MEL3 startup A/B (mmap vs
-# deserializing load; the >= 10x floor asserts only in full mode), and a
+# deserializing load; the >= 10x floor asserts only in full mode), the
+# incremental-maintenance A/B (patch vs per-delta index rebuilds; the
+# >= 5x insert floor asserts only in full mode), and a
 # short bench_micro filter, then checks that all metrics sidecars are
 # valid JSON and that the BENCH_serving.json / BENCH_scheduler.json /
-# BENCH_hotpath.json / BENCH_reach.json / BENCH_startup.json
+# BENCH_hotpath.json / BENCH_reach.json / BENCH_startup.json /
+# BENCH_incremental.json
 # trajectories carry their required keys (docs/PERFORMANCE.md). Skip it
 # (e.g. on very slow machines) with MEL_SKIP_BENCH=1.
 #
@@ -42,12 +45,13 @@ if [ "${MEL_SKIP_BENCH:-0}" != "1" ]; then
   echo "=== Bench smoke: query hot path A/B + reach arena A/B + serving + scheduler + micro (Release) ==="
   cmake --build build -j --target bench_query_hotpath bench_micro \
     bench_reachability_index bench_serving bench_scheduler \
-    bench_index_startup
+    bench_index_startup bench_incremental
   (cd build/bench && ./bench_query_hotpath --smoke)
   (cd build/bench && ./bench_reachability_index --smoke)
   (cd build/bench && ./bench_serving --smoke)
   (cd build/bench && ./bench_scheduler --smoke)
   (cd build/bench && ./bench_index_startup --smoke)
+  (cd build/bench && ./bench_incremental --smoke)
   (cd build/bench && ./bench_micro \
     --benchmark_filter='BM_LinkMention$|BM_LinkMentionRecencyCacheOff|BM_RecencyCandidateScores' \
     --benchmark_min_time=0.05)
@@ -58,6 +62,7 @@ for path in ("build/bench/bench_query_hotpath.metrics.json",
              "build/bench/bench_serving.metrics.json",
              "build/bench/bench_scheduler.metrics.json",
              "build/bench/bench_index_startup.metrics.json",
+             "build/bench/bench_incremental.metrics.json",
              "build/bench/bench_micro.metrics.json"):
     with open(path) as f:
         json.load(f)
@@ -84,6 +89,11 @@ required = {
                            "deserialize_cold_ns", "mmap_warm_ns",
                            "mmap_cold_ns", "mmap_first_query_ns",
                            "warm_speedup"),
+    "BENCH_incremental.json": ("bench", "schema_version", "mode", "users",
+                               "num_deltas", "patch_insert_ns",
+                               "rebuild_insert_ns", "patch_erase_ns",
+                               "rebuild_erase_ns", "insert_speedup",
+                               "erase_speedup"),
 }
 for name, keys in required.items():
     with open("build/bench/" + name) as f:
@@ -103,12 +113,12 @@ if [ "${MEL_SKIP_TSAN:-0}" != "1" ]; then
   cmake -B build-tsan -S . -DMEL_SANITIZE=thread
   cmake --build build-tsan -j --target util_test reach_test core_test \
     extensions_test recency_test text_test differential_test \
-    metrics_test serve_test mmap_test
+    metrics_test serve_test mmap_test incremental_test
   (cd build-tsan && ctest --output-on-failure \
-    -R 'ThreadPool|StealDeque|Parallel|CachedReachability|DifferentialConcurrency|ServeFixture|ConcurrencyTest|MmapConcurrency' -j)
-  echo "=== TSan stage: reduced differential sweep ==="
+    -R 'ThreadPool|StealDeque|Parallel|CachedReachability|DifferentialConcurrency|ServeFixture|ConcurrencyTest|MmapConcurrency|Incremental' -j)
+  echo "=== TSan stage: reduced differential sweep (mutation shards included) ==="
   (cd build-tsan/tests && MEL_DIFF_CASES="${MEL_DIFF_CASES_TSAN:-40}" \
-    ./differential_test --gtest_filter='DifferentialShards.Shard*')
+    ./differential_test --gtest_filter='DifferentialShards.Shard*:MutationSweep.Shard*')
 fi
 
 if [ "${MEL_SKIP_DIFF:-0}" != "1" ]; then

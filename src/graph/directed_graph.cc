@@ -27,6 +27,48 @@ bool DirectedGraph::HasEdge(NodeId u, NodeId v) const {
   return std::binary_search(nbrs.begin(), nbrs.end(), v);
 }
 
+namespace {
+
+// Splices `value` into the sorted slice [offsets[slot], offsets[slot+1])
+// of `targets` and bumps every offset after `slot`.
+void SpliceIn(std::vector<uint32_t>& offsets, std::vector<NodeId>& targets,
+              NodeId slot, NodeId value) {
+  auto begin = targets.begin() + offsets[slot];
+  auto end = targets.begin() + offsets[slot + 1];
+  targets.insert(std::lower_bound(begin, end, value), value);
+  for (size_t i = slot + 1; i < offsets.size(); ++i) ++offsets[i];
+}
+
+void SpliceOut(std::vector<uint32_t>& offsets, std::vector<NodeId>& targets,
+               NodeId slot, NodeId value) {
+  auto begin = targets.begin() + offsets[slot];
+  auto end = targets.begin() + offsets[slot + 1];
+  auto it = std::lower_bound(begin, end, value);
+  MEL_CHECK(it != end && *it == value);
+  targets.erase(it);
+  for (size_t i = slot + 1; i < offsets.size(); ++i) --offsets[i];
+}
+
+}  // namespace
+
+bool DirectedGraph::InsertEdge(NodeId u, NodeId v) {
+  if (u >= num_nodes_ || v >= num_nodes_ || u == v) return false;
+  if (HasEdge(u, v)) return false;
+  SpliceIn(out_offsets_, out_targets_, u, v);
+  SpliceIn(in_offsets_, in_targets_, v, u);
+  ++version_;
+  return true;
+}
+
+bool DirectedGraph::EraseEdge(NodeId u, NodeId v) {
+  if (u >= num_nodes_ || v >= num_nodes_ || u == v) return false;
+  if (!HasEdge(u, v)) return false;
+  SpliceOut(out_offsets_, out_targets_, u, v);
+  SpliceOut(in_offsets_, in_targets_, v, u);
+  ++version_;
+  return true;
+}
+
 uint64_t DirectedGraph::MemoryUsageBytes() const {
   return (out_offsets_.size() + in_offsets_.size()) * sizeof(uint32_t) +
          (out_targets_.size() + in_targets_.size()) * sizeof(NodeId);

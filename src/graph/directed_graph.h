@@ -12,11 +12,18 @@ using NodeId = uint32_t;
 
 inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
 
-/// \brief Immutable directed graph in compressed-sparse-row form.
+/// \brief Directed graph in compressed-sparse-row form.
 ///
 /// Stores both forward (out-neighbour) and reverse (in-neighbour) adjacency
 /// so that forward and backward BFS — both needed by the 2-hop labeling
 /// construction (Algorithm 2 of the paper) — are equally cheap.
+///
+/// The CSR arrays are mostly immutable; InsertEdge / EraseEdge splice a
+/// single edge in or out while keeping both adjacency lists sorted and
+/// deduplicated. Each successful splice is O(|V| + |E|) and bumps
+/// version(), which index structures use to detect staleness. Mutations
+/// are NOT thread-safe against concurrent readers; callers serialize
+/// them (see reach::ReachMaintainer and the serving epoch barrier).
 ///
 /// In the followee-follower network an edge u -> v means "u follows v",
 /// i.e., v is a followee of u and the out-neighbours of u are exactly the
@@ -58,11 +65,25 @@ class DirectedGraph {
   /// True if the edge u -> v exists (binary search over out-neighbours).
   bool HasEdge(NodeId u, NodeId v) const;
 
+  /// Adds the edge u -> v, keeping both adjacency lists sorted. Returns
+  /// false (and leaves the graph untouched) for self-loops, out-of-range
+  /// endpoints, or an edge that already exists.
+  bool InsertEdge(NodeId u, NodeId v);
+
+  /// Removes the edge u -> v. Returns false (graph untouched) for
+  /// self-loops, out-of-range endpoints, or a missing edge.
+  bool EraseEdge(NodeId u, NodeId v);
+
+  /// Monotone counter bumped by every successful InsertEdge / EraseEdge.
+  /// A freshly constructed graph starts at version 0.
+  uint64_t version() const { return version_; }
+
   /// Approximate heap footprint of the adjacency arrays, in bytes.
   uint64_t MemoryUsageBytes() const;
 
  private:
   uint32_t num_nodes_;
+  uint64_t version_ = 0;
   std::vector<uint32_t> out_offsets_;
   std::vector<NodeId> out_targets_;
   std::vector<uint32_t> in_offsets_;

@@ -1,0 +1,28 @@
+#ifndef MEL_GRAPH_MUTATION_H_
+#define MEL_GRAPH_MUTATION_H_
+
+#include <cstdint>
+
+#include "graph/directed_graph.h"
+
+namespace mel::graph {
+
+/// \brief A single follow-graph mutation.
+///
+/// kInsert adds the edge u -> v ("u starts following v"); kErase removes
+/// it ("u unfollows v"). Deltas are the unit of the incremental
+/// maintenance contract (reach::ReachMaintainer): the graph is mutated
+/// first, then every registered index is offered the delta through
+/// WeightedReachability::OnGraphMutation and either patches itself in
+/// place, rebuilds, or declares itself unaffected.
+struct EdgeDelta {
+  enum class Op : uint8_t { kInsert, kErase };
+
+  Op op = Op::kInsert;
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+};
+
+}  // namespace mel::graph
+
+#endif  // MEL_GRAPH_MUTATION_H_

@@ -195,6 +195,83 @@ uint64_t DistanceLabelIndex::TotalLabelEntries() const {
   return in_entries_.size() + out_entries_.size();
 }
 
+MutationResult DistanceLabelIndex::OnGraphMutation(
+    const MutationContext& ctx) {
+  if (ctx.delta.op == graph::EdgeDelta::Op::kErase) {
+    *this = Build(g_, max_hops_);
+    return MutationResult::kRebuilt;
+  }
+  PatchInsertedEdge(ctx);
+  return MutationResult::kPatched;
+}
+
+void DistanceLabelIndex::PatchInsertedEdge(const MutationContext& ctx) {
+  const NodeId u = ctx.delta.u;
+  const std::vector<uint32_t>& to_u = *ctx.dist_to_u;      // d(a, u)
+  const std::vector<uint32_t>& from_v = *ctx.dist_from_v;  // d(v, b)
+  const uint32_t n = g_->num_nodes();
+
+  // Unpack the arenas into the build vectors; the arenas stay intact
+  // until FinalizeArenas so Distance() keeps answering pre-insert.
+  build_in_labels_.assign(n, {});
+  build_out_labels_.assign(n, {});
+  for (NodeId x = 0; x < n; ++x) {
+    const auto ins = in_labels(x);
+    build_in_labels_[x].assign(ins.begin(), ins.end());
+    const auto outs = out_labels(x);
+    build_out_labels_[x].assign(outs.begin(), outs.end());
+  }
+
+  auto through = [&](NodeId s, NodeId t) -> uint32_t {
+    if (to_u[s] == kInf || from_v[t] == kInf) return kInf;
+    const uint32_t c = to_u[s] + 1 + from_v[t];
+    return c > max_hops_ ? kInf : c;
+  };
+
+  // Closed-form fix of existing labels: d' = min(d, d(s,u)+1+d(v,h)).
+  for (NodeId s = 0; s < n; ++s) {
+    if (to_u[s] == kInf) continue;
+    for (Label& label : build_out_labels_[s]) {
+      const uint32_t cand = through(s, label.node);
+      if (cand < label.dist) label.dist = cand;
+    }
+  }
+  for (NodeId t = 0; t < n; ++t) {
+    if (from_v[t] == kInf) continue;
+    for (Label& label : build_in_labels_[t]) {
+      const uint32_t cand = through(label.node, t);
+      if (cand < label.dist) label.dist = cand;
+    }
+  }
+
+  // Cover restoration: hub u on both sides of the new edge. Pairs (u, b)
+  // are answered by the degenerate source-hub scan of Distance(), so no
+  // hub-v labels are needed in the distance-only index.
+  auto upsert = [](std::vector<Label>& labels, NodeId hub, uint32_t dist) {
+    auto it = std::lower_bound(
+        labels.begin(), labels.end(), hub,
+        [](const Label& l, NodeId x) { return l.node < x; });
+    if (it != labels.end() && it->node == hub) {
+      it->dist = std::min(it->dist, dist);
+    } else {
+      labels.insert(it, Label{hub, dist});
+    }
+  };
+  for (NodeId a = 0; a < n; ++a) {
+    if (a != u && to_u[a] != kInf) upsert(build_out_labels_[a], u, to_u[a]);
+  }
+  for (NodeId b = 0; b < n; ++b) {
+    if (b == u || from_v[b] == kInf) continue;
+    const uint32_t through_b =
+        from_v[b] + 1 > max_hops_ ? kInf : from_v[b] + 1;
+    const uint32_t dub = std::min(Distance(u, b), through_b);
+    if (dub <= max_hops_) upsert(build_in_labels_[b], u, dub);
+  }
+
+  FinalizeArenas();
+  mapping_.reset();
+}
+
 uint64_t DistanceLabelIndex::IndexSizeBytes() const {
   return TotalLabelEntries() * sizeof(Label) +
          (in_offsets_.size() + out_offsets_.size()) * sizeof(uint64_t);

@@ -51,6 +51,14 @@ class DistanceLabelIndex : public WeightedReachability {
   uint64_t IndexSizeBytes() const override;
   const char* Name() const override { return "2-hop-dist-only"; }
 
+  /// \brief Mutate-or-invalidate contract: insertions patch the distance
+  /// labels in place (closed form + hub-u injection over the affected
+  /// region; followee sets are query-time reconstructions here, so exact
+  /// distances are all that is needed), erasures rebuild — the
+  /// decremental case is unsound for a pruned cover. A mapped index
+  /// becomes heap-owned when patched.
+  MutationResult OnGraphMutation(const MutationContext& ctx) override;
+
   uint64_t TotalLabelEntries() const;
 
   /// Persists the arenas as a MEL3 container (sector-aligned checksummed
@@ -92,6 +100,10 @@ class DistanceLabelIndex : public WeightedReachability {
   DistanceLabelIndex(const graph::DirectedGraph* g, uint32_t max_hops);
 
   void ProcessLandmark(NodeId landmark, bool forward);
+
+  /// Insert-patch body of OnGraphMutation (graph already mutated, arenas
+  /// still pre-insert and serving as the old-distance oracle).
+  void PatchInsertedEdge(const MutationContext& ctx);
 
   /// Flattens the per-node build vectors onto the arenas and releases
   /// them (plus the BFS scratch).

@@ -20,6 +20,7 @@ PrunedOnlineSearch PrunedOnlineSearch::Build(const graph::DirectedGraph* g,
                                              uint64_t seed) {
   MEL_CHECK(num_intervals > 0);
   PrunedOnlineSearch index(g, max_hops, num_intervals);
+  index.seed_ = seed;
 
   // Condense to the SCC DAG.
   auto scc = graph::StronglyConnectedComponents(*g);
@@ -111,6 +112,15 @@ void PrunedOnlineSearch::BuildIntervals(uint64_t seed) {
     }
     for (uint32_t c : order) visit_tree(c);
   }
+}
+
+MutationResult PrunedOnlineSearch::OnGraphMutation(const MutationContext&) {
+  // The SCC condensation and post-order intervals are global properties
+  // of the edge set; a single edge can merge or split components, so
+  // both directions rebuild. The stored seed keeps the rebuilt interval
+  // labels bit-identical to a fresh Build on the same graph.
+  *this = Build(g_, max_hops_, num_intervals_, seed_);
+  return MutationResult::kRebuilt;
 }
 
 bool PrunedOnlineSearch::DefinitelyUnreachable(NodeId u, NodeId v) const {

@@ -52,6 +52,13 @@ class PrunedOnlineSearch : public WeightedReachability {
   /// diagnostics for the pruning power.
   uint32_t num_components() const { return num_components_; }
 
+  /// \brief Mutate-or-invalidate contract: both insert and erase rebuild
+  /// the SCC condensation and interval labels (they are global graph
+  /// properties with no sound local patch), reusing the stored build
+  /// seed so the rebuilt index is bit-identical to a fresh Build. The
+  /// BFS fallback already reads the live graph.
+  MutationResult OnGraphMutation(const MutationContext& ctx) override;
+
  private:
   PrunedOnlineSearch(const graph::DirectedGraph* g, uint32_t max_hops,
                      uint32_t num_intervals);
@@ -67,6 +74,7 @@ class PrunedOnlineSearch : public WeightedReachability {
   const graph::DirectedGraph* g_;
   uint32_t max_hops_;
   uint32_t num_intervals_;
+  uint64_t seed_ = 0;  // kept for rebuild-on-mutation
   uint32_t num_components_ = 0;
   std::vector<uint32_t> component_;  // node -> SCC id
   // intervals_[k * num_components_ + c] = k-th interval of component c.

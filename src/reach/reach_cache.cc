@@ -189,6 +189,55 @@ void CachedReachability::Invalidate() {
   }
 }
 
+void CachedReachability::InvalidateAffected(const MutationContext& ctx) {
+  const std::vector<uint32_t>& to_u = *ctx.dist_to_u;
+  const std::vector<uint32_t>& from_v = *ctx.dist_from_v;
+  const NodeId u = ctx.delta.u;
+  // A cached pair (a, b) can only be stale when it can route through the
+  // mutated edge — a reaches u AND v reaches b within the hop bound (for
+  // erase, d(a, u) and d(v, b) are unchanged by the mutation, so the
+  // post-mutation BFS decides old reachability too) — or when a == u,
+  // whose followee count (the Eq.-4 denominator) changed.
+  auto stale = [&](uint64_t key) {
+    const NodeId a = static_cast<NodeId>(key >> 32);
+    const NodeId b = static_cast<NodeId>(key & 0xffffffffu);
+    if (a == u) return true;
+    return to_u[a] != kUnreachableDistance &&
+           from_v[b] != kUnreachableDistance;
+  };
+  const CacheMetrics& cm = GetCacheMetrics();
+  for (uint64_t s = 0; s <= shard_mask_; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    uint64_t freed = 0;
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+      if (stale(it->first)) {
+        freed += FullEntryBytes(it->second);
+        it = shard.entries.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = shard.count_entries.begin();
+         it != shard.count_entries.end();) {
+      if (stale(it->first)) {
+        freed += kCountEntryBytes;
+        it = shard.count_entries.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    shard.payload_bytes -= freed;
+    cm.bytes->Add(-static_cast<int64_t>(freed));
+  }
+}
+
+MutationResult CachedReachability::OnGraphMutation(
+    const MutationContext& ctx) {
+  InvalidateAffected(ctx);
+  return MutationResult::kPatched;
+}
+
 size_t CachedReachability::ApproxEntries() const {
   size_t total = 0;
   for (uint64_t s = 0; s <= shard_mask_; ++s) {

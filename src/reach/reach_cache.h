@@ -66,6 +66,19 @@ class CachedReachability : public WeightedReachability {
   /// Drops every cached entry (e.g. after an edge insertion).
   void Invalidate();
 
+  /// Precise invalidation: drops only entries (a, b) the mutation of
+  /// edge (u, v) can affect — a reaches u and v reaches b within the hop
+  /// bound (the pair can route through the edge), or a == u (whose
+  /// out-degree, Eq. 4's denominator, changed). Everything else is
+  /// provably still exact and stays cached.
+  void InvalidateAffected(const MutationContext& ctx);
+
+  /// Mutate-or-invalidate contract: runs InvalidateAffected. The cache
+  /// deliberately does NOT forward the mutation to the wrapped backend —
+  /// register the backend with the maintainer separately, before the
+  /// cache, so it is patched first.
+  MutationResult OnGraphMutation(const MutationContext& ctx) override;
+
   /// Entries currently cached (both maps), summed over shards
   /// (approximate under concurrent writes).
   size_t ApproxEntries() const;

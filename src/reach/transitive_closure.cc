@@ -20,6 +20,7 @@ struct TcMetrics {
   metrics::Counter* lookups;
   metrics::Counter* unreachable;
   metrics::Counter* edge_inserts;
+  metrics::Counter* edge_erases;
   metrics::Histogram* repair_pairs;
   metrics::Histogram* build_ns;
 };
@@ -31,6 +32,7 @@ const TcMetrics& GetTcMetrics() {
     tm.lookups = reg.GetCounter("reach.tc.lookups_total");
     tm.unreachable = reg.GetCounter("reach.tc.unreachable_total");
     tm.edge_inserts = reg.GetCounter("reach.tc.edge_inserts_total");
+    tm.edge_erases = reg.GetCounter("reach.tc.edge_erases_total");
     tm.repair_pairs = reg.GetHistogram("reach.tc.repair_pairs");
     tm.build_ns = reg.GetHistogram("reach.tc.build_ns");
     return tm;
@@ -290,7 +292,12 @@ bool TransitiveClosureIndex::InsertEdge(NodeId u, NodeId v) {
   }
   overlay_out_[u].push_back(v);
   overlay_in_[v].push_back(u);
+  ++overlay_edge_count_;
+  PatchInsertedEdge(u, v);
+  return true;
+}
 
+void TransitiveClosureIndex::PatchInsertedEdge(NodeId u, NodeId v) {
   // Distances shrink only along paths a ~> u -> v ~> b.
   std::vector<std::pair<NodeId, uint32_t>> sources;  // (a, d(a, u))
   std::vector<std::pair<NodeId, uint32_t>> targets;  // (b, d(v, b))
@@ -345,7 +352,101 @@ bool TransitiveClosureIndex::InsertEdge(NodeId u, NodeId v) {
   const TcMetrics& tm = GetTcMetrics();
   tm.edge_inserts->Increment();
   if (metrics::Enabled()) tm.repair_pairs->Record(repair.size());
-  return true;
+}
+
+void TransitiveClosureIndex::PatchErasedEdge(NodeId u, NodeId v) {
+  // d(a, u) and d(v, b) never route through (u, v) — a path to u using
+  // it would leave u and have to return, a path from v would have to
+  // re-enter v — so the pre-erase matrix still holds them exactly.
+  std::vector<std::pair<NodeId, uint32_t>> sources;  // (a, d(a, u))
+  std::vector<std::pair<NodeId, uint32_t>> targets;  // (b, d(v, b))
+  sources.emplace_back(u, 0);
+  targets.emplace_back(v, 0);
+  for (NodeId a = 0; a < n_; ++a) {
+    if (a != u && dist_[Cell(a, u)] != 0) {
+      sources.emplace_back(a, dist_[Cell(a, u)]);
+    }
+  }
+  for (NodeId b = 0; b < n_; ++b) {
+    if (b != v && dist_[Cell(v, b)] != 0) {
+      targets.emplace_back(b, dist_[Cell(v, b)]);
+    }
+  }
+
+  // A source row can only grow a distance if some shortest path from it
+  // routed through the erased edge: d(a, b) == d(a, u) + 1 + d(v, b) for
+  // some b. Unaffected rows keep their entire row as-is.
+  std::vector<NodeId> affected;
+  for (const auto& [a, da] : sources) {
+    for (const auto& [b, db] : targets) {
+      if (a == b) continue;
+      uint32_t cand = da + 1 + db;
+      if (cand > max_hops_) continue;
+      if (dist_[Cell(a, b)] == cand) {
+        affected.push_back(a);
+        break;
+      }
+    }
+  }
+
+  // Deletion has no closed form (the new shortest path can be anywhere),
+  // so affected rows are re-derived by one bounded forward BFS each on
+  // the post-erase graph.
+  std::vector<std::pair<NodeId, NodeId>> changed;
+  auto& scratch = graph::BfsScratch::ThreadLocal(n_);
+  for (NodeId a : affected) {
+    scratch.RunForward(*g_, a, max_hops_);
+    for (NodeId b = 0; b < n_; ++b) {
+      if (b == a) continue;
+      uint32_t nd = scratch.Distance(b);
+      uint8_t fresh = nd == graph::kUnreachable ? 0 : static_cast<uint8_t>(nd);
+      size_t cell = Cell(a, b);
+      if (dist_[cell] != fresh) {
+        dist_[cell] = fresh;
+        changed.emplace_back(a, b);
+      }
+    }
+  }
+
+  // Same completeness argument as the insert repair: a score can change
+  // only through its own distance cell, a followee's distance cell, or
+  // the out-degree denominator (only u's shrank).
+  std::unordered_set<uint64_t> repair;
+  auto add = [&](NodeId a, NodeId b) {
+    repair.insert((static_cast<uint64_t>(a) << 32) | b);
+  };
+  for (const auto& [t, b] : changed) {
+    add(t, b);
+    ForEachFollower(t, [&](NodeId a) {
+      if (a != b && dist_[Cell(a, b)] != 0) add(a, b);
+    });
+  }
+  for (NodeId b = 0; b < n_; ++b) {
+    if (b != u && dist_[Cell(u, b)] != 0) add(u, b);
+  }
+  for (uint64_t key : repair) {
+    RecomputeScore(static_cast<NodeId>(key >> 32),
+                   static_cast<NodeId>(key & 0xffffffffu));
+  }
+  const TcMetrics& tm = GetTcMetrics();
+  tm.edge_erases->Increment();
+  if (metrics::Enabled()) tm.repair_pairs->Record(repair.size());
+}
+
+MutationResult TransitiveClosureIndex::OnGraphMutation(
+    const MutationContext& ctx) {
+  const auto& d = ctx.delta;
+  MEL_CHECK(d.u < n_ && d.v < n_);
+  MEL_CHECK_MSG(overlay_edge_count_ == 0,
+                "graph-mutated-first contract cannot mix with overlay edges");
+  if (d.op == graph::EdgeDelta::Op::kInsert) {
+    MEL_CHECK(g_->HasEdge(d.u, d.v));
+    PatchInsertedEdge(d.u, d.v);
+  } else {
+    MEL_CHECK(!g_->HasEdge(d.u, d.v));
+    PatchErasedEdge(d.u, d.v);
+  }
+  return MutationResult::kPatched;
 }
 
 uint64_t TransitiveClosureIndex::IndexSizeBytes() const {
@@ -400,6 +501,7 @@ Result<TransitiveClosureIndex> TransitiveClosureIndex::Load(
     for (NodeId v : index.overlay_out_[u]) {
       if (v >= n) return Status::InvalidArgument("corrupt overlay edge");
       index.overlay_in_[v].push_back(u);
+      ++index.overlay_edge_count_;
     }
   }
   if (!reader.status().ok()) return reader.status();

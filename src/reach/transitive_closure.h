@@ -73,6 +73,18 @@ class TransitiveClosureIndex : public WeightedReachability {
   /// is a self-loop.
   bool InsertEdge(NodeId u, NodeId v);
 
+  /// \brief Mutate-or-invalidate contract: patches the matrix after the
+  /// underlying graph itself was mutated (insert or erase).
+  ///
+  /// Insertions reuse the InsertEdge repair; erasures re-run one bounded
+  /// forward BFS per affected source row (a row is affected only when
+  /// some shortest path could have routed through the erased edge) and
+  /// repair the scores of changed pairs, their sources' followers, and
+  /// the whole live row of u (whose out-degree shrank). Both directions
+  /// return kPatched. Must not be mixed with the overlay API: requires
+  /// that no overlay edges have been inserted.
+  MutationResult OnGraphMutation(const MutationContext& ctx) override;
+
   /// Number of followees of u including overlay edges.
   uint32_t CurrentOutDegree(NodeId u) const;
 
@@ -92,6 +104,15 @@ class TransitiveClosureIndex : public WeightedReachability {
 
   /// Recomputes score_[a][b] from the distance matrix (Theorem 1).
   void RecomputeScore(NodeId a, NodeId b);
+
+  /// Shared repair body of InsertEdge / OnGraphMutation(kInsert); the
+  /// adjacency (graph or overlay) must already contain u -> v while the
+  /// distance matrix still predates it.
+  void PatchInsertedEdge(NodeId u, NodeId v);
+
+  /// Repair body of OnGraphMutation(kErase): the graph no longer has
+  /// u -> v, the matrix still does.
+  void PatchErasedEdge(NodeId u, NodeId v);
 
   /// Invokes fn(t) for every followee t of a (graph + overlay).
   template <typename Fn>
@@ -113,6 +134,7 @@ class TransitiveClosureIndex : public WeightedReachability {
   // Edges inserted after Build, forward and reverse.
   std::vector<std::vector<NodeId>> overlay_out_;
   std::vector<std::vector<NodeId>> overlay_in_;
+  uint64_t overlay_edge_count_ = 0;
 };
 
 }  // namespace mel::reach

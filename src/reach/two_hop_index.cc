@@ -504,6 +504,156 @@ uint64_t TwoHopIndex::TotalLabelEntries() const {
   return in_entries_.size() + out_entries_.size();
 }
 
+MutationResult TwoHopIndex::OnGraphMutation(const MutationContext& ctx) {
+  if (ctx.delta.op == graph::EdgeDelta::Op::kErase) {
+    // Decremental cover maintenance is unsound: the new shortest path of
+    // an affected pair was non-shortest before the erase and therefore
+    // appears in no label. Rebuild from the mutated graph.
+    *this = Build(g_, max_hops_, ctx.pool);
+    return MutationResult::kRebuilt;
+  }
+  PatchInsertedEdge(ctx);
+  return MutationResult::kPatched;
+}
+
+void TwoHopIndex::PatchInsertedEdge(const MutationContext& ctx) {
+  const NodeId u = ctx.delta.u;
+  const NodeId v = ctx.delta.v;
+  // Exact post-insert BFS distances; d(a, u) and d(v, b) cannot route
+  // through (u, v) — such a walk revisits an endpoint — so they equal
+  // the PRE-insert values too.
+  const std::vector<uint32_t>& to_u = *ctx.dist_to_u;      // d(a, u)
+  const std::vector<uint32_t>& from_v = *ctx.dist_from_v;  // d(v, b)
+  const uint32_t n = g_->num_nodes();
+
+  // Unpack the arenas into the per-node build vectors. The arena members
+  // stay untouched until FinalizeArenas, so label queries against *this
+  // keep answering with PRE-insert distances — the Q_old oracle the
+  // closed form needs.
+  build_in_labels_.assign(n, {});
+  build_out_labels_.assign(n, {});
+  for (NodeId x = 0; x < n; ++x) {
+    const auto ins = in_labels(x);
+    build_in_labels_[x].assign(ins.begin(), ins.end());
+    const auto outs = out_labels(x);
+    auto& bo = build_out_labels_[x];
+    bo.reserve(outs.size());
+    for (size_t i = 0; i < outs.size(); ++i) {
+      const auto f = followees(out_offsets_[x] + i);
+      bo.push_back(BuildOutLabel{outs[i].node, outs[i].dist,
+                                 {f.begin(), f.end()}});
+    }
+  }
+
+  std::vector<uint64_t> span_scratch;
+  auto old_dist = [&](NodeId s, NodeId t) -> uint32_t {
+    return s == t ? 0 : CollectMinDistanceSpans(s, t, span_scratch);
+  };
+  auto through = [&](NodeId s, NodeId t) -> uint32_t {
+    if (to_u[s] == kInf || from_v[t] == kInf) return kInf;
+    const uint32_t c = to_u[s] + 1 + from_v[t];
+    return c > max_hops_ ? kInf : c;
+  };
+  auto new_dist = [&](NodeId s, NodeId t) -> uint32_t {
+    return std::min(old_dist(s, t), through(s, t));
+  };
+  // Theorem-1 followee set of the patched label (s, hub): followees at
+  // new distance dnew - 1 from the hub.
+  auto exact_followees = [&](NodeId s, NodeId hub, uint32_t dnew) {
+    std::vector<NodeId> f;
+    for (NodeId t : g_->OutNeighbors(s)) {
+      const uint32_t dt = new_dist(t, hub);
+      if (dt != kInf && dt + 1 == dnew) f.push_back(t);
+    }
+    return f;  // OutNeighbors is sorted, so f is too
+  };
+
+  // (a) Fix existing out-labels (s, h, d, F) that the edge can affect:
+  // s reaches u, v reaches h, and the through-edge candidate is <= d. A
+  // candidate of exactly d leaves the distance alone but can add tied
+  // shortest paths, so F is recomputed for it as well; a candidate of
+  // d + 1 or more cannot even touch F (every followee's through-edge
+  // distance is >= candidate - 1 >= d).
+  for (NodeId s = 0; s < n; ++s) {
+    if (to_u[s] == kInf) continue;
+    for (BuildOutLabel& label : build_out_labels_[s]) {
+      const uint32_t cand = through(s, label.node);
+      if (cand > label.dist) continue;  // kInf compares greater too
+      label.dist = std::min(label.dist, cand);
+      label.followees = exact_followees(s, label.node, label.dist);
+    }
+  }
+
+  // (b) Fix existing in-labels (h, d) of t: h reaches u, v reaches t.
+  for (NodeId t = 0; t < n; ++t) {
+    if (from_v[t] == kInf) continue;
+    for (InLabel& label : build_in_labels_[t]) {
+      const uint32_t cand = through(label.node, t);
+      if (cand < label.dist) label.dist = cand;
+    }
+  }
+
+  // (c) Restore the cover for pairs routing through the new edge by
+  // injecting hub u across the affected region (upserts keep the
+  // by-hub-node sort order).
+  auto upsert_out = [&](NodeId owner, NodeId hub, uint32_t dist,
+                        std::vector<NodeId> f) {
+    auto& outs = build_out_labels_[owner];
+    auto it = std::lower_bound(
+        outs.begin(), outs.end(), hub,
+        [](const BuildOutLabel& l, NodeId x) { return l.node < x; });
+    if (it != outs.end() && it->node == hub) {
+      it->dist = dist;
+      it->followees = std::move(f);
+    } else {
+      outs.insert(it, BuildOutLabel{hub, dist, std::move(f)});
+    }
+  };
+  auto upsert_in = [&](NodeId owner, NodeId hub, uint32_t dist) {
+    auto& ins = build_in_labels_[owner];
+    auto it = std::lower_bound(
+        ins.begin(), ins.end(), hub,
+        [](const InLabel& l, NodeId x) { return l.node < x; });
+    if (it != ins.end() && it->node == hub) {
+      it->dist = std::min(it->dist, dist);
+    } else {
+      ins.insert(it, InLabel{hub, dist});
+    }
+  };
+
+  // Out-label (a, u) on every node reaching u: d(a, u) is unchanged and
+  // its followees are the first hops toward u (all within the BFS
+  // bound, since to_u[t] = to_u[a] - 1 <= H - 1).
+  for (NodeId a = 0; a < n; ++a) {
+    if (a == u || to_u[a] == kInf) continue;
+    std::vector<NodeId> f;
+    for (NodeId t : g_->OutNeighbors(a)) {
+      if (to_u[t] != kInf && to_u[t] + 1 == to_u[a]) f.push_back(t);
+    }
+    upsert_out(a, u, to_u[a], std::move(f));
+  }
+  // The edge itself: d(u, v) = 1 with F = {v}.
+  upsert_out(u, v, 1, {v});
+  for (NodeId b = 0; b < n; ++b) {
+    if (from_v[b] == kInf) continue;
+    // In-label (u -> b) meets the (a, u) out-labels above. Guarded by
+    // the hop bound: 1 + from_v[b] can reach H + 1.
+    if (b != u) {
+      const uint32_t through_b =
+          from_v[b] + 1 > max_hops_ ? kInf : from_v[b] + 1;
+      const uint32_t dub = std::min(old_dist(u, b), through_b);
+      if (dub <= max_hops_) upsert_in(b, u, dub);
+    }
+    // In-label (v -> b) meets the (u, v, 1, {v}) out-label: the
+    // degenerate source-hub u in L_in(b) carries no followee span, so
+    // pairs (u, b) need hub v to contribute F = {v}.
+    if (b != v) upsert_in(b, v, from_v[b]);
+  }
+
+  FinalizeArenas();
+  mapping_.reset();
+}
+
 namespace {
 constexpr uint32_t kTwoHopMagic = 0x4d454c32;  // "MEL2"
 constexpr uint32_t kTwoHopVersion = 2;  // v2: arena-flattened labels

@@ -74,6 +74,22 @@ class TwoHopIndex : public WeightedReachability {
   uint64_t IndexSizeBytes() const override;
   const char* Name() const override { return "2-hop-cover"; }
 
+  /// \brief Mutate-or-invalidate contract.
+  ///
+  /// Insertion of (u, v) patches the labels in place: existing labels
+  /// whose distance can route through the new edge are fixed with the
+  /// closed form d' = min(d, d(s,u) + 1 + d(v,h)) and their followee
+  /// sets recomputed, then hub u (and hub v for the (u, b) pairs, whose
+  /// degenerate source-hub carries no followee span) is injected on the
+  /// affected region so every pair routing through the edge keeps a
+  /// minimum-distance meeting hub. The patched index can carry MORE
+  /// labels than a fresh build — equality with a rebuild holds on query
+  /// results, not on label structure. Erasure rebuilds: a decremental
+  /// cover update is unsound because the pair's new shortest path was
+  /// non-shortest before and is in no label. A mapped index becomes
+  /// heap-owned when patched.
+  MutationResult OnGraphMutation(const MutationContext& ctx) override;
+
   /// Total number of in-label plus out-label entries (index-size metric).
   uint64_t TotalLabelEntries() const;
 
@@ -168,6 +184,11 @@ class TwoHopIndex : public WeightedReachability {
 
   void ProcessLandmarkBackward(NodeId landmark, LandmarkScratch& scratch);
   void ProcessLandmarkForward(NodeId landmark, LandmarkScratch& scratch);
+
+  /// Insert-patch body of OnGraphMutation: the graph already contains
+  /// the edge, the arenas still predate it (they serve as the
+  /// old-distance oracle until the patched labels are re-finalized).
+  void PatchInsertedEdge(const MutationContext& ctx);
 
   /// Flattens the per-node build vectors onto the arenas (node order,
   /// deterministic) and releases the construction scratch.

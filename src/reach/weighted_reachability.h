@@ -6,6 +6,11 @@
 #include <vector>
 
 #include "graph/directed_graph.h"
+#include "graph/mutation.h"
+
+namespace mel::util {
+class ThreadPool;
+}  // namespace mel::util
 
 namespace mel::reach {
 
@@ -62,6 +67,36 @@ inline double WeightedScore(const ReachQueryResult& r, uint32_t out_degree,
                                 out_degree, same_node);
 }
 
+/// How a backend serviced a graph mutation (the mutate-or-invalidate
+/// contract, see docs/ARCHITECTURE.md).
+enum class MutationResult : uint8_t {
+  kPatched,     ///< index updated in place (no full rebuild)
+  kRebuilt,     ///< index discarded and rebuilt from the mutated graph
+  kUnaffected,  ///< backend reads the live graph; nothing to do
+};
+
+/// \brief Context handed to OnGraphMutation after the graph has already
+/// been mutated.
+///
+/// The maintainer computes two bounded BFS frontiers once and shares
+/// them with every registered index:
+///   dist_to_u[a]   = d(a, u) on the POST-mutation graph (backward BFS)
+///   dist_from_v[b] = d(v, b) on the POST-mutation graph (forward BFS)
+/// Both use kUnreachableDistance for "beyond the hop bound". For the
+/// edge (u, v) these are valid for insert AND erase: no shortest path TO
+/// u can use (u, v) (it would leave u and have to return), and none FROM
+/// v can either (it would have to re-enter v).
+struct MutationContext {
+  graph::EdgeDelta delta;
+  /// The already-mutated graph. For EdgeDelta::Op::kInsert the edge is
+  /// present; for kErase it is gone.
+  const graph::DirectedGraph* graph = nullptr;
+  const std::vector<uint32_t>* dist_to_u = nullptr;
+  const std::vector<uint32_t>* dist_from_v = nullptr;
+  /// Optional pool for backends whose rebuild path is parallel.
+  util::ThreadPool* pool = nullptr;
+};
+
 /// \brief Common interface of the three weighted-reachability backends
 /// (naive BFS, extended transitive closure, extended 2-hop cover).
 ///
@@ -92,6 +127,16 @@ class WeightedReachability {
   /// every backend (both funnel through WeightedScoreFromCount); the
   /// default simply forwards so existing subclasses stay correct.
   virtual double ScoreOnly(NodeId u, NodeId v) const { return Score(u, v); }
+
+  /// Reacts to a graph mutation that has ALREADY been applied to the
+  /// underlying graph. Implementations either patch their index in
+  /// place, rebuild it, or return kUnaffected when they read the live
+  /// graph on every query (the naive backend). Never called
+  /// concurrently with queries — the caller (ReachMaintainer, or the
+  /// serving epoch barrier) provides that exclusion.
+  virtual MutationResult OnGraphMutation(const MutationContext&) {
+    return MutationResult::kUnaffected;
+  }
 
   /// Approximate index footprint in bytes (0 for index-free backends).
   virtual uint64_t IndexSizeBytes() const = 0;

@@ -38,7 +38,10 @@ BurstTracker::BurstTracker(uint32_t num_entities, kb::Timestamp tau,
   // (trailing-edge over-count only).
   slots_ = num_buckets_ + 1;
   rings_.resize(num_entities);
-  for (auto& ring : rings_) ring.counts.assign(slots_, 0);
+  for (auto& ring : rings_) {
+    ring.counts.assign(slots_, 0);
+    ring.stamps.assign(slots_, -1);
+  }
 }
 
 void BurstTracker::Observe(kb::EntityId e, kb::Timestamp t) {
@@ -47,22 +50,20 @@ void BurstTracker::Observe(kb::EntityId e, kb::Timestamp t) {
   bm.observes->Increment();
   Ring& ring = rings_[e];
   int64_t bucket = BucketOf(t);
-  if (ring.head_bucket < 0) {
-    ring.head_bucket = bucket;
-  } else if (bucket > ring.head_bucket) {
-    // Advance the head, zeroing the buckets we skip over (they now
-    // represent future time slots being reused).
-    int64_t advance =
-        std::min<int64_t>(bucket - ring.head_bucket, slots_);
-    for (int64_t i = 1; i <= advance; ++i) {
-      ring.counts[(ring.head_bucket + i) % slots_] = 0;
-    }
+  if (ring.head_bucket < 0 || bucket > ring.head_bucket) {
+    // O(1) head advance: skipped buckets are never zeroed — their slots
+    // keep a stale stamp and retire lazily at the next touch.
     ring.head_bucket = bucket;
   } else if (ring.head_bucket - bucket >= slots_) {
     bm.expired_drops->Increment();
     return;  // older than the retained window: already expired
   }
-  ring.counts[bucket % slots_] += 1;
+  const size_t slot = static_cast<size_t>(bucket % slots_);
+  if (ring.stamps[slot] != bucket) {
+    ring.stamps[slot] = bucket;  // reclaim an expired slot
+    ring.counts[slot] = 0;
+  }
+  ring.counts[slot] += 1;
   ++epoch_;
 }
 
@@ -77,7 +78,10 @@ uint32_t BurstTracker::ApproxRecentCount(kb::EntityId e,
   for (int64_t b = oldest_bucket; b <= now_bucket; ++b) {
     if (b > ring.head_bucket) break;        // future relative to data
     if (ring.head_bucket - b >= slots_) continue;  // evicted
-    total += ring.counts[b % slots_];
+    const size_t slot = static_cast<size_t>(b % slots_);
+    // A mismatched stamp means the slot still holds a long-expired
+    // bucket's count — logically zero for bucket b.
+    if (ring.stamps[slot] == b) total += ring.counts[slot];
   }
   return total;
 }
@@ -88,7 +92,8 @@ double BurstTracker::BurstMass(kb::EntityId e, kb::Timestamp now) const {
 }
 
 uint64_t BurstTracker::MemoryUsageBytes() const {
-  return rings_.size() * (sizeof(Ring) + slots_ * sizeof(uint32_t));
+  return rings_.size() *
+         (sizeof(Ring) + slots_ * (sizeof(uint32_t) + sizeof(int64_t)));
 }
 
 }  // namespace mel::recency

@@ -32,7 +32,10 @@ class BurstTracker : public RecencySource {
   BurstTracker(uint32_t num_entities, kb::Timestamp tau,
                uint32_t num_buckets, uint32_t theta1);
 
-  /// Records one tweet linked to entity e at time t. O(1) amortized.
+  /// Records one tweet linked to entity e at time t. Strict O(1): slots
+  /// carry absolute-bucket stamps, so expired buckets retire lazily on
+  /// their next read or write instead of being zeroed when the head
+  /// advances over them.
   void Observe(kb::EntityId e, kb::Timestamp t);
 
   /// Approximate |D_e^tau| at time `now` (counts the buckets whose span
@@ -72,6 +75,11 @@ class BurstTracker : public RecencySource {
     // head_bucket % num_buckets; older buckets wrap behind it.
     int64_t head_bucket = -1;
     std::vector<uint32_t> counts;
+    // stamps[s] is the absolute bucket slot s currently counts for; a
+    // slot whose stamp disagrees with the bucket being read or written
+    // is expired and logically zero. This retires any number of skipped
+    // buckets in strict O(1) — advancing the head writes nothing.
+    std::vector<int64_t> stamps;
   };
 
   int64_t BucketOf(kb::Timestamp t) const { return t / bucket_width_; }

@@ -32,6 +32,8 @@ struct ServeMetrics {
   metrics::Counter* shutdown_rejected;
   metrics::Counter* batches;
   metrics::Counter* feedback;
+  metrics::Counter* mutations;
+  metrics::Counter* mutations_rejected;
   metrics::Counter* barriers;
   metrics::Gauge* inflight;
   metrics::Gauge* epoch;
@@ -54,6 +56,8 @@ const ServeMetrics& GetServeMetrics() {
     sm.shutdown_rejected = reg.GetCounter("serve.shutdown_rejected_total");
     sm.batches = reg.GetCounter("serve.batches_total");
     sm.feedback = reg.GetCounter("serve.feedback_total");
+    sm.mutations = reg.GetCounter("serve.mutations_total");
+    sm.mutations_rejected = reg.GetCounter("serve.mutations_rejected_total");
     sm.barriers = reg.GetCounter("serve.barriers_total");
     sm.inflight = reg.GetGauge("serve.inflight");
     sm.epoch = reg.GetGauge("serve.epoch");
@@ -178,6 +182,23 @@ std::future<uint64_t> LinkService::SubmitFeedback(kb::EntityId entity,
   return future;
 }
 
+std::future<uint64_t> LinkService::SubmitMutation(
+    const graph::EdgeDelta& delta) {
+  PendingMutation pending;
+  pending.delta = delta;
+  std::future<uint64_t> future = pending.ack.get_future();
+  if (!options_.mutation_handler ||
+      stopped_.load(std::memory_order_acquire) ||
+      !queue_.PushMutation(std::move(pending))) {
+    GetServeMetrics().mutations_rejected->Increment();
+    // PushMutation left `pending` intact on failure (closed queue).
+    pending.ack.set_value(kMutationRejected);
+    return future;
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  return future;
+}
+
 void LinkService::Pause() { queue_.SetPaused(true); }
 
 void LinkService::Resume() { queue_.SetPaused(false); }
@@ -216,7 +237,7 @@ void LinkService::DispatcherLoop() {
   while (queue_.WaitDispatch(options_.max_batch, &batch, &expired)) {
     ExpireBatch(&expired);
     RunBatch(&batch);
-    ApplyFeedbackBarrier();
+    ApplyWriteBarrier();
     NotifyIdle();
   }
   // Closed and fully drained: nothing admitted is left behind.
@@ -290,33 +311,45 @@ void LinkService::RunBatch(std::vector<PendingLink>* batch) {
   }
 }
 
-void LinkService::ApplyFeedbackBarrier() {
+void LinkService::ApplyWriteBarrier() {
   std::vector<PendingFeedback> feedback;
+  std::vector<PendingMutation> mutations;
   queue_.TakeFeedback(&feedback);
-  if (feedback.empty()) return;
+  queue_.TakeMutations(&mutations);
+  if (feedback.empty() && mutations.empty()) return;
   const ServeMetrics& sm = GetServeMetrics();
   const auto barrier_start = std::chrono::steady_clock::now();
 
-  // Writers run strictly between batches (FIFO submission order), so no
-  // reader can observe a torn epoch: either a batch sees none of this
-  // barrier's writes (it ran before) or all of them (it runs after the
-  // epoch bump below).
+  // Writers run strictly between batches (FIFO submission order,
+  // feedback before mutations), so no reader can observe a torn epoch:
+  // either a batch sees none of this barrier's writes (it ran before) or
+  // all of them (it runs after the single epoch bump below).
   for (const PendingFeedback& item : feedback) {
     linker_->ConfirmLink(item.entity, item.tweet);
   }
+  // The handler mutates the graph and patches / invalidates every
+  // registered reachability index while no reader is in flight.
+  for (const PendingMutation& item : mutations) {
+    options_.mutation_handler(item.delta);
+  }
   // Re-establish the concurrent-read contract for the next batch:
   // re-sorts mutated posting lists and refills the influential-user
-  // entries the feedback invalidated.
+  // entries the writes invalidated.
   linker_->WarmUp();
 
   const uint64_t e = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
   sm.epoch->Set(static_cast<int64_t>(e));
   sm.barriers->Increment();
   sm.feedback->Increment(feedback.size());
+  sm.mutations->Increment(mutations.size());
   for (PendingFeedback& item : feedback) {
     item.ack.set_value(e);
   }
-  finished_.fetch_add(feedback.size(), std::memory_order_release);
+  for (PendingMutation& item : mutations) {
+    item.ack.set_value(e);
+  }
+  finished_.fetch_add(feedback.size() + mutations.size(),
+                      std::memory_order_release);
   sm.feedback_barrier_ns->Record(static_cast<uint64_t>(
       std::max<int64_t>(0, NanosBetween(barrier_start,
                                         std::chrono::steady_clock::now()))));

@@ -5,12 +5,14 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/entity_linker.h"
+#include "graph/mutation.h"
 #include "serve/request_queue.h"
 #include "serve/types.h"
 
@@ -37,6 +39,13 @@ struct ServeOptions {
   /// concurrent-read contract hold from request one. Disable only when
   /// the caller already warmed the linker.
   bool warmup_on_start = true;
+  /// Applies one follow-edge delta at the epoch barrier, while no batch
+  /// is in flight — typically reach::ReachMaintainer::ApplyDelta, which
+  /// mutates the graph and patches or invalidates every registered
+  /// reachability index. Unset: SubmitMutation rejects immediately with
+  /// kMutationRejected. The handler runs on the dispatcher thread with
+  /// no concurrent readers, so it needs no internal locking.
+  std::function<void(const graph::EdgeDelta&)> mutation_handler;
 };
 
 /// \brief The long-lived online linking service: a bounded request queue
@@ -47,11 +56,12 @@ struct ServeOptions {
 /// One dispatcher thread owns the serving loop:
 ///
 ///   wait -> admit batch -> link batch (ParallelFor, read-only) ->
-///   complete futures -> apply pending feedback (serial, no readers) ->
-///   WarmUp -> bump epoch -> repeat
+///   complete futures -> apply pending feedback + graph mutations
+///   (serial, no readers) -> WarmUp -> bump epoch (once) -> repeat
 ///
-/// Because every ConfirmLink runs between batches, readers never observe
-/// a torn epoch: all responses of one batch carry the same epoch stamp,
+/// Because every ConfirmLink and every graph mutation runs between
+/// batches, readers never observe a torn epoch: all responses of one
+/// batch carry the same epoch stamp,
 /// and the batch is bit-identical to linking its members one at a time
 /// against the same epoch's knowledgebase state (asserted by
 /// tests/serve_test.cc and bench_serving). The micro-batch is also what
@@ -90,6 +100,15 @@ class LinkService {
   std::future<uint64_t> SubmitFeedback(kb::EntityId entity,
                                        const kb::Tweet& tweet);
 
+  /// Queues a follow-edge delta; it is applied through
+  /// ServeOptions::mutation_handler at the next epoch barrier, after the
+  /// in-flight batch and after the barrier's feedback writes. The future
+  /// resolves with the first epoch whose responses observe the mutated
+  /// graph (kMutationRejected if the service stopped first or no handler
+  /// is installed). Feedback and mutations landing at the same barrier
+  /// share a single epoch bump.
+  std::future<uint64_t> SubmitMutation(const graph::EdgeDelta& delta);
+
   /// Dispatch control (admission is unaffected): while paused, requests
   /// and feedback accumulate in the queue. Stop() implies Resume().
   void Pause();
@@ -119,7 +138,7 @@ class LinkService {
   void NotifyIdle();
   void RunBatch(std::vector<PendingLink>* batch);
   void ExpireBatch(std::vector<PendingLink>* expired);
-  void ApplyFeedbackBarrier();
+  void ApplyWriteBarrier();
   std::chrono::steady_clock::time_point DeadlineFor(
       const LinkRequest& request,
       std::chrono::steady_clock::time_point submit_time) const;

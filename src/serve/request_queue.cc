@@ -75,6 +75,14 @@ bool RequestQueue::PushFeedback(PendingFeedback&& feedback) {
   return true;
 }
 
+bool RequestQueue::PushMutation(PendingMutation&& mutation) {
+  std::lock_guard lock(mu_);
+  if (closed_) return false;
+  mutations_.push_back(std::move(mutation));
+  dispatch_.notify_one();
+  return true;
+}
+
 bool RequestQueue::WaitDispatch(size_t max_batch,
                                 std::vector<PendingLink>* batch,
                                 std::vector<PendingLink>* expired) {
@@ -83,9 +91,12 @@ bool RequestQueue::WaitDispatch(size_t max_batch,
   std::unique_lock lock(mu_);
   dispatch_.wait(lock, [this] {
     if (paused_ && !closed_) return false;
-    return closed_ || !links_.empty() || !feedback_.empty();
+    return closed_ || !links_.empty() || !feedback_.empty() ||
+           !mutations_.empty();
   });
-  if (links_.empty() && feedback_.empty()) return !closed_;
+  if (links_.empty() && feedback_.empty() && mutations_.empty()) {
+    return !closed_;
+  }
 
   const auto now = std::chrono::steady_clock::now();
   while (!links_.empty() && batch->size() < max_batch) {
@@ -108,6 +119,15 @@ void RequestQueue::TakeFeedback(std::vector<PendingFeedback>* out) {
   while (!feedback_.empty()) {
     out->push_back(std::move(feedback_.front()));
     feedback_.pop_front();
+  }
+}
+
+void RequestQueue::TakeMutations(std::vector<PendingMutation>* out) {
+  out->clear();
+  std::lock_guard lock(mu_);
+  while (!mutations_.empty()) {
+    out->push_back(std::move(mutations_.front()));
+    mutations_.pop_front();
   }
 }
 

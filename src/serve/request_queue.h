@@ -9,6 +9,7 @@
 #include <mutex>
 #include <vector>
 
+#include "graph/mutation.h"
 #include "kb/types.h"
 #include "serve/types.h"
 
@@ -33,14 +34,24 @@ struct PendingFeedback {
   std::promise<uint64_t> ack;
 };
 
+/// \brief A follow-edge mutation waiting for the next epoch barrier.
+struct PendingMutation {
+  graph::EdgeDelta delta;
+  /// Resolved with the epoch from which the mutated graph (and every
+  /// patched reachability index) is visible (kMutationRejected if the
+  /// service stopped first or no mutation handler is installed).
+  std::promise<uint64_t> ack;
+};
+
 /// \brief Bounded MPMC queue feeding the LinkService dispatcher.
 ///
 /// Producers (any number of client threads) push link requests under an
-/// admission policy and feedback writes without a bound (feedback is a
-/// few dozen bytes and must never be dropped — it is the paper's online
-/// learning signal). The single consumer (the dispatcher) pops link
-/// requests up to a batch cap and takes the pending feedback separately,
-/// so the service can order writes behind the epoch barrier.
+/// admission policy, and feedback writes and graph mutations without a
+/// bound (both are a few dozen bytes and must never be dropped — they
+/// are the paper's online learning and follow-stream signals). The
+/// single consumer (the dispatcher) pops link requests up to a batch cap
+/// and takes the pending feedback and mutations separately, so the
+/// service can order all writes behind the epoch barrier.
 ///
 /// The queue is the admission controller: kBlock producers wait on the
 /// not-full condition, kShed producers fail fast, kDeadline producers
@@ -64,6 +75,11 @@ class RequestQueue {
   /// Queues one feedback write (unbounded). Returns false when closed.
   bool PushFeedback(PendingFeedback&& feedback);
 
+  /// Queues one graph mutation (unbounded, like feedback: deltas are
+  /// tiny and are the streaming follow/unfollow signal). Returns false
+  /// when closed.
+  bool PushMutation(PendingMutation&& mutation);
+
   /// Blocks until link requests or feedback are dispatchable (or the
   /// queue is closed and fully drained, in which case it returns false).
   /// Pops up to `max_batch` link requests whose deadline has not passed
@@ -76,6 +92,10 @@ class RequestQueue {
   /// Moves every pending feedback write into `out` (FIFO submission
   /// order), without blocking. Called by the dispatcher at the barrier.
   void TakeFeedback(std::vector<PendingFeedback>* out);
+
+  /// Moves every pending graph mutation into `out` (FIFO submission
+  /// order), without blocking. Called by the dispatcher at the barrier.
+  void TakeMutations(std::vector<PendingMutation>* out);
 
   /// Pauses / resumes dispatch (admission is unaffected). Used by tests
   /// to control batch boundaries deterministically and by operators to
@@ -99,6 +119,7 @@ class RequestQueue {
   std::condition_variable dispatch_;   // the dispatcher
   std::deque<PendingLink> links_;
   std::deque<PendingFeedback> feedback_;
+  std::deque<PendingMutation> mutations_;
   bool paused_ = false;
   bool closed_ = false;
 };

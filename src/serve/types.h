@@ -75,6 +75,10 @@ struct LinkResponse {
 /// rejected (service stopped before the barrier could apply it).
 inline constexpr uint64_t kFeedbackRejected = static_cast<uint64_t>(-1);
 
+/// Sentinel resolved through SubmitMutation's future when the delta was
+/// rejected (service stopped first, or no mutation handler installed).
+inline constexpr uint64_t kMutationRejected = static_cast<uint64_t>(-1);
+
 }  // namespace mel::serve
 
 #endif  // MEL_SERVE_TYPES_H_

@@ -13,8 +13,10 @@
 #include "reach/naive_reachability.h"
 #include "reach/pruned_online_search.h"
 #include "reach/reach_cache.h"
+#include "reach/reach_maintainer.h"
 #include "reach/transitive_closure.h"
 #include "reach/two_hop_index.h"
+#include "recency/burst_tracker.h"
 #include "recency/recency_propagator.h"
 #include "recency/sliding_window.h"
 #include "testing/oracle.h"
@@ -42,6 +44,7 @@ enum SeedStream : uint64_t {
   kWlmPairStream = 34,
   kInfluenceStream = 35,
   kPrunedBuildStream = 36,
+  kMutationCheckStream = 37,
 };
 
 struct DiffMetrics {
@@ -675,6 +678,232 @@ void CheckFullPipeline(const RandomWorkload& w, Recorder& rec) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Incremental maintenance: mutation replay vs from-scratch rebuilds
+// ---------------------------------------------------------------------------
+
+/// Dense reference of BurstTracker's stamped-ring semantics: per-entity
+/// head bucket plus an unbounded bucket->count map. A bucket whose slot
+/// was reclaimed by a newer one (head - b >= slots) is excluded by the
+/// same window predicate the query applies, so map and ring agree on
+/// every ApproxRecentCount — this is a genuine oracle for the lazy
+/// O(1) retirement, not a second copy of the ring code.
+class BurstReplayOracle {
+ public:
+  BurstReplayOracle(uint32_t num_entities, kb::Timestamp tau,
+                    kb::Timestamp bucket_width, uint32_t slots)
+      : tau_(tau), bucket_width_(bucket_width), slots_(slots) {
+    entities_.resize(num_entities);
+  }
+
+  void Observe(kb::EntityId e, kb::Timestamp t) {
+    Entity& ent = entities_[e];
+    const int64_t b = static_cast<int64_t>(t / bucket_width_);
+    if (ent.head >= 0 && ent.head - b >= slots_) return;  // expired drop
+    ent.head = std::max(ent.head, b);
+    ent.buckets[b] += 1;
+  }
+
+  uint32_t RecentCount(kb::EntityId e, kb::Timestamp now) const {
+    const Entity& ent = entities_[e];
+    if (ent.head < 0) return 0;
+    const int64_t now_b = static_cast<int64_t>(now / bucket_width_);
+    const int64_t oldest_b = static_cast<int64_t>(
+        std::max<kb::Timestamp>(0, now - tau_) / bucket_width_);
+    uint32_t total = 0;
+    for (const auto& [b, count] : ent.buckets) {
+      if (b < oldest_b || b > now_b) continue;
+      if (b > ent.head || ent.head - b >= slots_) continue;
+      total += count;
+    }
+    return total;
+  }
+
+ private:
+  struct Entity {
+    int64_t head = -1;
+    std::map<int64_t, uint32_t> buckets;
+  };
+  kb::Timestamp tau_;
+  kb::Timestamp bucket_width_;
+  int64_t slots_;
+  std::vector<Entity> entities_;
+};
+
+void CheckIncrementalMaintenance(const RandomWorkload& w,
+                                 const DiffOptions& opts, Recorder& rec) {
+  if (w.mutations.empty()) return;
+  const kb::Knowledgebase& kb = w.world.kb();
+  graph::DirectedGraph live = w.world.social.graph;  // mutable copy
+
+  // Backends maintained in place across the whole replay.
+  reach::NaiveReachability naive(&live, w.max_hops);  // BFS on live graph
+  auto tc = reach::TransitiveClosureIndex::Build(
+      &live, w.max_hops,
+      reach::TransitiveClosureIndex::Construction::kIncremental);
+  auto two_hop = reach::TwoHopIndex::Build(&live, w.max_hops);
+  auto dli = reach::DistanceLabelIndex::Build(&live, w.max_hops);
+  const uint64_t pruned_seed = DeriveSeed(w.seed, kPrunedBuildStream);
+  auto pruned =
+      reach::PrunedOnlineSearch::Build(&live, w.max_hops, 3, pruned_seed);
+  reach::CachedReachability cached(&naive, &live);
+
+  reach::ReachMaintainer maintainer(&live, w.max_hops);
+  maintainer.Register(&naive);  // kUnaffected: queries the live graph
+  maintainer.Register(&tc);
+  maintainer.Register(&two_hop);
+  maintainer.Register(&dli);
+  maintainer.Register(&pruned);
+  maintainer.Register(&cached);  // after its base; precise invalidation
+
+  const uint32_t n = live.num_nodes();
+  Rng rng(DeriveSeed(w.seed, kMutationCheckStream));
+  auto sample_pair = [&](graph::NodeId* u, graph::NodeId* v) {
+    *u = static_cast<graph::NodeId>(rng.Uniform(n));
+    const uint64_t kind = rng.Uniform(8);
+    if (kind == 0) {
+      *v = *u;
+    } else if (kind == 1 && live.OutDegree(*u) > 0) {
+      auto nb = live.OutNeighbors(*u);
+      *v = nb[rng.Uniform(nb.size())];
+    } else {
+      *v = static_cast<graph::NodeId>(rng.Uniform(n));
+    }
+  };
+
+  // Warm the cache so the invalidation path has entries to drop.
+  for (uint32_t i = 0; i < opts.mutation_pair_samples; ++i) {
+    graph::NodeId u, v;
+    sample_pair(&u, &v);
+    (void)cached.Query(u, v);
+    (void)cached.ScoreOnly(u, v);
+  }
+
+  // Tweet ingestion feeds the streaming burst counter; the oracle
+  // replays the identical stream through the dense reference.
+  constexpr uint32_t kBurstBuckets = 16;
+  recency::BurstTracker burst(kb.num_entities(), w.linker.tau,
+                              kBurstBuckets, w.linker.theta1);
+  BurstReplayOracle burst_oracle(kb.num_entities(), w.linker.tau,
+                                 burst.bucket_width(), kBurstBuckets + 1);
+  kb::Timestamp last_post_time = 0;
+
+  const size_t num_events = w.mutations.size();
+  const double checkpoint_p =
+      std::min(1.0, static_cast<double>(opts.mutation_checkpoints) /
+                        static_cast<double>(num_events));
+  for (size_t i = 0; i < num_events && !rec.full(); ++i) {
+    const MutationEvent& ev = w.mutations[i];
+    const std::string at = " event#" + std::to_string(i);
+    if (ev.kind == MutationEvent::Kind::kAddPost) {
+      burst.Observe(ev.entity, ev.tweet.time);
+      burst_oracle.Observe(ev.entity, ev.tweet.time);
+      last_post_time = std::max(last_post_time, ev.tweet.time);
+    } else {
+      graph::EdgeDelta delta;
+      delta.op = ev.kind == MutationEvent::Kind::kAddEdge
+                     ? graph::EdgeDelta::Op::kInsert
+                     : graph::EdgeDelta::Op::kErase;
+      delta.u = ev.u;
+      delta.v = ev.v;
+      const auto applied = maintainer.ApplyDelta(delta);
+      // The generator guarantees every event is effective (inserted
+      // edges are absent, erased edges present) — a no-op here means
+      // the simulated edge set diverged from the real graph.
+      rec.Check(applied.applied,
+                "mutation-noop" + at + " u=" + std::to_string(ev.u) +
+                    " v=" + std::to_string(ev.v));
+    }
+
+    const bool checkpoint =
+        (i + 1 == num_events) || rng.Bernoulli(checkpoint_p);
+    if (!checkpoint) continue;
+
+    // --- from-scratch oracles on the mutated graph ---------------------
+    auto tc_fresh = reach::TransitiveClosureIndex::Build(
+        &live, w.max_hops,
+        reach::TransitiveClosureIndex::Construction::kIncremental);
+    auto two_hop_fresh = reach::TwoHopIndex::Build(&live, w.max_hops);
+    auto dli_fresh = reach::DistanceLabelIndex::Build(&live, w.max_hops);
+
+    // Transitive closure: full V^2 exact agreement, scores bit for bit
+    // (patch and rebuild both funnel WeightedScoreFromCount on integer
+    // inputs).
+    for (graph::NodeId u = 0; u < n && !rec.full(); ++u) {
+      for (graph::NodeId v = 0; v < n && !rec.full(); ++v) {
+        rec.Check(tc.Distance(u, v) == tc_fresh.Distance(u, v),
+                  "tc-patch-distance-mismatch" + at + " u=" +
+                      std::to_string(u) + " v=" + std::to_string(v) +
+                      " patched=" + std::to_string(tc.Distance(u, v)) +
+                      " fresh=" + std::to_string(tc_fresh.Distance(u, v)));
+        rec.Check(tc.Score(u, v) == tc_fresh.Score(u, v),
+                  "tc-patch-score-mismatch" + at + " u=" +
+                      std::to_string(u) + " v=" + std::to_string(v) +
+                      " patched=" + std::to_string(tc.Score(u, v)) +
+                      " fresh=" + std::to_string(tc_fresh.Score(u, v)));
+      }
+    }
+
+    // Label indexes, pruned search, and the invalidated cache: sampled
+    // pairs against the live-graph BFS backend (ground truth) and the
+    // fresh rebuilds. A patched label index may carry MORE labels than
+    // the fresh build — equality is demanded of query results only.
+    for (uint32_t s = 0; s < opts.mutation_pair_samples && !rec.full();
+         ++s) {
+      graph::NodeId u, v;
+      sample_pair(&u, &v);
+      const std::string where = at + " u=" + std::to_string(u) +
+                                " v=" + std::to_string(v);
+      const auto want = naive.Query(u, v);
+      const double want_score = naive.ScoreOnly(u, v);
+      auto check = [&](const char* name,
+                       const reach::WeightedReachability& backend) {
+        const auto got = backend.Query(u, v);
+        rec.Check(SameQueryResult(got, want),
+                  std::string(name) + "-patch-query-mismatch" + where +
+                      " got " + DescribeQueryResult(got) + " want " +
+                      DescribeQueryResult(want));
+        const double score = backend.ScoreOnly(u, v);
+        rec.Check(score == want_score,
+                  std::string(name) + "-patch-score-mismatch" + where +
+                      " got " + std::to_string(score) + " want " +
+                      std::to_string(want_score));
+      };
+      check("two-hop", two_hop);
+      check("two-hop-fresh", two_hop_fresh);
+      check("dist-label", dli);
+      check("dist-label-fresh", dli_fresh);
+      check("pruned-online", pruned);
+      check("cached", cached);
+      check("cached-hit", cached);
+    }
+
+    // Burst counter vs the dense replay oracle, probed at query times
+    // and just after the newest ingested post.
+    std::vector<kb::Timestamp> probes;
+    if (last_post_time > 0) probes.push_back(last_post_time + 1);
+    for (int p = 0; p < 3 && !w.queries.empty(); ++p) {
+      probes.push_back(w.queries[rng.Uniform(w.queries.size())].now);
+    }
+    for (kb::Timestamp now : probes) {
+      if (rec.full()) break;
+      for (kb::EntityId e = 0; e < kb.num_entities(); ++e) {
+        const uint32_t got = burst.ApproxRecentCount(e, now);
+        const uint32_t want = burst_oracle.RecentCount(e, now);
+        if (got != want) {
+          rec.Check(false, "burst-replay-mismatch" + at + " e=" +
+                               std::to_string(e) + " now=" +
+                               std::to_string(now) + " got " +
+                               std::to_string(got) + " oracle " +
+                               std::to_string(want));
+          break;
+        }
+        rec.Check(true, "");
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::string DiffReport::Summary() const {
@@ -700,6 +929,7 @@ DiffReport RunDifferentialCase(const RandomWorkload& workload,
   CheckRecency(workload, rec);
   CheckInfluence(workload, options, rec);
   CheckFullPipeline(workload, rec);
+  CheckIncrementalMaintenance(workload, options, rec);
 
   const DiffMetrics& dm = GetDiffMetrics();
   dm.cases->Increment();

@@ -18,6 +18,12 @@ struct DiffOptions {
   uint32_t influence_entity_samples = 12;
   /// Extra fuzzy-lookup probes beyond the workload's own queries.
   uint32_t fuzzy_probe_samples = 40;
+  /// Sampled (u, v) pairs per incremental-maintenance checkpoint.
+  uint32_t mutation_pair_samples = 120;
+  /// Approximate number of from-scratch-rebuild checkpoints inside the
+  /// mutation replay (positions are randomized per seed; the final event
+  /// is always a checkpoint).
+  uint32_t mutation_checkpoints = 4;
   /// Stop collecting divergences after this many (the case has failed
   /// either way; the first few messages carry the repro).
   uint32_t max_divergences = 8;
@@ -57,7 +63,16 @@ struct DiffReport {
 ///  * the full Eq.-1 pipeline — one EntityLinker per backend
 ///    configuration (each with its own identically-complemented CKB and
 ///    the same interleaved ConfirmLink feedback) against
-///    OracleLinkMention.
+///    OracleLinkMention;
+///  * incremental maintenance (only when the workload carries mutation
+///    events) — the mutation stream is replayed through a live graph
+///    copy and reach::ReachMaintainer, and at randomized checkpoints
+///    every patched index is exact-checked against a from-scratch
+///    rebuild on the mutated graph (full V^2 for the transitive
+///    closure, sampled pairs with the live-graph BFS backend as ground
+///    truth elsewhere), the invalidated cache against its base, and the
+///    incrementally-fed BurstTracker against a dense replay oracle of
+///    the stamped-ring semantics.
 ///
 /// Exact equality is demanded wherever implementations share the same
 /// arithmetic (cache on/off, serial/pooled, naive vs 2-hop vs pruned);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
+#include <utility>
 
 #include "util/random.h"
 
@@ -16,6 +18,7 @@ enum SeedStream : uint64_t {
   kQueryStream = 17,
   kFeedbackStream = 18,
   kComplementStream = 19,
+  kMutationStream = 20,
 };
 
 // A mention guaranteed to miss both the exact and the fuzzy path: 40
@@ -159,6 +162,75 @@ RandomWorkload MakeRandomWorkload(uint64_t seed,
                    [](const FeedbackEvent& a, const FeedbackEvent& b) {
                      return a.before_query < b.before_query;
                    });
+
+  // --- graph / corpus mutation events ------------------------------------
+  if (options.num_mutation_events > 0) {
+    Rng mrng(DeriveSeed(seed, kMutationStream));
+    const graph::DirectedGraph& g = w.world.social.graph;
+    const uint32_t num_users = g.num_nodes();
+    // Simulated evolving edge set, seeded from the generated graph:
+    // `edges` samples erasures, `present` screens insertions, and both
+    // track the stream as it is generated so every event is effective at
+    // its position (no-op-free replay is part of the contract).
+    std::vector<std::pair<kb::UserId, kb::UserId>> edges;
+    std::set<std::pair<kb::UserId, kb::UserId>> present;
+    for (graph::NodeId u = 0; u < num_users; ++u) {
+      for (graph::NodeId v : g.OutNeighbors(u)) {
+        edges.emplace_back(u, v);
+        present.emplace(u, v);
+      }
+    }
+    // Effectiveness is guaranteed in stream order, so the events must
+    // STAY in generation order: drawing the before_query positions up
+    // front and assigning them sorted keeps the stream both ordered and
+    // no-op-free (a post-hoc sort could swap an insert/erase pair of the
+    // same edge).
+    std::vector<uint32_t> positions(options.num_mutation_events);
+    for (auto& p : positions) {
+      p = static_cast<uint32_t>(mrng.Uniform(options.num_queries + 1));
+    }
+    std::sort(positions.begin(), positions.end());
+    for (uint32_t i = 0; i < options.num_mutation_events; ++i) {
+      MutationEvent ev;
+      ev.before_query = positions[i];
+      const uint64_t kind = mrng.Uniform(10);
+      bool placed = false;
+      if (kind < 3 && !edges.empty()) {
+        const size_t idx = mrng.Uniform(edges.size());
+        ev.kind = MutationEvent::Kind::kRemoveEdge;
+        ev.u = edges[idx].first;
+        ev.v = edges[idx].second;
+        present.erase(edges[idx]);
+        edges[idx] = edges.back();
+        edges.pop_back();
+        placed = true;
+      } else if (kind < 7 && num_users > 1) {
+        for (int attempt = 0; attempt < 16 && !placed; ++attempt) {
+          const auto u = static_cast<kb::UserId>(mrng.Uniform(num_users));
+          const auto v = static_cast<kb::UserId>(mrng.Uniform(num_users));
+          if (u == v || present.count({u, v})) continue;
+          ev.kind = MutationEvent::Kind::kAddEdge;
+          ev.u = u;
+          ev.v = v;
+          edges.emplace_back(u, v);
+          present.emplace(u, v);
+          placed = true;
+        }
+      }
+      if (!placed) {  // kAddPost, or the fallback for a saturated graph
+        ev.kind = MutationEvent::Kind::kAddPost;
+        ev.entity = static_cast<kb::EntityId>(
+            mrng.Uniform(w.world.kb().num_entities()));
+        ev.tweet.id = 2000000 + i;
+        ev.tweet.user = static_cast<kb::UserId>(mrng.Uniform(num_users));
+        ev.tweet.time =
+            wo.tweets.start_time +
+            static_cast<kb::Timestamp>(mrng.Uniform(
+                static_cast<uint64_t>(t_end - wo.tweets.start_time)));
+      }
+      w.mutations.push_back(ev);
+    }
+  }
   return w;
 }
 

@@ -27,9 +27,31 @@ struct FeedbackEvent {
   kb::Tweet tweet;
 };
 
+/// \brief One incremental-maintenance event: a follow-edge mutation or a
+/// tweet ingestion, applied before queries[before_query]. Edge events are
+/// generated against a simulated evolving edge set, so at its position in
+/// the stream a kRemoveEdge always names a live edge and a kAddEdge a
+/// missing non-loop one — replaying the stream through
+/// graph::DirectedGraph::InsertEdge / EraseEdge never no-ops.
+struct MutationEvent {
+  enum class Kind : uint8_t { kAddEdge, kRemoveEdge, kAddPost };
+  uint32_t before_query = 0;
+  Kind kind = Kind::kAddEdge;
+  /// Follow-edge endpoints (kAddEdge / kRemoveEdge only).
+  kb::UserId u = 0;
+  kb::UserId v = 0;
+  /// Ingested tweet (kAddPost only).
+  kb::EntityId entity = kb::kInvalidEntity;
+  kb::Tweet tweet;
+};
+
 struct RandomWorkloadOptions {
   uint32_t num_queries = 24;
   uint32_t num_feedback_events = 8;
+  /// Interleaved graph/corpus mutations (default 0: pre-mutation
+  /// workloads stay bit-identical; the events draw from their own
+  /// DeriveSeed stream, so enabling them changes no other field either).
+  uint32_t num_mutation_events = 0;
   /// Multiplier on world sizes (1.0 = a few dozen entities/users and a
   /// few hundred tweets — small enough for the V^2 and per-query-BFS
   /// oracle checks to stay fast).
@@ -68,6 +90,9 @@ struct RandomWorkload {
   std::vector<WorkloadQuery> queries;
   /// Sorted by before_query (stable).
   std::vector<FeedbackEvent> feedback;
+  /// Sorted by before_query (stable). Empty unless
+  /// RandomWorkloadOptions::num_mutation_events > 0.
+  std::vector<MutationEvent> mutations;
 };
 
 RandomWorkload MakeRandomWorkload(uint64_t seed,

@@ -451,6 +451,35 @@ TEST(DifferentialShards, Shard1) { RunShard(1); }
 TEST(DifferentialShards, Shard2) { RunShard(2); }
 TEST(DifferentialShards, Shard3) { RunShard(3); }
 
+// Mutation sweep: the same differential harness with interleaved graph
+// mutations and tweet ingestion, so every case also replays its event
+// stream through reach::ReachMaintainer and exact-checks the patched
+// indexes against from-scratch rebuilds at randomized checkpoints
+// (CheckIncrementalMaintenance). Queries are trimmed to keep the per-case
+// budget on the incremental checks. Shares the MEL_DIFF_CASES override.
+constexpr uint64_t kMutationSeedBase = 0xD1FFC0DE80000000ull;
+
+void RunMutationShard(uint32_t shard) {
+  const uint32_t total = TotalDiffCases();
+  const uint32_t count =
+      total / kNumShards + (shard < total % kNumShards ? 1 : 0);
+  RandomWorkloadOptions wopts;
+  wopts.num_queries = 8;
+  wopts.num_feedback_events = 4;
+  wopts.num_mutation_events = 16;
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint64_t seed = kMutationSeedBase + shard + i * kNumShards;
+    DiffReport report = RunDifferentialCase(seed, wopts);
+    ASSERT_TRUE(report.ok()) << report.Summary();
+    EXPECT_GT(report.checks, 0u);
+  }
+}
+
+TEST(MutationSweep, Shard0) { RunMutationShard(0); }
+TEST(MutationSweep, Shard1) { RunMutationShard(1); }
+TEST(MutationSweep, Shard2) { RunMutationShard(2); }
+TEST(MutationSweep, Shard3) { RunMutationShard(3); }
+
 TEST(DifferentialShards, WorkloadIsBitReproducible) {
   RandomWorkload a = MakeRandomWorkload(0xFEEDFACEull);
   RandomWorkload b = MakeRandomWorkload(0xFEEDFACEull);
@@ -467,6 +496,48 @@ TEST(DifferentialShards, WorkloadIsBitReproducible) {
 
   RandomWorkload c = MakeRandomWorkload(0xFEEDFACFull);
   EXPECT_NE(a.linker.alpha, c.linker.alpha);  // streams actually differ
+}
+
+// Mutation events draw from their own DeriveSeed stream: enabling them
+// must leave every pre-existing workload field bit-identical (pre-PR
+// seeds replay unchanged), and the default workload carries none.
+TEST(DifferentialShards, MutationEventsDoNotPerturbOtherStreams) {
+  RandomWorkload plain = MakeRandomWorkload(0xFEEDFACEull);
+  EXPECT_TRUE(plain.mutations.empty());
+
+  RandomWorkloadOptions mo;
+  mo.num_mutation_events = 12;
+  RandomWorkload with = MakeRandomWorkload(0xFEEDFACEull, mo);
+  ASSERT_EQ(with.mutations.size(), 12u);
+
+  ASSERT_EQ(plain.queries.size(), with.queries.size());
+  for (size_t i = 0; i < plain.queries.size(); ++i) {
+    EXPECT_EQ(plain.queries[i].mention, with.queries[i].mention);
+    EXPECT_EQ(plain.queries[i].user, with.queries[i].user);
+    EXPECT_EQ(plain.queries[i].now, with.queries[i].now);
+  }
+  ASSERT_EQ(plain.feedback.size(), with.feedback.size());
+  for (size_t i = 0; i < plain.feedback.size(); ++i) {
+    EXPECT_EQ(plain.feedback[i].entity, with.feedback[i].entity);
+    EXPECT_EQ(plain.feedback[i].tweet.id, with.feedback[i].tweet.id);
+  }
+  EXPECT_EQ(plain.linker.alpha, with.linker.alpha);
+  EXPECT_EQ(plain.linker.tau, with.linker.tau);
+  EXPECT_EQ(plain.complement_seed, with.complement_seed);
+  EXPECT_EQ(plain.max_hops, with.max_hops);
+
+  // Every edge event is effective at its position: replaying the stream
+  // against a live graph copy never no-ops.
+  graph::DirectedGraph live = with.world.social.graph;
+  for (const MutationEvent& ev : with.mutations) {
+    if (ev.kind == MutationEvent::Kind::kAddEdge) {
+      EXPECT_TRUE(live.InsertEdge(ev.u, ev.v));
+    } else if (ev.kind == MutationEvent::Kind::kRemoveEdge) {
+      EXPECT_TRUE(live.EraseEdge(ev.u, ev.v));
+    } else {
+      EXPECT_LT(ev.entity, with.world.kb().num_entities());
+    }
+  }
 }
 
 TEST(DifferentialShards, ExportsMetrics) {

@@ -105,6 +105,85 @@ TEST(DirectedGraphTest, MemoryUsageIsPositive) {
   EXPECT_GT(g.MemoryUsageBytes(), 0u);
 }
 
+// ------------------------------------------------------------- mutations
+
+TEST(DirectedGraphTest, InsertEdgeSplicesSorted) {
+  DirectedGraph g = Diamond();
+  EXPECT_EQ(g.version(), 0u);
+  EXPECT_TRUE(g.InsertEdge(3, 0));
+  EXPECT_EQ(g.version(), 1u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_TRUE(g.HasEdge(3, 0));
+  auto in0 = g.InNeighbors(0);
+  ASSERT_EQ(in0.size(), 1u);
+  EXPECT_EQ(in0[0], 3u);
+  // Sorted order is preserved where the new edge lands mid-list.
+  EXPECT_TRUE(g.InsertEdge(0, 3));
+  auto out0 = g.OutNeighbors(0);
+  EXPECT_TRUE(std::is_sorted(out0.begin(), out0.end()));
+  EXPECT_EQ(out0.size(), 3u);
+}
+
+TEST(DirectedGraphTest, InsertEdgeRejectsInvalid) {
+  DirectedGraph g = Diamond();
+  EXPECT_FALSE(g.InsertEdge(1, 1));    // self-loop
+  EXPECT_FALSE(g.InsertEdge(0, 1));    // duplicate
+  EXPECT_FALSE(g.InsertEdge(4, 0));    // out of range
+  EXPECT_FALSE(g.InsertEdge(0, 99));   // out of range
+  EXPECT_EQ(g.version(), 0u);
+  EXPECT_EQ(g.num_edges(), 4u);
+}
+
+TEST(DirectedGraphTest, EraseEdgeRemovesBothDirections) {
+  DirectedGraph g = Diamond();
+  EXPECT_TRUE(g.EraseEdge(0, 2));
+  EXPECT_EQ(g.version(), 1u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  auto in2 = g.InNeighbors(2);
+  EXPECT_TRUE(in2.empty());
+  EXPECT_EQ(g.OutDegree(0), 1u);
+}
+
+TEST(DirectedGraphTest, EraseEdgeRejectsInvalid) {
+  DirectedGraph g = Diamond();
+  EXPECT_FALSE(g.EraseEdge(1, 0));    // not present
+  EXPECT_FALSE(g.EraseEdge(2, 2));    // self-loop
+  EXPECT_FALSE(g.EraseEdge(7, 1));    // out of range
+  EXPECT_EQ(g.version(), 0u);
+}
+
+TEST(DirectedGraphTest, MutationRoundTripMatchesBuilder) {
+  // Randomly mutate a graph, then rebuild the same edge set from scratch
+  // and check both CSR views agree edge-for-edge.
+  DirectedGraph g = RandomGraph(40, 120, 7);
+  std::set<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < g.num_nodes(); ++u)
+    for (NodeId v : g.OutNeighbors(u)) edges.emplace(u, v);
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    NodeId u = static_cast<NodeId>(rng.Uniform(40));
+    NodeId v = static_cast<NodeId>(rng.Uniform(40));
+    if (rng.Uniform(2) == 0) {
+      if (g.InsertEdge(u, v)) edges.emplace(u, v);
+    } else {
+      if (g.EraseEdge(u, v)) edges.erase({u, v});
+    }
+  }
+  GraphBuilder b(40);
+  for (auto [u, v] : edges) b.AddEdge(u, v);
+  DirectedGraph fresh = std::move(b).Build();
+  ASSERT_EQ(g.num_edges(), fresh.num_edges());
+  for (NodeId u = 0; u < 40; ++u) {
+    auto a = g.OutNeighbors(u);
+    auto e = fresh.OutNeighbors(u);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), e.begin(), e.end()));
+    auto ai = g.InNeighbors(u);
+    auto ei = fresh.InNeighbors(u);
+    ASSERT_TRUE(std::equal(ai.begin(), ai.end(), ei.begin(), ei.end()));
+  }
+}
+
 // ------------------------------------------------------------------ BFS
 
 TEST(BfsTest, DistancesOnDiamond) {

@@ -22,6 +22,10 @@
 #include <vector>
 
 #include "eval/harness.h"
+#include "graph/directed_graph.h"
+#include "graph/mutation.h"
+#include "reach/reach_maintainer.h"
+#include "reach/transitive_closure.h"
 #include "serve/request_queue.h"
 #include "serve/types.h"
 #include "util/metrics.h"
@@ -516,6 +520,113 @@ TEST_F(ServeFixture, WaitIdleReturnsImmediatelyWhenIdle) {
   EXPECT_EQ(service.epoch(), 0u);
   EXPECT_EQ(service.LinkSync(Request(AmbiguousSurface())).status,
             serve::ServeStatus::kOk);
+}
+
+// ------------------------------------------- graph mutations at the barrier
+
+TEST_F(ServeFixture, MutationsApplyAtBarrierWithOneEpochBumpAndPatchIndexes) {
+  graph::DirectedGraph live = harness_->world().social.graph;
+  const uint32_t max_hops = harness_->options().max_hops;
+  auto tc = reach::TransitiveClosureIndex::Build(
+      &live, max_hops,
+      reach::TransitiveClosureIndex::Construction::kIncremental);
+  reach::ReachMaintainer maintainer(&live, max_hops);
+  maintainer.Register(&tc);
+
+  kb::ComplementedKnowledgebase ckb(&harness_->kb());
+  core::EntityLinker linker(&harness_->kb(), &ckb, &tc,
+                            &harness_->network(),
+                            harness_->DefaultLinkerOptions());
+
+  // One existing edge to erase and one missing edge to insert.
+  graph::EdgeDelta erase_delta, insert_delta;
+  erase_delta.op = graph::EdgeDelta::Op::kErase;
+  for (graph::NodeId u = 0; u < live.num_nodes(); ++u) {
+    if (live.OutDegree(u) > 0) {
+      erase_delta.u = u;
+      erase_delta.v = live.OutNeighbors(u)[0];
+      break;
+    }
+  }
+  insert_delta.op = graph::EdgeDelta::Op::kInsert;
+  insert_delta.u = erase_delta.u;
+  for (graph::NodeId v = 0; v < live.num_nodes(); ++v) {
+    if (v != insert_delta.u && !live.HasEdge(insert_delta.u, v)) {
+      insert_delta.v = v;
+      break;
+    }
+  }
+
+  serve::ServeOptions options;
+  options.start_paused = true;
+  options.mutation_handler = [&](const graph::EdgeDelta& delta) {
+    EXPECT_TRUE(maintainer.ApplyDelta(delta).applied);
+  };
+  serve::LinkService service(&linker, options);
+
+  // A batch, a feedback write, and two mutations, all admitted while
+  // paused: the batch links against the PRE-mutation graph (epoch 0),
+  // then one barrier applies every write with a single epoch bump.
+  auto response_future = service.Submit(Request(AmbiguousSurface()));
+  kb::Tweet tweet;
+  tweet.id = 999200;
+  tweet.user = 3;
+  tweet.time = kNow - 30;
+  auto candidates = harness_->kb().Candidates(AmbiguousSurface());
+  auto feedback_ack =
+      service.SubmitFeedback(candidates.front().entity, tweet);
+  auto erase_ack = service.SubmitMutation(erase_delta);
+  auto insert_ack = service.SubmitMutation(insert_delta);
+
+  service.Resume();
+  serve::LinkResponse response = response_future.get();
+  ASSERT_EQ(response.status, serve::ServeStatus::kOk);
+  EXPECT_EQ(response.epoch, 0u);
+  EXPECT_EQ(feedback_ack.get(), 1u);
+  EXPECT_EQ(erase_ack.get(), 1u);
+  EXPECT_EQ(insert_ack.get(), 1u);  // same barrier: one bump for all
+  service.WaitIdle();
+  EXPECT_EQ(service.epoch(), 1u);
+
+  // The live graph carries both deltas and the patched index is exactly
+  // the index a from-scratch build on the mutated graph produces.
+  EXPECT_FALSE(live.HasEdge(erase_delta.u, erase_delta.v));
+  EXPECT_TRUE(live.HasEdge(insert_delta.u, insert_delta.v));
+  auto fresh = reach::TransitiveClosureIndex::Build(
+      &live, max_hops,
+      reach::TransitiveClosureIndex::Construction::kIncremental);
+  for (graph::NodeId u = 0; u < live.num_nodes(); ++u) {
+    for (graph::NodeId v = 0; v < live.num_nodes(); ++v) {
+      ASSERT_EQ(tc.Distance(u, v), fresh.Distance(u, v)) << u << " " << v;
+      ASSERT_EQ(tc.Score(u, v), fresh.Score(u, v)) << u << " " << v;
+    }
+  }
+
+  // A request linked after the barrier observes the new epoch.
+  serve::LinkResponse after = service.LinkSync(Request(AmbiguousSurface()));
+  ASSERT_EQ(after.status, serve::ServeStatus::kOk);
+  EXPECT_EQ(after.epoch, 1u);
+}
+
+TEST_F(ServeFixture, MutationsRejectedWithoutHandlerAndAfterStop) {
+  core::EntityLinker linker =
+      harness_->MakeLinker(harness_->DefaultLinkerOptions());
+  graph::EdgeDelta delta;
+  delta.u = 0;
+  delta.v = 1;
+
+  {
+    serve::LinkService service(&linker, {});  // no mutation_handler
+    EXPECT_EQ(service.SubmitMutation(delta).get(),
+              serve::kMutationRejected);
+    EXPECT_EQ(service.epoch(), 0u);
+  }
+
+  serve::ServeOptions options;
+  options.mutation_handler = [](const graph::EdgeDelta&) {};
+  serve::LinkService service(&linker, options);
+  service.Stop();
+  EXPECT_EQ(service.SubmitMutation(delta).get(), serve::kMutationRejected);
 }
 
 }  // namespace
