@@ -18,7 +18,8 @@
 //                                       (zero-copy; see docs/PERFORMANCE.md)
 //   stats [path]                        dump the metrics registry as JSON
 //                                       (to stdout, or to a file); includes
-//                                       mapped-index stats when one is live
+//                                       mapped-index stats when one is live,
+//                                       and the SIMD tier/dispatch counters
 //   stats-reset                         zero all pipeline metrics
 //   quit                                exit
 // EOF exits, so the binary is safe to run non-interactively.
@@ -36,6 +37,7 @@
 #include "reach/two_hop_index.h"
 #include "util/metrics.h"
 #include "util/mmap_file.h"
+#include "util/simd/simd.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -147,6 +149,22 @@ int main() {
                             gauge("reach.mmap.advice"))));
       }
       std::printf("\n");
+      // SIMD kernel layer (docs/PERFORMANCE.md): active tier plus how
+      // often each vectorized hot loop was dispatched.
+      std::printf(
+          "  simd: tier=%s, %llu merges, %llu gallops, %llu min-sum "
+          "walks, %llu probes, %llu dense BFS levels\n",
+          util::simd::LevelName(util::simd::ActiveLevel()),
+          static_cast<unsigned long long>(
+              counter("util.simd.merge_dispatch_total")),
+          static_cast<unsigned long long>(
+              counter("util.simd.gallop_dispatch_total")),
+          static_cast<unsigned long long>(
+              counter("util.simd.minsum_dispatch_total")),
+          static_cast<unsigned long long>(
+              counter("util.simd.probe_dispatch_total")),
+          static_cast<unsigned long long>(
+              counter("util.simd.frontier_dense_levels_total")));
       continue;
     }
 

@@ -9,13 +9,22 @@
 # mode on >= 4 hardware threads), the MEL3 startup A/B (mmap vs
 # deserializing load; the >= 10x floor asserts only in full mode), the
 # incremental-maintenance A/B (patch vs per-delta index rebuilds; the
-# >= 5x insert floor asserts only in full mode), and a
+# >= 5x insert floor asserts only in full mode), the SIMD kernel A/B
+# (scalar vs dispatched kernel tables; the >= 1.5x merge-intersection
+# floor asserts only in full mode on AVX2 hosts), and a
 # short bench_micro filter, then checks that all metrics sidecars are
 # valid JSON and that the BENCH_serving.json / BENCH_scheduler.json /
 # BENCH_hotpath.json / BENCH_reach.json / BENCH_startup.json /
-# BENCH_incremental.json
+# BENCH_incremental.json / BENCH_kernels.json
 # trajectories carry their required keys (docs/PERFORMANCE.md). Skip it
 # (e.g. on very slow machines) with MEL_SKIP_BENCH=1.
+#
+# A forced-scalar stage reruns the suites that sit on the SIMD kernel
+# layer (util, simd, graph, text, kb, reach, differential) with
+# MEL_SIMD=scalar, proving the scalar kernel tier gives bit-identical
+# behavior to whatever tier the host dispatched in stage one — the same
+# contract the binary relies on when it lands on a host without AVX2.
+# Skip it with MEL_SKIP_SCALAR=1.
 #
 # A third stage rebuilds the threaded code under ThreadSanitizer and
 # runs the suites that exercise the thread pool (including the
@@ -45,8 +54,9 @@ if [ "${MEL_SKIP_BENCH:-0}" != "1" ]; then
   echo "=== Bench smoke: query hot path A/B + reach arena A/B + serving + scheduler + micro (Release) ==="
   cmake --build build -j --target bench_query_hotpath bench_micro \
     bench_reachability_index bench_serving bench_scheduler \
-    bench_index_startup bench_incremental
+    bench_index_startup bench_incremental bench_kernels
   (cd build/bench && ./bench_query_hotpath --smoke)
+  (cd build/bench && ./bench_kernels --smoke)
   (cd build/bench && ./bench_reachability_index --smoke)
   (cd build/bench && ./bench_serving --smoke)
   (cd build/bench && ./bench_scheduler --smoke)
@@ -63,6 +73,7 @@ for path in ("build/bench/bench_query_hotpath.metrics.json",
              "build/bench/bench_scheduler.metrics.json",
              "build/bench/bench_index_startup.metrics.json",
              "build/bench/bench_incremental.metrics.json",
+             "build/bench/bench_kernels.metrics.json",
              "build/bench/bench_micro.metrics.json"):
     with open(path) as f:
         json.load(f)
@@ -94,6 +105,11 @@ required = {
                                "rebuild_insert_ns", "patch_erase_ns",
                                "rebuild_erase_ns", "insert_speedup",
                                "erase_speedup"),
+    "BENCH_kernels.json": ("bench", "schema_version", "mode", "level",
+                           "merge_scalar_ns", "merge_dispatched_ns",
+                           "merge_speedup", "gallop_speedup",
+                           "minsum_speedup", "probe_speedup",
+                           "frontier_speedup"),
 }
 for name, keys in required.items():
     with open("build/bench/" + name) as f:
@@ -106,6 +122,12 @@ for name, keys in required.items():
     if name == "BENCH_hotpath.json":
         assert t["parallel_build_identical"] is True
 '
+fi
+
+if [ "${MEL_SKIP_SCALAR:-0}" != "1" ]; then
+  echo "=== Forced-scalar stage: SIMD-layer suites with MEL_SIMD=scalar ==="
+  (cd build && MEL_SIMD=scalar ctest --output-on-failure \
+    -L '^(util_test|simd_test|graph_test|text_test|kb_test|reach_test|differential_test)$' -j)
 fi
 
 if [ "${MEL_SKIP_TSAN:-0}" != "1" ]; then

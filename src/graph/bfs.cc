@@ -1,13 +1,28 @@
 #include "graph/bfs.h"
 
+#include <cstring>
 #include <memory>
 
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/simd/simd.h"
 
 namespace mel::graph {
 
+namespace {
+
+/// A level goes down the word-parallel bitset path when its frontier
+/// covers at least this fraction (1/8) of the graph: at that density the
+/// branch-per-edge visited check of the sparse loop loses to setting
+/// candidate bits unconditionally and filtering whole words at once.
+constexpr uint32_t kDenseFrontierDivisor = 8;
+
+}  // namespace
+
 BfsScratch::BfsScratch(uint32_t num_nodes)
-    : dist_(num_nodes, kUnreachable) {}
+    : dist_(num_nodes, kUnreachable),
+      visited_words_((num_nodes + 63) / 64, 0),
+      next_words_((num_nodes + 63) / 64, 0) {}
 
 BfsScratch& BfsScratch::ThreadLocal(uint32_t num_nodes) {
   // Reuse across graphs of the same size is safe: Run resets exactly the
@@ -23,27 +38,79 @@ template <bool kForward>
 void BfsScratch::Run(const DirectedGraph& g, NodeId source,
                      uint32_t max_hops) {
   MEL_CHECK(g.num_nodes() == dist_.size());
-  // Reset only entries touched by the previous run.
-  for (NodeId v : touched_) dist_[v] = kUnreachable;
+  // Reset only entries touched by the previous run (the visited bitset
+  // mirrors dist_ != kUnreachable, so it resets off the same list).
+  for (NodeId v : touched_) {
+    dist_[v] = kUnreachable;
+    visited_words_[v >> 6] = 0;
+  }
   touched_.clear();
   queue_.clear();
 
+  const uint32_t n = g.num_nodes();
   dist_[source] = 0;
+  visited_words_[source >> 6] |= uint64_t{1} << (source & 63);
   touched_.push_back(source);
   queue_.push_back(source);
-  size_t head = 0;
-  while (head < queue_.size()) {
-    NodeId u = queue_[head++];
-    uint32_t du = dist_[u];
-    if (du >= max_hops) continue;
-    auto nbrs = kForward ? g.OutNeighbors(u) : g.InNeighbors(u);
-    for (NodeId v : nbrs) {
-      if (dist_[v] == kUnreachable) {
-        dist_[v] = du + 1;
-        touched_.push_back(v);
-        queue_.push_back(v);
+
+  // Level-synchronous traversal: queue_[level_begin, level_end) is the
+  // current frontier, discoveries append behind it. Sparse levels take
+  // the classic check-per-edge loop; a frontier covering >= 1/8 of the
+  // graph switches to the bitset path — mark every neighbor as a
+  // candidate bit unconditionally, strip already-visited nodes with the
+  // word-parallel FrontierAndNot kernel, then emit the surviving bits.
+  // Emission is in ascending node id rather than edge-discovery order;
+  // both are valid BFS orders (Touched() promises the set of reached
+  // nodes level by level, and every consumer keys off Distance()).
+  const size_t nwords = visited_words_.size();
+  size_t level_begin = 0;
+  for (uint32_t level = 0; level < max_hops; ++level) {
+    const size_t level_end = queue_.size();
+    if (level_begin == level_end) break;
+    const bool dense =
+        (level_end - level_begin) * kDenseFrontierDivisor >= n;
+    if (dense) {
+      if (metrics::Enabled()) {
+        util::simd::GetSimdMetrics().dense_levels->Increment();
+      }
+      std::memset(next_words_.data(), 0, nwords * sizeof(uint64_t));
+      for (size_t h = level_begin; h < level_end; ++h) {
+        const NodeId u = queue_[h];
+        auto nbrs = kForward ? g.OutNeighbors(u) : g.InNeighbors(u);
+        for (NodeId v : nbrs) {
+          next_words_[v >> 6] |= uint64_t{1} << (v & 63);
+        }
+      }
+      util::simd::FrontierAndNot(next_words_.data(), visited_words_.data(),
+                                 nwords);
+      for (size_t w = 0; w < nwords; ++w) {
+        uint64_t bits = next_words_[w];
+        if (bits == 0) continue;
+        visited_words_[w] |= bits;
+        while (bits != 0) {
+          const NodeId v = static_cast<NodeId>(
+              (w << 6) + static_cast<size_t>(__builtin_ctzll(bits)));
+          bits &= bits - 1;
+          dist_[v] = level + 1;
+          touched_.push_back(v);
+          queue_.push_back(v);
+        }
+      }
+    } else {
+      for (size_t h = level_begin; h < level_end; ++h) {
+        const NodeId u = queue_[h];
+        auto nbrs = kForward ? g.OutNeighbors(u) : g.InNeighbors(u);
+        for (NodeId v : nbrs) {
+          if (dist_[v] == kUnreachable) {
+            dist_[v] = level + 1;
+            visited_words_[v >> 6] |= uint64_t{1} << (v & 63);
+            touched_.push_back(v);
+            queue_.push_back(v);
+          }
+        }
       }
     }
+    level_begin = level_end;
   }
 }
 

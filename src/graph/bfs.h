@@ -37,7 +37,10 @@ class BfsScratch {
   /// Distance from the last run's source (kUnreachable if untouched).
   uint32_t Distance(NodeId v) const { return dist_[v]; }
 
-  /// Nodes reached by the last run, in BFS order (includes the source).
+  /// Nodes reached by the last run, level by level (includes the
+  /// source). Within a level the order is edge-discovery order for
+  /// sparse levels and ascending node id for dense (bitset) levels;
+  /// callers must treat it as a per-level set keyed by Distance().
   const std::vector<NodeId>& Touched() const { return touched_; }
 
  private:
@@ -47,6 +50,11 @@ class BfsScratch {
   std::vector<uint32_t> dist_;
   std::vector<NodeId> touched_;
   std::vector<NodeId> queue_;
+  // Bitsets for the dense-level path (one bit per node): nodes already
+  // assigned a distance, and the candidate frontier of the level being
+  // expanded. visited_words_ mirrors dist_ != kUnreachable at all times.
+  std::vector<uint64_t> visited_words_;
+  std::vector<uint64_t> next_words_;
 };
 
 /// Single-shot shortest-path distance from u to v bounded by max_hops.

@@ -1,6 +1,7 @@
 #include "reach/two_hop_index.h"
 
 #include <algorithm>
+#include <bit>
 #include <type_traits>
 #include <utility>
 
@@ -9,6 +10,7 @@
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/serialize.h"
+#include "util/simd/simd.h"
 #include "util/sorted_intersect.h"
 
 namespace mel::reach {
@@ -41,6 +43,14 @@ const TwoHopMetrics& GetTwoHopMetrics() {
   return m;
 }
 
+// Metric bundles resolved once at namespace scope instead of per query:
+// the function-local statics above still pay a guard-variable load on
+// every call, which shows up on the ScoreOnly hot path (millions of
+// lookups per eval run). Both getters are self-initializing, so the
+// dynamic-init order here is safe.
+const TwoHopMetrics& g_twohop_metrics = GetTwoHopMetrics();
+const ScoreOnlyMetrics& g_scoreonly_metrics = GetScoreOnlyMetrics();
+
 /// Per-thread query scratch: contributing-span indices, k-way merge
 /// cursors, and an epoch-marked seen array for union counting. Reused
 /// across queries so the steady-state hot path never allocates (vectors
@@ -68,7 +78,7 @@ TwoHopIndex TwoHopIndex::Build(const graph::DirectedGraph* g,
   TwoHopIndex index(g, max_hops);
   index.build_in_labels_.resize(g->num_nodes());
   index.build_out_labels_.resize(g->num_nodes());
-  metrics::ScopedStageTimer build_timer(GetTwoHopMetrics().build_ns);
+  metrics::ScopedStageTimer build_timer(g_twohop_metrics.build_ns);
   // The backward pass reads build_in_labels_[landmark] and appends to
   // out-labels of other nodes; the forward pass reads
   // build_out_labels_[landmark] and appends to in-labels of other nodes
@@ -299,7 +309,7 @@ uint32_t TwoHopIndex::CollectMinDistanceSpans(
   const auto outs = out_labels(u);
   const auto ins = in_labels(v);
   if (metrics::Enabled()) {
-    GetTwoHopMetrics().labels_scanned->Record(outs.size() + ins.size());
+    g_twohop_metrics.labels_scanned->Record(outs.size() + ins.size());
   }
 
   // Degenerate hub w = u as an entry of L_in(v): contributes a distance
@@ -320,31 +330,24 @@ uint32_t TwoHopIndex::CollectMinDistanceSpans(
   // per-node vectors). Spans are collected against the running minimum:
   // a strictly smaller distance resets the list, an equal one appends,
   // so at the end `spans` holds exactly the hubs achieving dmin
-  // (Theorem 2) in walk order.
+  // (Theorem 2) in walk order. The walk itself is the dispatched
+  // min-sum kernel: both label structs are exactly a little-endian
+  // (node lo32, dist hi32) u64 word, so the arenas reinterpret as the
+  // packed layout the kernel wants with no copy.
+  static_assert(sizeof(InLabel) == 8 && sizeof(OutSpan) == 8);
+  static_assert(offsetof(InLabel, node) == 0 && offsetof(InLabel, dist) == 4);
+  static_assert(offsetof(OutSpan, node) == 0 && offsetof(OutSpan, dist) == 4);
+  static_assert(std::endian::native == std::endian::little,
+                "packed u64 label view assumes little-endian");
   const uint64_t base = out_offsets_[u];
   {
-    size_t i = 0, j = 0;
-    while (i < outs.size() && j < ins.size()) {
-      const NodeId a = outs[i].node;
-      const NodeId b = ins[j].node;
-      if (a == b) {
-        const uint32_t d = outs[i].dist + ins[j].dist;
-        if (d < dmin) {
-          dmin = d;
-          spans.clear();
-          spans.push_back(base + i);
-        } else if (d == dmin) {
-          spans.push_back(base + i);
-        }
-        ++i;
-        ++j;
-      } else {
-        // Branchless advance: the comparisons compile to conditional
-        // increments instead of an unpredictable two-way branch.
-        i += a < b;
-        j += b < a;
-      }
-    }
+    spans.resize(outs.size());
+    size_t n_spans = 0;
+    dmin = util::simd::MinSumSpansU64(
+        reinterpret_cast<const uint64_t*>(outs.data()), outs.size(),
+        reinterpret_cast<const uint64_t*>(ins.data()), ins.size(), dmin,
+        base, spans.data(), &n_spans);
+    spans.resize(n_spans);
   }
   // Degenerate hub w = v as an entry of L_out(u). L_in(v) never lists v
   // itself, so this entry cannot also have matched the intersection
@@ -369,7 +372,7 @@ uint32_t TwoHopIndex::CollectMinDistanceSpans(
 }
 
 ReachQueryResult TwoHopIndex::Query(NodeId u, NodeId v) const {
-  const TwoHopMetrics& hm = GetTwoHopMetrics();
+  const TwoHopMetrics& hm = g_twohop_metrics;
   hm.lookups->Increment();
   ReachQueryResult result;
   if (u == v) {
@@ -457,7 +460,7 @@ uint32_t CountSpanUnion(const TwoHopIndex& index, QueryScratch& scratch,
 }  // namespace
 
 ReachCountResult TwoHopIndex::CountQuery(NodeId u, NodeId v) const {
-  const ScoreOnlyMetrics& sm = GetScoreOnlyMetrics();
+  const ScoreOnlyMetrics& sm = g_scoreonly_metrics;
   sm.lookups->Increment();
   ReachCountResult result;
   if (u == v) {
@@ -481,7 +484,7 @@ double TwoHopIndex::Score(NodeId u, NodeId v) const {
 }
 
 double TwoHopIndex::ScoreOnly(NodeId u, NodeId v) const {
-  const ScoreOnlyMetrics& sm = GetScoreOnlyMetrics();
+  const ScoreOnlyMetrics& sm = g_scoreonly_metrics;
   sm.lookups->Increment();
   if (u == v) return 1.0;
   QueryScratch& scratch = TlsQueryScratch();

@@ -24,6 +24,7 @@
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/random.h"
+#include "util/simd/simd.h"
 #include "util/thread_pool.h"
 
 namespace mel::testing {
@@ -45,6 +46,7 @@ enum SeedStream : uint64_t {
   kInfluenceStream = 35,
   kPrunedBuildStream = 36,
   kMutationCheckStream = 37,
+  kSimdKernelStream = 38,
 };
 
 struct DiffMetrics {
@@ -904,6 +906,139 @@ void CheckIncrementalMaintenance(const RandomWorkload& w,
   }
 }
 
+// ---------------------------------------------------------------------------
+// SIMD kernel tiers: every supported vectorized table vs scalar
+// ---------------------------------------------------------------------------
+
+/// Replays every vectorized kernel tier the host+build supports against
+/// the scalar table on workload-derived operands — real WLM inlink
+/// lists, real 2-hop label arrays — plus synthesized probe tables and
+/// frontier words. This is the vectorized/scalar half of the oracle
+/// sweep the kernels' bit-identity contract promises (simd_types.h).
+void CheckSimdKernels(const RandomWorkload& w, const DiffOptions& opts,
+                      Recorder& rec) {
+  namespace simd = util::simd;
+  std::vector<simd::Level> vec_levels;
+  for (simd::Level l : {simd::Level::kSse4, simd::Level::kAvx2}) {
+    if (simd::LevelSupported(l)) vec_levels.push_back(l);
+  }
+  if (vec_levels.empty()) return;
+  const simd::KernelTable& scalar = simd::KernelsFor(simd::Level::kScalar);
+
+  Rng rng(DeriveSeed(w.seed, kSimdKernelStream));
+  const kb::Knowledgebase& kb = w.world.kb();
+  const graph::DirectedGraph& g = w.world.social.graph;
+  auto two_hop = reach::TwoHopIndex::Build(&g, w.max_hops);
+
+  // Intersection kernels on real inlink lists (the WLM operand shape).
+  for (uint32_t i = 0; i < opts.wlm_pair_samples && !rec.full(); ++i) {
+    const auto a = static_cast<kb::EntityId>(rng.Uniform(kb.num_entities()));
+    const auto b = static_cast<kb::EntityId>(rng.Uniform(kb.num_entities()));
+    const auto la = kb.Inlinks(a);
+    const auto lb = kb.Inlinks(b);
+    const uint32_t want_merge =
+        scalar.merge_count(la.data(), la.size(), lb.data(), lb.size());
+    const uint32_t want_gallop =
+        scalar.gallop_count(la.data(), la.size(), lb.data(), lb.size());
+    for (simd::Level l : vec_levels) {
+      const simd::KernelTable& t = simd::KernelsFor(l);
+      rec.Check(t.merge_count(la.data(), la.size(), lb.data(), lb.size()) ==
+                    want_merge,
+                std::string("simd-merge-mismatch level=") +
+                    simd::LevelName(l) + " a=" + std::to_string(a) +
+                    " b=" + std::to_string(b));
+      rec.Check(t.gallop_count(la.data(), la.size(), lb.data(),
+                               lb.size()) == want_gallop,
+                std::string("simd-gallop-mismatch level=") +
+                    simd::LevelName(l) + " a=" + std::to_string(a) +
+                    " b=" + std::to_string(b));
+    }
+  }
+
+  // Min-sum span kernel on real 2-hop label arrays.
+  const uint32_t n = g.num_nodes();
+  std::vector<uint64_t> want_spans, got_spans;
+  for (uint32_t i = 0; i < opts.reach_pair_samples && !rec.full(); ++i) {
+    const auto u = static_cast<graph::NodeId>(rng.Uniform(n));
+    const auto v = static_cast<graph::NodeId>(rng.Uniform(n));
+    const auto outs = two_hop.out_labels(u);
+    const auto ins = two_hop.in_labels(v);
+    const auto* outs64 = reinterpret_cast<const uint64_t*>(outs.data());
+    const auto* ins64 = reinterpret_cast<const uint64_t*>(ins.data());
+    const uint32_t seed = static_cast<uint32_t>(rng.Uniform(6));
+    const uint64_t base = two_hop.out_offset(u);
+    want_spans.resize(outs.size());
+    got_spans.resize(outs.size());
+    size_t want_n = 0, got_n = 0;
+    const uint32_t want_dmin =
+        scalar.min_sum_spans(outs64, outs.size(), ins64, ins.size(), seed,
+                             base, want_spans.data(), &want_n);
+    for (simd::Level l : vec_levels) {
+      const uint32_t got_dmin = simd::KernelsFor(l).min_sum_spans(
+          outs64, outs.size(), ins64, ins.size(), seed, base,
+          got_spans.data(), &got_n);
+      rec.Check(got_dmin == want_dmin && got_n == want_n &&
+                    std::equal(want_spans.begin(),
+                               want_spans.begin() +
+                                   static_cast<ptrdiff_t>(want_n),
+                               got_spans.begin()),
+                std::string("simd-minsum-mismatch level=") +
+                    simd::LevelName(l) + " u=" + std::to_string(u) +
+                    " v=" + std::to_string(v));
+    }
+  }
+
+  // Probe-scan kernel on a synthesized open-addressed table (same
+  // multiplier and load factor as SegmentFuzzyIndex).
+  constexpr size_t kCap = 256;
+  constexpr size_t kMask = kCap - 1;
+  std::vector<uint64_t> keys(kCap, 0);
+  std::vector<uint64_t> present;
+  for (size_t i = 0; i < kCap * 6 / 10; ++i) {
+    const uint64_t k = rng.Next() | 1;
+    size_t idx = (k * 0x9E3779B97F4A7C15ull) & kMask;
+    while (keys[idx] != 0 && keys[idx] != k) idx = (idx + 1) & kMask;
+    if (keys[idx] == 0) {
+      keys[idx] = k;
+      present.push_back(k);
+    }
+  }
+  for (uint32_t i = 0; i < opts.fuzzy_probe_samples && !rec.full(); ++i) {
+    const uint64_t key = (i % 2 == 0 && !present.empty())
+                             ? present[rng.Uniform(present.size())]
+                             : (rng.Next() | 1);
+    const size_t start = rng.Uniform(kCap);
+    const size_t want = scalar.probe_scan(keys.data(), kMask, key, start);
+    for (simd::Level l : vec_levels) {
+      rec.Check(
+          simd::KernelsFor(l).probe_scan(keys.data(), kMask, key, start) ==
+              want,
+          std::string("simd-probe-mismatch level=") + simd::LevelName(l) +
+              " key=" + Hex(key) + " start=" + std::to_string(start));
+    }
+  }
+
+  // Frontier kernel on random bit words (including non-multiple-of-lane
+  // word counts for the tail path).
+  for (size_t nwords : {1u, 3u, 5u, 16u, 33u}) {
+    if (rec.full()) break;
+    std::vector<uint64_t> next(nwords), visited(nwords);
+    for (auto& x : next) x = rng.Next();
+    for (auto& x : visited) x = rng.Next();
+    std::vector<uint64_t> want = next;
+    scalar.frontier_and_not(want.data(), visited.data(), nwords);
+    for (simd::Level l : vec_levels) {
+      std::vector<uint64_t> got = next;
+      simd::KernelsFor(l).frontier_and_not(got.data(), visited.data(),
+                                           nwords);
+      rec.Check(got == want,
+                std::string("simd-frontier-mismatch level=") +
+                    simd::LevelName(l) +
+                    " nwords=" + std::to_string(nwords));
+    }
+  }
+}
+
 }  // namespace
 
 std::string DiffReport::Summary() const {
@@ -930,6 +1065,7 @@ DiffReport RunDifferentialCase(const RandomWorkload& workload,
   CheckInfluence(workload, options, rec);
   CheckFullPipeline(workload, rec);
   CheckIncrementalMaintenance(workload, options, rec);
+  CheckSimdKernels(workload, options, rec);
 
   const DiffMetrics& dm = GetDiffMetrics();
   dm.cases->Increment();

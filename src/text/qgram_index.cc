@@ -6,6 +6,7 @@
 #include "text/edit_distance.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/simd/simd.h"
 
 namespace mel::text {
 
@@ -85,44 +86,53 @@ uint64_t SegmentFuzzyIndex::PackKey(uint32_t length, uint32_t seg_idx,
          (static_cast<uint64_t>(seg_idx) << 46) | h;
 }
 
+// Every probe below is the same vectorized slot scan: ProbeScanU64
+// returns the first slot (linear-probe order, wrapping at the power-of-
+// two capacity) whose key matches or is empty — Find treats "empty
+// first" as a miss, Insert as the slot to claim. The load-factor cap
+// keeps at least 30% of slots empty, so the scan always terminates.
+
 const std::vector<uint32_t>* SegmentFuzzyIndex::Find(uint64_t key) const {
-  if (table_.empty()) return nullptr;
-  const size_t mask = table_.size() - 1;
-  size_t idx = (key * 0x9E3779B97F4A7C15ull) & mask;
-  while (table_[idx].key != 0) {
-    if (table_[idx].key == key) return &table_[idx].ids;
-    idx = (idx + 1) & mask;
-  }
-  return nullptr;
+  if (slot_keys_.empty()) return nullptr;
+  const size_t mask = slot_keys_.size() - 1;
+  const size_t idx = util::simd::ProbeScanU64(
+      slot_keys_.data(), mask, key, (key * 0x9E3779B97F4A7C15ull) & mask);
+  return slot_keys_[idx] == key ? &slot_ids_[idx] : nullptr;
 }
 
 void SegmentFuzzyIndex::Grow() {
-  const size_t new_cap = table_.empty() ? 1024 : table_.size() * 2;
-  std::vector<Bucket> old;
-  old.swap(table_);
-  table_.resize(new_cap);
+  const size_t new_cap = slot_keys_.empty() ? 1024 : slot_keys_.size() * 2;
+  std::vector<uint64_t> old_keys;
+  std::vector<std::vector<uint32_t>> old_ids;
+  old_keys.swap(slot_keys_);
+  old_ids.swap(slot_ids_);
+  slot_keys_.assign(new_cap, 0);
+  slot_ids_.assign(new_cap, {});
   const size_t mask = new_cap - 1;
-  for (Bucket& b : old) {
-    if (b.key == 0) continue;
-    size_t idx = (b.key * 0x9E3779B97F4A7C15ull) & mask;
-    while (table_[idx].key != 0) idx = (idx + 1) & mask;
-    table_[idx] = std::move(b);
+  for (size_t i = 0; i < old_keys.size(); ++i) {
+    const uint64_t key = old_keys[i];
+    if (key == 0) continue;
+    // Keys are unique per table, so the scan stops at an empty slot.
+    const size_t idx = util::simd::ProbeScanU64(
+        slot_keys_.data(), mask, key, (key * 0x9E3779B97F4A7C15ull) & mask);
+    slot_keys_[idx] = key;
+    slot_ids_[idx] = std::move(old_ids[i]);
   }
 }
 
 void SegmentFuzzyIndex::Insert(uint64_t key, uint32_t id) {
   // Keep load factor under 0.7 so linear-probe chains stay short.
-  if (table_.empty() || (table_used_ + 1) * 10 > table_.size() * 7) Grow();
-  const size_t mask = table_.size() - 1;
-  size_t idx = (key * 0x9E3779B97F4A7C15ull) & mask;
-  while (table_[idx].key != 0 && table_[idx].key != key) {
-    idx = (idx + 1) & mask;
+  if (slot_keys_.empty() || (table_used_ + 1) * 10 > slot_keys_.size() * 7) {
+    Grow();
   }
-  if (table_[idx].key == 0) {
-    table_[idx].key = key;
+  const size_t mask = slot_keys_.size() - 1;
+  const size_t idx = util::simd::ProbeScanU64(
+      slot_keys_.data(), mask, key, (key * 0x9E3779B97F4A7C15ull) & mask);
+  if (slot_keys_[idx] == 0) {
+    slot_keys_[idx] = key;
     ++table_used_;
   }
-  table_[idx].ids.push_back(id);
+  slot_ids_[idx].push_back(id);
 }
 
 void SegmentFuzzyIndex::Add(std::string_view s, uint32_t payload) {
@@ -220,9 +230,10 @@ std::vector<uint32_t> SegmentFuzzyIndex::Lookup(
 uint64_t SegmentFuzzyIndex::MemoryUsageBytes() const {
   uint64_t total = 0;
   for (const auto& e : entries_) total += sizeof(Entry) + e.str.capacity();
-  total += table_.capacity() * sizeof(Bucket);
-  for (const auto& b : table_) {
-    total += b.ids.capacity() * sizeof(uint32_t);
+  total += slot_keys_.capacity() * sizeof(uint64_t);
+  total += slot_ids_.capacity() * sizeof(std::vector<uint32_t>);
+  for (const auto& ids : slot_ids_) {
+    total += ids.capacity() * sizeof(uint32_t);
   }
   return total;
 }

@@ -63,14 +63,6 @@ class SegmentFuzzyIndex {
     uint32_t payload;
   };
 
-  // One slot of the open-addressed segment table. key == 0 marks an
-  // empty slot (valid packed keys always carry length >= 1 in the high
-  // bits, so 0 never collides with real data).
-  struct Bucket {
-    uint64_t key = 0;
-    std::vector<uint32_t> ids;
-  };
-
   static uint64_t PackKey(uint32_t length, uint32_t seg_idx,
                           std::string_view seg_text);
 
@@ -80,7 +72,15 @@ class SegmentFuzzyIndex {
 
   uint32_t max_distance_;
   std::vector<Entry> entries_;
-  std::vector<Bucket> table_;
+  // Open-addressed segment table in structure-of-arrays layout: the
+  // packed keys live in their own flat array so the probe loop scans
+  // them with the vectorized ProbeScanU64 kernel (several slots per
+  // compare) instead of striding over interleaved key+vector buckets.
+  // slot_ids_[i] holds the postings of slot_keys_[i]; key == 0 marks an
+  // empty slot (valid packed keys always carry length >= 1 in the high
+  // bits, so 0 never collides with real data).
+  std::vector<uint64_t> slot_keys_;
+  std::vector<std::vector<uint32_t>> slot_ids_;
   size_t table_used_ = 0;
 };
 

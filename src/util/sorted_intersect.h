@@ -5,6 +5,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <type_traits>
+
+#include "util/simd/simd.h"
 
 namespace mel::util {
 
@@ -64,16 +67,34 @@ uint32_t GallopIntersectCount(std::span<const T> small,
   return count;
 }
 
+/// True for element types the vectorized kernel layer handles: 32-bit
+/// unsigned integers (NodeId, EntityId, and friends).
+template <typename T>
+inline constexpr bool kSimdIntersectable =
+    std::is_integral_v<T> && std::is_unsigned_v<T> && sizeof(T) == 4;
+
 /// Dispatching entry point: swaps so the smaller span leads, gallops when
-/// the size ratio crosses kGallopRatio, merges otherwise.
+/// the size ratio crosses kGallopRatio, merges otherwise. 32-bit unsigned
+/// element types route through the runtime-dispatched vectorized kernels
+/// (util/simd/simd.h) — same ratio split, bit-identical counts; other
+/// types keep the portable templates above.
 template <typename T>
 uint32_t SortedIntersectCount(std::span<const T> a, std::span<const T> b) {
   if (a.size() > b.size()) std::swap(a, b);
   if (a.empty()) return 0;
-  if (b.size() / a.size() >= kGallopRatio) {
-    return GallopIntersectCount(a, b);
+  if constexpr (kSimdIntersectable<T>) {
+    const auto* pa = reinterpret_cast<const uint32_t*>(a.data());
+    const auto* pb = reinterpret_cast<const uint32_t*>(b.data());
+    if (b.size() / a.size() >= kGallopRatio) {
+      return simd::GallopIntersectCountU32(pa, a.size(), pb, b.size());
+    }
+    return simd::MergeIntersectCountU32(pa, a.size(), pb, b.size());
+  } else {
+    if (b.size() / a.size() >= kGallopRatio) {
+      return GallopIntersectCount(a, b);
+    }
+    return MergeIntersectCount(a, b);
   }
-  return MergeIntersectCount(a, b);
 }
 
 }  // namespace mel::util
